@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every file under benchmarks/ regenerates one table or figure of the paper:
+it runs the corresponding experiment from :mod:`repro.harness.experiments`
+(at a laptop-scale configuration), prints the same rows/series the paper
+reports, and records headline numbers in ``benchmark.extra_info``.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+import sys
+
+import pytest
+
+
+def print_table(title, headers, rows):
+    """Render one paper-style table to stdout (visible with -s or on the
+    benchmark summary)."""
+    out = ["", "=" * 72, title, "=" * 72]
+    fmt = "  ".join("%%-%ds" % max(len(h), 12) for h in headers)
+    out.append(fmt % tuple(headers))
+    for row in rows:
+        out.append(fmt % tuple(str(c) for c in row))
+    text = "\n".join(out)
+    print(text, file=sys.stderr)
+    return text
+
+
+@pytest.fixture(scope="session")
+def tpcc_sweep_results():
+    """Fig 6 and Fig 7 share one TPC-C client sweep (run once per session)."""
+    from repro.harness.experiments import fig6_fig7_tpcc_sweep
+
+    return fig6_fig7_tpcc_sweep()
+
+
+@pytest.fixture(scope="session")
+def fig14_results():
+    """Fig 14's three-configuration CH run, shared across assertions."""
+    from repro.harness.experiments import fig14_pushdown_speedup
+
+    return fig14_pushdown_speedup(runs=1)

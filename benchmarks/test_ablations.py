@@ -1,0 +1,239 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper - these isolate individual mechanisms the paper
+asserts qualitatively:
+
+1. SegmentRing vs BlobGroup: large log writes unsplit over RDMA beat
+   8 KB-striped SSD writes, and the gap grows with I/O size (Section V-A).
+2. Chained RDMA verbs vs separate doorbells (Section IV-B).
+3. Group commit batching: batched flushes sustain more commits/s than
+   flush-per-commit (Section V-B's run-to-completion model).
+4. EBP priority vs flat policy under a repeated-scan (PQ-style) workload:
+   priority keeps the hot table's pages cached (Section VI-B).
+"""
+
+from conftest import print_table
+
+from repro.common import KB, MB, US
+from repro.sim.core import AllOf, Environment
+from repro.sim.metrics import LatencyRecorder
+from repro.sim.network import RdmaFabric, RdmaVerb
+from repro.sim.rand import SeedSequence
+
+
+def test_ablation_segmentring_vs_blobgroup(benchmark):
+    """Write latency by I/O size: BlobGroup (striped SSD) vs SegmentRing."""
+    from repro.astore.cluster import AStoreCluster
+    from repro.astore.segment_ring import SegmentRing
+    from repro.storage.logstore import LogStore
+
+    sizes = (4 * KB, 64 * KB, 256 * KB)
+
+    def run():
+        results = {}
+        for label in ("blobgroup", "segmentring"):
+            env = Environment()
+            seeds = SeedSequence(3)
+            recorders = {size: LatencyRecorder() for size in sizes}
+            if label == "blobgroup":
+                store = LogStore(env, seeds)
+
+                def writer(env):
+                    for size in sizes:
+                        for _ in range(150):
+                            latency = yield from store.append(size)
+                            recorders[size].record(latency)
+
+            else:
+                from repro.common import GB
+
+                cluster = AStoreCluster(env, seeds, num_servers=3,
+                                        pmem_capacity=1 * GB,
+                                        segment_slot_size=64 * MB)
+                client = cluster.new_client("bench")
+                ring = SegmentRing(client, ring_size=6, segment_size=64 * MB)
+
+                def writer(env):
+                    yield from ring.initialize()
+                    lsn = 0
+                    for size in sizes:
+                        for _ in range(150):
+                            lsn += size
+                            start = env.now
+                            yield from ring.append(lsn, size, b"")
+                            recorders[size].record(env.now - start)
+
+            proc = env.process(writer(env))
+            env.run_until_event(proc)
+            results[label] = {s: recorders[s].mean for s in sizes}
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation - SegmentRing vs BlobGroup write latency by I/O size",
+        ["I/O size", "BlobGroup (ms)", "SegmentRing (ms)", "ratio"],
+        [
+            (
+                "%d KB" % (size // KB),
+                "%.3f" % (results["blobgroup"][size] * 1000),
+                "%.3f" % (results["segmentring"][size] * 1000),
+                "%.1fx"
+                % (results["blobgroup"][size] / results["segmentring"][size]),
+            )
+            for size in sizes
+        ],
+    )
+    for size in sizes:
+        assert results["segmentring"][size] < results["blobgroup"][size]
+    # Paper's 256 KB claim: ~0.1 ms over one-sided RDMA (wire time).  Our
+    # end-to-end path adds SDK bookkeeping and PMem media bandwidth on
+    # top, so allow up to ~4x the wire-only figure - still several times
+    # faster than the striped SSD path at the same size.
+    assert results["segmentring"][256 * KB] < 0.45e-3
+
+
+def test_ablation_rdma_chaining(benchmark):
+    """Chained persistent-write verbs vs three separate doorbells."""
+
+    def run():
+        env = Environment()
+        seeds = SeedSequence(5)
+        fabric = RdmaFabric(env, seeds.stream("rdma"), jitter_sigma=0.0)
+        chained = LatencyRecorder()
+        separate = LatencyRecorder()
+
+        def worker(env):
+            for _ in range(500):
+                start = env.now
+                yield from fabric.persistent_write(512)
+                chained.record(env.now - start)
+            for _ in range(500):
+                start = env.now
+                for verb in (
+                    RdmaVerb("write", 512),
+                    RdmaVerb("write", 8),
+                    RdmaVerb("read", 8),
+                ):
+                    yield from fabric.post(verb)
+                separate.record(env.now - start)
+
+        proc = env.process(worker(env))
+        env.run_until_event(proc)
+        return chained.mean, separate.mean
+
+    chained_mean, separate_mean = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation - chained verbs vs separate doorbells (persistent write)",
+        ["variant", "mean latency (us)"],
+        [
+            ("chained (1 doorbell)", "%.2f" % (chained_mean * 1e6)),
+            ("separate (3 doorbells)", "%.2f" % (separate_mean * 1e6)),
+        ],
+    )
+    assert chained_mean < separate_mean
+
+
+def test_ablation_group_commit(benchmark):
+    """Commits/s with group commit vs flush-per-commit."""
+    from repro.engine.page import PageOp
+    from repro.engine.wal import LogBuffer, RedoRecord
+    from repro.common import PageId
+
+    def run():
+        results = {}
+        for label, batch_bytes in (("grouped", 512 * KB), ("per-commit", 1)):
+            env = Environment()
+            flush_latency = 0.0006  # the SSD log path
+
+            def flush(records, nbytes):
+                yield env.timeout(flush_latency)
+
+            log = LogBuffer(env, flush, max_batch_bytes=batch_bytes)
+            log.start()
+            done_count = [0]
+
+            def committer(env, index):
+                for i in range(40):
+                    record = RedoRecord(
+                        lsn=index * 100000 + i + 1,
+                        txn_id=index,
+                        page_id=PageId(1, 1),
+                        op=PageOp("insert", slot=0, row=b"x" * 64),
+                    )
+                    event = log.submit([record], wait=True)
+                    yield event
+                    done_count[0] += 1
+
+            procs = [env.process(committer(env, i)) for i in range(32)]
+            env.run_until_event(AllOf(env, procs))
+            results[label] = done_count[0] / env.now
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation - group commit batching (32 concurrent committers)",
+        ["variant", "commits/s"],
+        [(label, "%.0f" % rate) for label, rate in results.items()],
+    )
+    assert results["grouped"] > 2.0 * results["per-commit"]
+
+
+def test_ablation_ebp_priority_policy(benchmark):
+    """Priority vs flat EBP policy: hot-table hit ratio under churn."""
+    from repro.astore.cluster import AStoreCluster
+    from repro.common import PageId
+    from repro.engine.ebp import ExtendedBufferPool
+    from repro.engine.page import Page, PageOp, apply_op
+
+    def run():
+        results = {}
+        page_size = 4 * KB
+        for policy in ("flat", "priority"):
+            env = Environment()
+            seeds = SeedSequence(9)
+            cluster = AStoreCluster(env, seeds, num_servers=3,
+                                    segment_slot_size=1 * MB)
+            client = cluster.new_client("ebp")
+            ebp = ExtendedBufferPool(
+                env,
+                client,
+                capacity_bytes=2 * MB,
+                segment_size=1 * MB,
+                page_size=page_size,
+                policy=policy,
+                space_priorities={1: 5, 2: 0},  # space 1 = the hot PQ table
+            )
+
+            def page_of(space, number):
+                page = Page(PageId(space, number), size=page_size)
+                apply_op(page, PageOp("insert", slot=0, row=b"d" * 64), 1)
+                return page
+
+            def worker(env):
+                # Cache the hot table once, then churn cold pages through.
+                for number in range(100):
+                    yield from ebp.cache_page(page_of(1, number))
+                for number in range(1500):
+                    yield from ebp.cache_page(page_of(2, number))
+                hot_hits = 0
+                for number in range(100):
+                    got = yield from ebp.get_page(PageId(1, number))
+                    if got is not None:
+                        hot_hits += 1
+                return hot_hits
+
+            proc = env.process(worker(env))
+            env.run_until_event(proc)
+            results[policy] = proc.value
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation - EBP policy: hot-table pages retained after churn "
+        "(100 cached, then 1500 cold evictions)",
+        ["policy", "hot pages still cached"],
+        [(policy, count) for policy, count in results.items()],
+    )
+    # Priority keeps (almost) the whole hot table; flat loses much of it.
+    assert results["priority"] > results["flat"]
+    assert results["priority"] >= 80

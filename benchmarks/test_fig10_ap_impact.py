@@ -1,0 +1,50 @@
+"""Figure 10: impact of AP streams on TP throughput, with and without EBP.
+
+Paper (TPC-CH, 1000 warehouses, 32 TP clients): one AP stream costs ~5% TP
+throughput, eight streams cost ~30% - buffer-pool contention - and turning
+the EBP on gives a consistent TP improvement at every AP level.
+"""
+
+from conftest import print_table
+
+from repro.harness.experiments import fig10_ap_impact
+
+
+def test_fig10_ap_impact(benchmark):
+    points = benchmark.pedantic(
+        lambda: fig10_ap_impact(ap_streams_list=(0, 1, 8), tp_clients=16,
+                                duration=0.3),
+        rounds=1,
+        iterations=1,
+    )
+    by = {(p.ebp, p.ap_streams): p for p in points}
+    print_table(
+        "Figure 10 - AP impact on TP throughput (paper: -5%/-30%; EBP helps)",
+        ["AP streams", "TP TPS (no EBP)", "TP TPS (EBP)", "EBP gain"],
+        [
+            (
+                streams,
+                "%.0f" % by[(False, streams)].tp_tps,
+                "%.0f" % by[(True, streams)].tp_tps,
+                "%.0f%%"
+                % (
+                    (by[(True, streams)].tp_tps / max(by[(False, streams)].tp_tps, 1)
+                     - 1)
+                    * 100
+                ),
+            )
+            for streams in (0, 1, 8)
+        ],
+    )
+    # Shape 1: without EBP, AP streams depress TP throughput monotonically.
+    no_ebp = [by[(False, s)].tp_tps for s in (0, 1, 8)]
+    assert no_ebp[1] < no_ebp[0]
+    assert no_ebp[2] < no_ebp[1]
+    drop8 = 1 - no_ebp[2] / no_ebp[0]
+    benchmark.extra_info["tp_drop_8streams_pct"] = round(drop8 * 100)
+    assert drop8 > 0.10  # paper: ~30%
+    # Shape 2: EBP improves TP throughput whenever AP streams compete.
+    for streams in (1, 8):
+        assert by[(True, streams)].tp_tps > by[(False, streams)].tp_tps
+    gain8 = by[(True, 8)].tp_tps / by[(False, 8)].tp_tps - 1
+    benchmark.extra_info["ebp_gain_8streams_pct"] = round(gain8 * 100)

@@ -1,0 +1,51 @@
+"""Table III / Figure 13: cost-equal sysbench comparison.
+
+Paper: PMem costs about a third of DRAM per GB, so each deployment pair
+shrinks the veDB+AStore buffer pool by X GB and grants a 3X GB EBP (Table
+III).  The QPS improvement is substantial below 64 clients and diminishes
+toward 256 clients, where EBP index maintenance (a lock-guarded structure
+on the client side) eats the gains.
+"""
+
+from conftest import print_table
+
+from repro.harness.experiments import fig13_sysbench_cost_equal
+
+
+def test_fig13_sysbench_cost_equal(benchmark):
+    points = benchmark.pedantic(
+        lambda: fig13_sysbench_cost_equal(
+            clients_list=(4, 16, 64, 128), duration=0.25
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Figure 13 - cost-equal sysbench QPS improvement "
+        "(paper: big gains <64 clients, vanishing at 256)",
+        ["cores", "clients", "stock QPS", "astore+EBP QPS", "improvement"],
+        [
+            (
+                p.cores,
+                p.clients,
+                "%.0f" % p.stock_qps,
+                "%.0f" % p.astore_qps,
+                "%.0f%%" % p.improvement_pct,
+            )
+            for p in points
+        ],
+    )
+    by_clients = {p.clients: p for p in points}
+    low = by_clients[4].improvement_pct
+    mid = by_clients[16].improvement_pct
+    high = by_clients[128].improvement_pct
+    benchmark.extra_info["improvement_low_pct"] = round(low)
+    benchmark.extra_info["improvement_high_pct"] = round(high)
+    # Shape 1: significant improvement at low concurrency.
+    assert low > 20.0 or mid > 20.0
+    # Shape 2: the improvement shrinks as concurrency rises (EBP index
+    # contention + CPU saturation).
+    assert high < max(low, mid)
+    # Shape 3: at the top of the sweep the gain has (nearly) vanished but
+    # the cost-equal swap is not a large regression either.
+    assert -35.0 < high < max(low, mid) / 2

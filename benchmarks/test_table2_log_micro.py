@@ -1,0 +1,46 @@
+"""Table II: log-writing micro-benchmark, with and without PMem.
+
+Paper numbers (single-threaded 4 KB appends):
+
+=========  =================  =========  ====================
+           avg write latency  avg I/OPS  avg bandwidth (MB/s)
+=========  =================  =========  ====================
+W/O PMem   0.638 ms           1,527      5.97
+W/ PMem    0.086 ms           11,465     44.79   (~7.4x better)
+=========  =================  =========  ====================
+"""
+
+from conftest import print_table
+
+from repro.harness.experiments import table2_log_micro
+
+
+def test_table2_log_micro(benchmark):
+    def run():
+        return table2_log_micro(writes=1500)
+
+    without_pmem, with_pmem = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = without_pmem.avg_latency_ms / with_pmem.avg_latency_ms
+    print_table(
+        "Table II - log writing micro-benchmark (paper: 0.638 / 0.086 ms, 7.4x)",
+        ["config", "avg lat (ms)", "IOPS", "MB/s", "p99 (ms)"],
+        [
+            (
+                r.label,
+                "%.3f" % r.avg_latency_ms,
+                "%.0f" % r.iops,
+                "%.2f" % r.bandwidth_mb_s,
+                "%.3f" % r.p99_latency_ms,
+            )
+            for r in (without_pmem, with_pmem)
+        ]
+        + [("speedup", "%.1fx" % speedup, "", "", "")],
+    )
+    benchmark.extra_info["ssd_avg_ms"] = round(without_pmem.avg_latency_ms, 3)
+    benchmark.extra_info["pmem_avg_ms"] = round(with_pmem.avg_latency_ms, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    # Shape assertions: same order of magnitude and direction as the paper.
+    assert 0.3 < without_pmem.avg_latency_ms < 1.2  # paper: 0.638
+    assert 0.04 < with_pmem.avg_latency_ms < 0.2  # paper: 0.086
+    assert 4.0 < speedup < 15.0  # paper: ~7.4x
+    assert with_pmem.iops > 5 * without_pmem.iops

@@ -1,0 +1,42 @@
+"""AStore: the paper's distributed PMem storage engine.
+
+Modules:
+
+- :mod:`repro.astore.server` - PMem node: bitmap allocator, one-sided data
+  plane, deferred stale-segment cleanup, EBP recovery scans
+- :mod:`repro.astore.cluster_manager` - central CM: placement, routing
+  epochs, leases, heartbeat fault detection, rebuild
+- :mod:`repro.astore.client` - storage-SDK access module: cached routes,
+  replicated one-sided writes, freeze-on-failure
+- :mod:`repro.astore.segment_ring` - the SegmentRing log container
+- :mod:`repro.astore.cluster` - convenience deployment wiring
+"""
+
+from .client import AStoreClient, ClientSegmentMeta
+from .cluster import AStoreCluster
+from .cluster_manager import ClusterManager, Lease, SegmentRoute
+from .segment_ring import (
+    HEADER_BYTES,
+    RingRecoveryResult,
+    SegmentHeader,
+    SegmentRing,
+    SegmentStatus,
+)
+from .server import AStoreServer, SegmentBitmap, ServerSegment
+
+__all__ = [
+    "AStoreClient",
+    "ClientSegmentMeta",
+    "AStoreCluster",
+    "ClusterManager",
+    "Lease",
+    "SegmentRoute",
+    "SegmentRing",
+    "SegmentHeader",
+    "SegmentStatus",
+    "RingRecoveryResult",
+    "HEADER_BYTES",
+    "AStoreServer",
+    "SegmentBitmap",
+    "ServerSegment",
+]

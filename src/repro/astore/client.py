@@ -1,0 +1,338 @@
+"""AStore Client: the access module embedded in the storage SDK.
+
+The client exposes read/write over an append-only segment space (paper
+Section IV-B).  The critical property it implements is the *two-speed*
+architecture:
+
+- control operations (create/delete/open) are CM RPCs costing milliseconds;
+- data operations are one-sided RDMA verbs costing tens of microseconds,
+  using routes cached in client memory - no CM involvement.
+
+Consistency with one-sided verbs (Section IV-C) rests on two timers whose
+relationship the constructor enforces: the client refreshes cached routes
+every ``route_refresh_period`` seconds, while servers defer stale-segment
+cleaning by ``cleanup_delay`` >> refresh period, so a client can never act
+on a route so old that the memory behind it was reclaimed.  Ownership is
+additionally guarded by a CM lease.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..common import (
+    LeaseExpiredError,
+    SegmentFrozenError,
+    StorageError,
+)
+from ..sim.core import AllOf, Environment
+from ..sim.network import RpcNetwork
+from ..sim.rand import Rng
+from .cluster_manager import ClusterManager, SegmentRoute
+from .server import AStoreServer
+
+__all__ = ["AStoreClient", "ClientSegmentMeta"]
+
+#: Serialized size of a control RPC message (routing info, ids).
+_CONTROL_MSG_BYTES = 256
+
+#: Client-side storage-SDK cost per write: request setup, segment-meta
+#: bookkeeping, payload checksum, completion polling.  Together with the
+#: chained-verb fabric time this calibrates the full single-threaded 4 KB
+#: log-append path to the paper's measured 0.086 ms (Table II) - the raw
+#: one-sided write itself is ~20 us.
+SDK_WRITE_BASE = 58e-6
+SDK_WRITE_PER_BYTE = 0.25e-9
+#: Read-side SDK cost is much smaller (no checksum on read; the paper
+#: reports 10 us small reads / 20 us for a 16 KB page end to end).
+SDK_READ_BASE = 3e-6
+SDK_READ_PER_BYTE = 0.35e-9
+
+
+class ClientSegmentMeta:
+    """Client-side record of an open segment: route + written length."""
+
+    def __init__(self, route: SegmentRoute):
+        self.route = route
+        self.written = 0
+        self.frozen = False
+
+    @property
+    def segment_id(self) -> int:
+        return self.route.segment_id
+
+    @property
+    def free_space(self) -> int:
+        return self.route.size - self.written
+
+
+class AStoreClient:
+    """One DBEngine's handle onto the AStore cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: Rng,
+        client_id: str,
+        cluster_manager: ClusterManager,
+        servers: Dict[str, AStoreServer],
+        control_network: Optional[RpcNetwork] = None,
+        route_refresh_period: float = 1.0,
+    ):
+        self.env = env
+        self.rng = rng
+        self.client_id = client_id
+        self.cm = cluster_manager
+        self.servers = servers
+        self.control_net = control_network or RpcNetwork(env, rng)
+        self.route_refresh_period = route_refresh_period
+        min_cleanup = min(
+            (server.cleanup_delay for server in servers.values()), default=None
+        )
+        if min_cleanup is not None and route_refresh_period * 5 > min_cleanup:
+            raise ValueError(
+                "route refresh period (%.3fs) too close to server cleanup "
+                "delay (%.3fs); one-sided consistency requires refresh << "
+                "cleanup" % (route_refresh_period, min_cleanup)
+            )
+        self.open_segments: Dict[int, ClientSegmentMeta] = {}
+        self.lease = self.cm.grant_lease(client_id)
+        self.writes = 0
+        self.reads = 0
+        self.write_failures = 0
+
+    # ------------------------------------------------------------------
+    # Lease and route maintenance
+    # ------------------------------------------------------------------
+    def renew_lease(self):
+        """Generator: heartbeat the CM to extend the ownership lease."""
+        yield from self.control_net.call(_CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES)
+        self.lease = self.cm.renew_lease(self.client_id)
+
+    def refresh_routes(self):
+        """Generator: re-fetch routes for all open segments from the CM.
+
+        Segments the CM no longer knows about (total loss) are dropped from
+        the cache; epoch changes replace the cached replica set.
+        """
+        yield from self.control_net.call(_CONTROL_MSG_BYTES, 4096)
+        for segment_id in list(self.open_segments):
+            try:
+                fresh = self.cm.lookup_route(segment_id)
+            except StorageError:
+                del self.open_segments[segment_id]
+                continue
+            cached = self.open_segments[segment_id]
+            if fresh.epoch != cached.route.epoch:
+                cached.route = fresh
+
+    def _require_lease(self) -> None:
+        if not self.cm.check_lease(self.client_id):
+            raise LeaseExpiredError(
+                "client %s lease expired or revoked" % self.client_id
+            )
+
+    # ------------------------------------------------------------------
+    # Segment lifecycle
+    # ------------------------------------------------------------------
+    def create(self, size: int, replication: int = 3):
+        """Generator: create a segment (CM RPC + per-replica allocation RPC).
+
+        Milliseconds end to end, per the paper - which is why SegmentRing
+        pre-creates its whole ring at initialization time.  Returns the
+        new segment's id.
+        """
+        self._require_lease()
+        yield from self.control_net.call(_CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES)
+        route = self.cm.create_segment(self.client_id, size, replication)
+        for server_id in route.replicas:
+            server = self.servers[server_id]
+            yield from self.control_net.call(
+                _CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES, server_cpu=server.cpu
+            )
+            server.allocate_segment(route.segment_id, size, epoch=route.epoch)
+        self.open_segments[route.segment_id] = ClientSegmentMeta(route)
+        return route.segment_id
+
+    def open(self, segment_id: int):
+        """Generator: fetch the route for an existing segment and cache it."""
+        yield from self.control_net.call(_CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES)
+        route = self.cm.lookup_route(segment_id)
+        meta = ClientSegmentMeta(route)
+        # Effective length is known from the replicas' write offsets.
+        lengths = []
+        for server_id in route.replicas:
+            segment = self.servers[server_id].segments.get(segment_id)
+            if segment is not None:
+                lengths.append(segment.write_offset)
+        meta.written = min(lengths) if lengths else 0
+        self.open_segments[segment_id] = meta
+        return meta
+
+    def delete(self, segment_id: int):
+        """Generator: delete a segment via CM + server release RPCs."""
+        yield from self.control_net.call(_CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES)
+        route = self.cm.delete_segment(self.client_id, segment_id)
+        for server_id in route.replicas:
+            server = self.servers.get(server_id)
+            if server is None or not server.alive:
+                continue
+            yield from self.control_net.call(
+                _CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES, server_cpu=server.cpu
+            )
+            try:
+                server.release_segment(segment_id)
+            except StorageError:
+                pass
+        self.open_segments.pop(segment_id, None)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def _meta(self, segment_id: int) -> ClientSegmentMeta:
+        meta = self.open_segments.get(segment_id)
+        if meta is None:
+            raise StorageError("segment %d is not open" % segment_id)
+        return meta
+
+    def write(self, segment_id: int, length: int, payload: Any):
+        """Generator: append ``payload`` to the segment on every replica.
+
+        Replica writes are issued in parallel (the client posts to each
+        server's NIC).  Success on all replicas advances the client-side
+        written length; any failure freezes the segment with its current
+        effective length and raises :class:`SegmentFrozenError` - the
+        caller reacts by opening a fresh segment (paper Section IV-B).
+
+        Returns (offset, length).
+        """
+        self._require_lease()
+        meta = self._meta(segment_id)
+        if meta.frozen:
+            raise SegmentFrozenError("segment %d frozen" % segment_id)
+        if length > meta.free_space:
+            raise StorageError("segment %d full" % segment_id)
+        yield self.env.timeout(
+            self.rng.lognormal_around(
+                SDK_WRITE_BASE + SDK_WRITE_PER_BYTE * length, 0.20
+            )
+        )
+        offset = meta.written
+        procs = []
+        for server_id in meta.route.replicas:
+            server = self.servers.get(server_id)
+            if server is None:
+                self._freeze(meta)
+                raise SegmentFrozenError("replica %s vanished" % server_id)
+            procs.append(
+                self.env.process(
+                    server.one_sided_write(segment_id, offset, length, payload),
+                    name="write-%d@%s" % (segment_id, server_id),
+                )
+            )
+        try:
+            yield AllOf(self.env, procs)
+        except StorageError:
+            self._freeze(meta)
+            self.write_failures += 1
+            raise SegmentFrozenError(
+                "replica write failed; segment %d frozen at %d"
+                % (segment_id, meta.written)
+            )
+        meta.written = offset + length
+        self.writes += 1
+        return (offset, length)
+
+    def _freeze(self, meta: ClientSegmentMeta) -> None:
+        meta.frozen = True
+        for server_id in meta.route.replicas:
+            server = self.servers.get(server_id)
+            if server is None or not server.alive:
+                continue
+            segment = server.segments.get(meta.segment_id)
+            if segment is not None:
+                segment.frozen = True
+
+    def read(self, segment_id: int, offset: int, length: int):
+        """Generator: one-sided READ from one online replica.
+
+        The client validates parameters then picks a healthy replica
+        (paper: "selects an online copy").  Returns the payload.
+        """
+        meta = self._meta(segment_id)
+        if offset < 0 or length <= 0 or offset + length > meta.route.size:
+            raise StorageError("read (%d, %d) out of bounds" % (offset, length))
+        yield self.env.timeout(
+            self.rng.lognormal_around(
+                SDK_READ_BASE + SDK_READ_PER_BYTE * length, 0.20
+            )
+        )
+        last_error: Optional[StorageError] = None
+        for server_id in meta.route.replicas:
+            server = self.servers.get(server_id)
+            if server is None or not server.alive:
+                continue
+            try:
+                payload = yield from server.one_sided_read(segment_id, offset, length)
+            except StorageError as exc:
+                last_error = exc
+                continue
+            self.reads += 1
+            return payload
+        raise last_error or StorageError(
+            "no online replica for segment %d" % segment_id
+        )
+
+    def read_entries(self, segment_id: int):
+        """Generator: bulk-read all entries of a segment from one replica.
+
+        Used by crash recovery (SegmentRing tail scan, EBP rebuild).
+        Returns [(offset, length, payload)] in offset order.
+        """
+        meta = self._meta(segment_id)
+        last_error: Optional[StorageError] = None
+        for server_id in meta.route.replicas:
+            server = self.servers.get(server_id)
+            if server is None or not server.alive:
+                continue
+            try:
+                return (yield from server.scan_entries(segment_id))
+            except StorageError as exc:
+                last_error = exc
+        raise last_error or StorageError(
+            "no online replica for segment %d" % segment_id
+        )
+
+    def reset(self, segment_id: int):
+        """Generator: recycle a segment in place on every replica (ring wrap)."""
+        self._require_lease()
+        meta = self._meta(segment_id)
+        for server_id in meta.route.replicas:
+            server = self.servers.get(server_id)
+            if server is None or not server.alive:
+                raise SegmentFrozenError("replica %s down during reset" % server_id)
+            yield from self.control_net.call(
+                _CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES, server_cpu=server.cpu
+            )
+            server.reset_segment(segment_id)
+        meta.written = 0
+        meta.frozen = False
+
+    def write_header(self, segment_id: int, length: int, payload: Any):
+        """Generator: in-place header rewrite on all replicas (SegmentRing)."""
+        self._require_lease()
+        meta = self._meta(segment_id)
+        procs = [
+            self.env.process(
+                self.servers[server_id].overwrite_header(segment_id, length, payload)
+            )
+            for server_id in meta.route.replicas
+            if server_id in self.servers
+        ]
+        try:
+            yield AllOf(self.env, procs)
+        except StorageError:
+            self._freeze(meta)
+            raise SegmentFrozenError("header write failed on %d" % segment_id)
+        if meta.written < length:
+            meta.written = length

@@ -1,0 +1,229 @@
+"""Command-line interface: regenerate any paper table/figure from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro table2
+    python -m repro fig6 --duration 0.3 --clients 16,64,128
+    python -m repro fig14 --queries 1,6,13,22
+    python -m repro all
+
+Each command runs the corresponding experiment from
+:mod:`repro.harness.experiments` and prints the paper-style table.
+Benchmarks under ``benchmarks/`` wrap the same runners with assertions;
+this CLI is for interactive exploration with custom parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from .harness import experiments as exp
+
+__all__ = ["main"]
+
+
+def _table(title: str, headers: Sequence[str], rows) -> None:
+    print()
+    print(title)
+    print("-" * max(len(title), 8))
+    fmt = "  ".join("%%-%ds" % max(len(h), 10) for h in headers)
+    print(fmt % tuple(headers))
+    for row in rows:
+        print(fmt % tuple(str(c) for c in row))
+
+
+def _ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def cmd_table2(args) -> None:
+    without_pmem, with_pmem = exp.table2_log_micro(writes=args.writes)
+    _table(
+        "Table II - log writing micro-benchmark",
+        ["config", "avg ms", "IOPS", "MB/s"],
+        [
+            (r.label, "%.3f" % r.avg_latency_ms, "%.0f" % r.iops,
+             "%.2f" % r.bandwidth_mb_s)
+            for r in (without_pmem, with_pmem)
+        ],
+    )
+    print("speedup: %.1fx (paper: ~7.4x)"
+          % (without_pmem.avg_latency_ms / with_pmem.avg_latency_ms))
+
+
+def cmd_fig6(args) -> None:
+    points = exp.fig6_fig7_tpcc_sweep(
+        clients_list=_ints(args.clients), duration=args.duration
+    )
+    _table(
+        "Figures 6 & 7 - TPC-C throughput and latency vs clients",
+        ["deployment", "clients", "TPS", "p50 ms", "p95 ms", "p99 ms"],
+        [
+            (p.deployment, p.clients, "%.0f" % p.tps, "%.2f" % p.p50_ms,
+             "%.2f" % p.p95_ms, "%.2f" % p.p99_ms)
+            for p in points
+        ],
+    )
+
+
+def cmd_fig8(args) -> None:
+    points = exp.fig8_order_processing(
+        clients_list=_ints(args.clients), duration=args.duration
+    )
+    _table(
+        "Figure 8 - order-processing workload",
+        ["deployment", "transaction", "clients", "TPS", "p95 ms"],
+        [
+            (p.deployment, p.kind, p.clients, "%.0f" % p.tps,
+             "%.2f" % p.p95_ms)
+            for p in points
+        ],
+    )
+
+
+def cmd_fig9(args) -> None:
+    results = exp.fig9_advertisement(clients=args.ad_clients,
+                                     duration=args.duration)
+    _table(
+        "Figure 9 - advertisement workload",
+        ["deployment", "avg ms", "p99 ms", "max ms", "ops"],
+        [
+            (r.deployment, "%.3f" % r.avg_ms, "%.2f" % r.p99_ms,
+             "%.2f" % r.max_ms, r.operations)
+            for r in results
+        ],
+    )
+
+
+def cmd_fig10(args) -> None:
+    points = exp.fig10_ap_impact(duration=args.duration)
+    _table(
+        "Figure 10 - AP impact on TP throughput",
+        ["EBP", "AP streams", "TP TPS", "TP p95 ms"],
+        [
+            ("on" if p.ebp else "off", p.ap_streams, "%.0f" % p.tp_tps,
+             "%.2f" % p.tp_p95_ms)
+            for p in points
+        ],
+    )
+
+
+def cmd_fig11(args) -> None:
+    rows = exp.fig11_ebp_query_speedup(
+        query_nos=tuple(_ints(args.queries)), runs=args.runs
+    )
+    _table(
+        "Figure 11 - EBP speedup per CH query",
+        ["query", "buffer pool", "speedup"],
+        [("Q%d" % r.query_no, r.bp_label, "%.2fx" % r.speedup) for r in rows],
+    )
+
+
+def cmd_fig12(args) -> None:
+    points = exp.fig12_ebp_size_sweep(lookups=args.lookups)
+    _table(
+        "Figure 12 - EBP size sweep (internal lookup workload)",
+        ["EBP size", "avg ms", "p99 ms"],
+        [(p.ebp_label, "%.3f" % p.avg_ms, "%.3f" % p.p99_ms) for p in points],
+    )
+
+
+def cmd_fig13(args) -> None:
+    points = exp.fig13_sysbench_cost_equal(
+        clients_list=_ints(args.clients), duration=args.duration
+    )
+    _table(
+        "Table III / Figure 13 - cost-equal sysbench",
+        ["cores", "clients", "stock QPS", "astore QPS", "improvement"],
+        [
+            (p.cores, p.clients, "%.0f" % p.stock_qps, "%.0f" % p.astore_qps,
+             "%+.0f%%" % p.improvement_pct)
+            for p in points
+        ],
+    )
+
+
+def cmd_fig14(args) -> None:
+    rows, mean = exp.fig14_pushdown_speedup(
+        query_nos=tuple(_ints(args.queries)), runs=args.runs
+    )
+    _table(
+        "Figure 14 - push-down speedups",
+        ["query", "PQ+EBP", "plan-change only"],
+        [
+            ("Q%d" % r.query_no, "%.2fx" % r.pq_speedup,
+             "%.2fx" % r.plan_change_speedup)
+            for r in rows
+        ],
+    )
+    print("geometric mean: %.2fx (paper: ~2.8x over all 22)" % mean)
+
+
+COMMANDS = {
+    "table2": ("Table II log micro-benchmark", cmd_table2),
+    "fig6": ("TPC-C throughput sweep (also prints Fig 7 latency)", cmd_fig6),
+    "fig8": ("order-processing workload", cmd_fig8),
+    "fig9": ("advertisement workload", cmd_fig9),
+    "fig10": ("AP impact on TP, EBP on/off", cmd_fig10),
+    "fig11": ("EBP per-query speedups", cmd_fig11),
+    "fig12": ("EBP size sweep", cmd_fig12),
+    "fig13": ("cost-equal sysbench", cmd_fig13),
+    "fig14": ("push-down speedups", cmd_fig14),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures from the veDB+AStore paper.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    all_parser = sub.add_parser("all", help="run every experiment (slow)")
+    for name, (help_text, _fn) in COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--duration", type=float, default=0.3,
+                       help="virtual seconds per measurement window")
+        p.add_argument("--writes", type=int, default=1500)
+        p.add_argument("--lookups", type=int, default=2400)
+        p.add_argument("--runs", type=int, default=1)
+        p.add_argument("--ad-clients", type=int, default=24)
+        if name in ("fig6", "fig8"):
+            p.add_argument("--clients", default="16,64,128")
+        elif name == "fig13":
+            p.add_argument("--clients", default="4,16,64,128")
+        if name == "fig11":
+            p.add_argument("--queries", default="1,6,7,16,22")
+        elif name == "fig14":
+            p.add_argument("--queries",
+                           default=",".join(str(q) for q in range(1, 23)))
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("available experiments:")
+        for name, (help_text, _fn) in COMMANDS.items():
+            print("  %-8s %s" % (name, help_text))
+        print("  %-8s %s" % ("all", "run everything (slow)"))
+        return 0
+    if args.command == "all":
+        for name, (_help, fn) in COMMANDS.items():
+            start = time.time()
+            fn(build_parser().parse_args([name]))
+            print("[%s took %.0fs]" % (name, time.time() - start))
+        return 0
+    start = time.time()
+    COMMANDS[args.command][1](args)
+    print("[%.0fs]" % (time.time() - start))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

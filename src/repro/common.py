@@ -1,0 +1,88 @@
+"""Shared identifiers, sizes, and error types for the veDB reproduction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "US",
+    "MS",
+    "PAGE_SIZE",
+    "PageId",
+    "ReproError",
+    "StorageError",
+    "SegmentFrozenError",
+    "SegmentNotFoundError",
+    "StaleRouteError",
+    "LeaseExpiredError",
+    "CapacityError",
+    "RecoveryError",
+    "QueryError",
+    "TransactionAborted",
+]
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+US = 1e-6
+MS = 1e-3
+
+#: Default database page size (InnoDB-style 16 KB, as in the paper).
+PAGE_SIZE = 16 * KB
+
+
+@dataclass(frozen=True, order=True)
+class PageId:
+    """Identifies a data page: (tablespace number, page number).
+
+    The paper calls this pair the *page ID* and keys the EBP index with it.
+    """
+
+    space_no: int
+    page_no: int
+
+    def __str__(self) -> str:
+        return "%d:%d" % (self.space_no, self.page_no)
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class StorageError(ReproError):
+    """A storage operation failed (replica down, I/O error)."""
+
+
+class SegmentFrozenError(StorageError):
+    """Write refused: the segment was frozen after a replica failure."""
+
+
+class SegmentNotFoundError(StorageError):
+    """The segment id is unknown to the addressed server or the CM."""
+
+
+class StaleRouteError(StorageError):
+    """A client used routing information that a rebuild invalidated."""
+
+
+class LeaseExpiredError(StorageError):
+    """A client's CM lease expired (or ownership moved) before the write."""
+
+
+class CapacityError(StorageError):
+    """Allocation failed: the device or quota is full."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not complete."""
+
+
+class QueryError(ReproError):
+    """SQL parsing, planning, or execution error."""
+
+
+class TransactionAborted(ReproError):
+    """The transaction was rolled back (deadlock victim or explicit)."""

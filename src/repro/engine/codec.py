@@ -1,0 +1,161 @@
+"""Row codec: schema-driven binary encoding of rows.
+
+Rows are stored in pages as real bytes.  The codec is struct-based with a
+compact layout: a null bitmap, fixed-width scalars, and length-prefixed
+strings.  Decimals are carried as scaled integers (``DECIMAL(p, s)`` with
+value * 10**s), which is both faithful to OLTP engines and keeps arithmetic
+exact for the TPC-C consistency checks.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..common import QueryError
+
+__all__ = ["Column", "Schema", "INT", "BIGINT", "DECIMAL", "VARCHAR", "FLOAT"]
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """A column type tag with optional parameters."""
+
+    name: str
+    scale: int = 0  # for decimals
+    max_length: int = 0  # for varchars
+
+
+def INT() -> ColumnType:
+    return ColumnType("int")
+
+
+def BIGINT() -> ColumnType:
+    return ColumnType("bigint")
+
+
+def FLOAT() -> ColumnType:
+    return ColumnType("float")
+
+
+def DECIMAL(scale: int = 2) -> ColumnType:
+    return ColumnType("decimal", scale=scale)
+
+
+def VARCHAR(max_length: int = 255) -> ColumnType:
+    return ColumnType("varchar", max_length=max_length)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    ctype: ColumnType
+    nullable: bool = False
+
+
+class Schema:
+    """An ordered list of columns with encode/decode and key helpers."""
+
+    def __init__(self, columns: Sequence[Column]):
+        if not columns:
+            raise QueryError("schema needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise QueryError("duplicate column names")
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._index: Dict[str, int] = {c.name: i for i, c in enumerate(columns)}
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def position(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise QueryError("unknown column %r" % name)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index
+
+    @property
+    def names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, values: Sequence[Any]) -> bytes:
+        """Encode one row (a sequence aligned with the schema) to bytes."""
+        if len(values) != len(self.columns):
+            raise QueryError(
+                "row has %d values, schema has %d columns"
+                % (len(values), len(self.columns))
+            )
+        null_bits = 0
+        parts: List[bytes] = []
+        for index, (column, value) in enumerate(zip(self.columns, values)):
+            if value is None:
+                if not column.nullable:
+                    raise QueryError("column %s is not nullable" % column.name)
+                null_bits |= 1 << index
+                continue
+            ctype = column.ctype
+            if ctype.name == "int":
+                parts.append(struct.pack("<i", value))
+            elif ctype.name == "bigint":
+                parts.append(struct.pack("<q", value))
+            elif ctype.name == "float":
+                parts.append(struct.pack("<d", value))
+            elif ctype.name == "decimal":
+                scaled = int(round(value * (10 ** ctype.scale)))
+                parts.append(struct.pack("<q", scaled))
+            elif ctype.name == "varchar":
+                raw = value.encode("utf-8")
+                if ctype.max_length and len(raw) > ctype.max_length:
+                    raise QueryError(
+                        "value too long for %s(%d)" % (column.name, ctype.max_length)
+                    )
+                parts.append(struct.pack("<H", len(raw)) + raw)
+            else:
+                raise QueryError("unsupported type %r" % ctype.name)
+        header = struct.pack("<Q", null_bits)
+        return header + b"".join(parts)
+
+    def decode(self, data: bytes) -> List[Any]:
+        """Decode bytes produced by :meth:`encode` back to a value list."""
+        (null_bits,) = struct.unpack_from("<Q", data, 0)
+        offset = 8
+        values: List[Any] = []
+        for index, column in enumerate(self.columns):
+            if null_bits & (1 << index):
+                values.append(None)
+                continue
+            ctype = column.ctype
+            if ctype.name == "int":
+                (value,) = struct.unpack_from("<i", data, offset)
+                offset += 4
+            elif ctype.name == "bigint":
+                (value,) = struct.unpack_from("<q", data, offset)
+                offset += 8
+            elif ctype.name == "float":
+                (value,) = struct.unpack_from("<d", data, offset)
+                offset += 8
+            elif ctype.name == "decimal":
+                (scaled,) = struct.unpack_from("<q", data, offset)
+                value = scaled / (10 ** ctype.scale)
+                offset += 8
+            elif ctype.name == "varchar":
+                (length,) = struct.unpack_from("<H", data, offset)
+                offset += 2
+                value = data[offset : offset + length].decode("utf-8")
+                offset += length
+            else:
+                raise QueryError("unsupported type %r" % ctype.name)
+            values.append(value)
+        return values
+
+    def row_dict(self, values: Sequence[Any]) -> Dict[str, Any]:
+        return dict(zip(self.names, values))

@@ -1,0 +1,762 @@
+"""DBEngine: veDB's compute layer.
+
+Ties together the buffer pool, the (optional) extended buffer pool, the
+REDO log (group commit through either LogStore or an AStore SegmentRing),
+PageStore shipping, row locking, and crash recovery.
+
+Timing model: every statement charges CPU on the engine's core pool; every
+page miss pays the storage path it actually takes (EBP over RDMA vs
+PageStore over RPC); commits wait on group commit whose flush latency is
+the log backend's.  All the paper's performance phenomena - log latency on
+the commit path, lock-hold amplification, buffer-pool pressure from AP
+scans, EBP index contention - emerge from these mechanisms rather than
+being scripted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..common import (
+    MS,
+    PAGE_SIZE,
+    US,
+    PageId,
+    QueryError,
+    StorageError,
+    TransactionAborted,
+)
+from ..sim.core import Environment, Event
+from ..sim.rand import SeedSequence
+from ..sim.resources import CpuPool, Store
+from ..storage.pagestore import PageStoreService
+from .bufferpool import BufferPool
+from .ebp import ExtendedBufferPool
+from .page import Page, PageOp, apply_op
+from .table import Catalog, Table
+from .txn import LockManager, Transaction, UndoEntry
+from .wal import LogBuffer, LsnAllocator, RedoRecord
+
+__all__ = ["DBEngine", "EngineConfig", "LogBackend"]
+
+
+@dataclass
+class EngineConfig:
+    """Tunables for one DBEngine instance."""
+
+    cores: int = 20
+    buffer_pool_bytes: int = 64 * 1024 * 1024
+    page_size: int = PAGE_SIZE
+    #: CPU charged per SQL statement (parse + plan + execute bookkeeping).
+    stmt_cpu: float = 14 * US
+    #: CPU charged per row touched (codec + index + page mutation).
+    row_cpu: float = 3 * US
+    #: Group-commit batch cap in bytes.
+    log_batch_bytes: int = 512 * 1024
+    #: Interval of the PageStore shipping daemon.
+    ship_interval: float = 1 * MS
+    #: Interval for pushing EBP latest-LSN batches to AStore servers.
+    ebp_lsn_flush_interval: float = 50 * MS
+    #: Background threads writing evicted pages to the EBP, and the bound
+    #: on their queue: beyond it pages are dropped (the EBP is best-effort;
+    #: under extreme eviction churn admission control beats backlog).
+    ebp_writer_threads: int = 8
+    ebp_write_queue_limit: int = 512
+    lock_wait_timeout: float = 2.0
+
+
+class LogBackend:
+    """Interface the engine's group commit flushes into.
+
+    ``flush(records, nbytes)`` is a generator that returns once the batch
+    is durable.  ``recover()`` is a generator returning the retained
+    records ``[(lsn, [RedoRecord, ...])]`` for crash recovery.
+    """
+
+    def flush(self, records: List[RedoRecord], nbytes: int):
+        raise NotImplementedError
+
+    def recover(self):
+        raise NotImplementedError
+
+
+class DBEngine:
+    """One veDB compute node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        seeds: SeedSequence,
+        config: EngineConfig,
+        log_backend: LogBackend,
+        pagestore: PageStoreService,
+        ebp: Optional[ExtendedBufferPool] = None,
+    ):
+        self.env = env
+        self.config = config
+        self.log_backend = log_backend
+        self.pagestore = pagestore
+        self.ebp = ebp
+        self.cpu = CpuPool(env, cores=config.cores)
+        self.catalog = Catalog()
+        self.locks = LockManager(env, wait_timeout=config.lock_wait_timeout)
+        self.lsn = LsnAllocator()
+        self.log = LogBuffer(env, self._flush_log, config.log_batch_bytes)
+        self.buffer_pool = BufferPool(
+            config.buffer_pool_bytes,
+            page_size=config.page_size,
+            on_evict=self._on_evict,
+            # WAL rule: only pages whose changes are durable may leave DRAM.
+            can_evict=lambda page: page.page_lsn <= self.log.persistent_lsn,
+        )
+        #: Authoritative latest LSN per page written by this engine.
+        self.page_versions: Dict[PageId, int] = {}
+        self._ship_queue: List[RedoRecord] = []
+        self._ebp_write_queue: Store = Store(env)
+        self.shipped_lsn = 0
+        self.ebp_writes_dropped = 0
+        self.committed = 0
+        self.aborted = 0
+        self.statements = 0
+        self._daemons_started = False
+        self.crashed = False
+
+    # ------------------------------------------------------------------
+    # Daemons
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the log writer, shipping, and EBP maintenance daemons."""
+        if self._daemons_started:
+            return
+        self._daemons_started = True
+        self.log.start()
+        self.env.process(self._ship_loop(), name="redo-shipper")
+        if self.ebp is not None:
+            for index in range(self.config.ebp_writer_threads):
+                self.env.process(
+                    self._ebp_writer_loop(), name="ebp-writer-%d" % index
+                )
+            self.env.process(self._ebp_lsn_flush_loop(), name="ebp-lsn-flush")
+
+    def _flush_log(self, records: List[RedoRecord], nbytes: int):
+        yield from self.log_backend.flush(records, nbytes)
+        # WAL rule satisfied: durable records may now ship to PageStore.
+        # Commit/abort markers are log-only; PageStore applies page ops.
+        self._ship_queue.extend(r for r in records if not r.is_marker)
+
+    def _ship_loop(self):
+        while True:
+            yield self.env.timeout(self.config.ship_interval)
+            if self.crashed or not self._ship_queue:
+                continue
+            batch, self._ship_queue = self._ship_queue, []
+            yield from self.pagestore.ship_records(batch)
+            self.shipped_lsn = max(self.shipped_lsn, batch[-1].lsn)
+
+    def _on_evict(self, page: Page) -> None:
+        if self.ebp is None or self.crashed:
+            return
+        if len(self._ebp_write_queue) >= self.config.ebp_write_queue_limit:
+            self.ebp_writes_dropped += 1  # best-effort cache: shed load
+            return
+        self._ebp_write_queue.put(page)
+
+    def _ebp_writer_loop(self):
+        while True:
+            page = yield self._ebp_write_queue.get()
+            if self.crashed:
+                continue
+            yield from self.ebp.cache_page(page)
+
+    def _ebp_lsn_flush_loop(self):
+        while True:
+            yield self.env.timeout(self.config.ebp_lsn_flush_interval)
+            if not self.crashed:
+                yield from self.ebp.flush_dirty_lsns()
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, schema, key_columns, priority: int = 0
+                     ) -> Table:
+        return self.catalog.create_table(name, schema, key_columns, priority)
+
+    # ------------------------------------------------------------------
+    # Page access
+    # ------------------------------------------------------------------
+    def fetch_page(self, page_id: PageId):
+        """Generator: get a page via BP -> EBP -> PageStore.
+
+        Returns the buffer-pool-resident Page (shared, mutable only while
+        holding the relevant row locks).
+        """
+        page = self.buffer_pool.get(page_id)
+        if page is not None:
+            return page
+        required_lsn = self.page_versions.get(page_id, 0)
+        if self.ebp is not None:
+            page = yield from self.ebp.get_page(page_id, required_lsn)
+        if page is None:
+            page = yield from self._read_from_pagestore(page_id, required_lsn)
+        # Frame dedup: another process may have installed (and even
+        # mutated) this page while our read was in flight.  Two live
+        # frames for one page would let a writer update a stale copy and
+        # diverge from the REDO stream - the single-frame rule every real
+        # buffer pool enforces with page latches.
+        existing = self.buffer_pool.get(page_id)
+        if existing is not None:
+            return existing
+        if page.page_lsn < self.page_versions.get(page_id, 0):
+            # The page advanced (was written and evicted again) while our
+            # read was in flight; this copy is stale - fetch afresh.
+            return (yield from self.fetch_page(page_id))
+        self.buffer_pool.put(page)
+        return page
+
+    def _read_from_pagestore(self, page_id: PageId, required_lsn: int):
+        """Generator: PageStore read with force-ship retry.
+
+        The page's REDO may still sit in the ship queue (asynchronous
+        shipping); force a ship and retry before giving up.
+        """
+        attempts = 0
+        while True:
+            try:
+                return (
+                    yield from self.pagestore.read_page(page_id, min_lsn=required_lsn)
+                )
+            except StorageError:
+                attempts += 1
+                if attempts > 4:
+                    raise
+                if self._ship_queue:
+                    batch, self._ship_queue = self._ship_queue, []
+                    yield from self.pagestore.ship_records(batch)
+                    self.shipped_lsn = max(self.shipped_lsn, batch[-1].lsn)
+                yield self.env.timeout(0.5 * MS)
+
+    def _new_page(self, table: Table) -> Tuple[Page, RedoRecord]:
+        """Allocate and format a fresh heap page (logged)."""
+        page_no = table.allocate_page()
+        page_id = table.page_id(page_no)
+        page = Page(page_id, size=self.config.page_size)
+        op = PageOp("format")
+        lsn = self.lsn.allocate(op.log_bytes)
+        apply_op(page, op, lsn)
+        self.page_versions[page_id] = lsn
+        self.buffer_pool.put(page)
+        table.note_page(page_no, page.free_bytes)
+        record = RedoRecord(lsn=lsn, txn_id=0, page_id=page_id, op=op)
+        self.log.submit([record], wait=False)
+        return page
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def begin(self) -> Transaction:
+        return Transaction(self.env)
+
+    def _check_active(self, txn: Transaction) -> None:
+        if not txn.is_active:
+            raise TransactionAborted("txn %d is %s" % (txn.txn_id, txn.status))
+
+    def _log_page_op(
+        self,
+        txn: Transaction,
+        table: Table,
+        page: Page,
+        op: PageOp,
+        undo: Optional[UndoEntry],
+        undo_row: Optional[bytes] = None,
+        clr: bool = False,
+        compensates: int = -1,
+    ) -> RedoRecord:
+        """Allocate an LSN, apply to the BP page, and log immediately.
+
+        ARIES discipline: the record enters the log buffer the moment the
+        page mutates (steal/no-force), inside one synchronous block - so
+        the log's record order IS LSN order, per-page application at
+        PageStore stays monotone, and crash recovery can see (and undo)
+        loser transactions.  Nobody waits here; the commit marker is what
+        transactions block on.
+        """
+        lsn = self.lsn.allocate(op.log_bytes)
+        apply_op(page, op, lsn)
+        self.page_versions[page.page_id] = lsn
+        table.note_page(page.page_id.page_no, page.free_bytes)
+        record = RedoRecord(
+            lsn=lsn, txn_id=txn.txn_id, page_id=page.page_id, op=op,
+            undo_row=undo_row, clr=clr, compensates=compensates,
+        )
+        self.log.submit([record], wait=False)
+        txn.add_record(record, undo)
+        if self.ebp is not None:
+            self.ebp.note_page_modified(page.page_id, lsn)
+        return record
+
+    # -- DML ----------------------------------------------------------------
+    def insert(self, txn: Transaction, table_name: str, values: Sequence[Any]):
+        """Generator: insert one row."""
+        self._check_active(txn)
+        table = self.catalog.table(table_name)
+        yield from self.cpu.consume(self.config.stmt_cpu + self.config.row_cpu)
+        key = table.key_of(values)
+        yield from self.locks.acquire(txn, (table_name, key))
+        if table.lookup(key) is not None:
+            raise QueryError("duplicate key %r in %s" % (key, table_name))
+        row = table.schema.encode(list(values))
+        page_no = table.choose_page_for_insert(len(row))
+        if page_no is None:
+            page = self._new_page(table)
+        else:
+            page = yield from self.fetch_page(table.page_id(page_no))
+            if not page.fits(row):
+                page = self._new_page(table)
+        slot = page.allocate_slot()
+        op = PageOp("insert", slot=slot, row=row)
+        self._log_page_op(
+            txn,
+            table,
+            page,
+            op,
+            UndoEntry(
+                table_name,
+                page.page_id,
+                PageOp("delete", slot=slot),
+                None,
+                list(values),
+                "insert",
+            ),
+        )
+        table.index_insert(values, (page.page_id.page_no, slot))
+        self.statements += 1
+        return (page.page_id.page_no, slot)
+
+    def read_row(self, txn: Optional[Transaction], table_name: str,
+                 key: Tuple[Any, ...], for_update: bool = False):
+        """Generator: point read by primary key; returns values or None."""
+        table = self.catalog.table(table_name)
+        yield from self.cpu.consume(self.config.stmt_cpu)
+        if for_update:
+            if txn is None:
+                raise QueryError("FOR UPDATE requires a transaction")
+            self._check_active(txn)
+            yield from self.locks.acquire(txn, (table_name, key))
+        for _attempt in range(4):
+            locator = table.lookup(key)
+            if locator is None:
+                return None
+            page_no, slot = locator
+            page = yield from self.fetch_page(table.page_id(page_no))
+            yield from self.cpu.consume(self.config.row_cpu)
+            try:
+                return table.schema.decode(page.get(slot))
+            except KeyError:
+                # Unlocked read raced with a row migration (an update that
+                # outgrew the page moved the row); chase the fresh locator.
+                continue
+        return None
+
+    def update(self, txn: Transaction, table_name: str, key: Tuple[Any, ...],
+               changes: Dict[str, Any]):
+        """Generator: update columns of the row with ``key``."""
+        self._check_active(txn)
+        table = self.catalog.table(table_name)
+        yield from self.cpu.consume(self.config.stmt_cpu + self.config.row_cpu)
+        yield from self.locks.acquire(txn, (table_name, key))
+        locator = table.lookup(key)
+        if locator is None:
+            raise QueryError("no row %r in %s" % (key, table_name))
+        page_no, slot = locator
+        page = yield from self.fetch_page(table.page_id(page_no))
+        old_values = table.schema.decode(page.get(slot))
+        new_values = list(old_values)
+        for column, value in changes.items():
+            new_values[table.schema.position(column)] = value
+        if table.key_of(new_values) != key:
+            raise QueryError("primary key update not supported")
+        new_row = table.schema.encode(new_values)
+        old_row = page.get(slot)
+        if len(new_row) - len(old_row) <= page.free_bytes:
+            op = PageOp("update", slot=slot, row=new_row)
+            self._log_page_op(
+                txn,
+                table,
+                page,
+                op,
+                UndoEntry(
+                    table_name,
+                    page.page_id,
+                    PageOp("update", slot=slot, row=old_row),
+                    old_values,
+                    new_values,
+                    "update",
+                ),
+                undo_row=old_row,
+            )
+            table.index_update(old_values, new_values, locator)
+        else:
+            # Row migration: the grown row no longer fits its page, so it
+            # moves - delete here, insert wherever there is room, repoint
+            # the indexes.  Undo entries reverse in LIFO order.
+            self._log_page_op(
+                txn,
+                table,
+                page,
+                PageOp("delete", slot=slot),
+                UndoEntry(
+                    table_name,
+                    page.page_id,
+                    PageOp("insert", slot=slot, row=old_row),
+                    old_values,
+                    None,
+                    "delete",
+                ),
+                undo_row=old_row,
+            )
+            table.index_delete(old_values)
+            target_no = table.choose_page_for_insert(len(new_row))
+            if target_no is None or target_no == page.page_id.page_no:
+                target = self._new_page(table)
+            else:
+                target = yield from self.fetch_page(table.page_id(target_no))
+                if not target.fits(new_row):
+                    target = self._new_page(table)
+            new_slot = target.allocate_slot()
+            self._log_page_op(
+                txn,
+                table,
+                target,
+                PageOp("insert", slot=new_slot, row=new_row),
+                UndoEntry(
+                    table_name,
+                    target.page_id,
+                    PageOp("delete", slot=new_slot),
+                    None,
+                    new_values,
+                    "insert",
+                ),
+            )
+            table.index_insert(new_values, (target.page_id.page_no, new_slot))
+        self.statements += 1
+        return new_values
+
+    def delete(self, txn: Transaction, table_name: str, key: Tuple[Any, ...]):
+        """Generator: delete the row with ``key``."""
+        self._check_active(txn)
+        table = self.catalog.table(table_name)
+        yield from self.cpu.consume(self.config.stmt_cpu + self.config.row_cpu)
+        yield from self.locks.acquire(txn, (table_name, key))
+        locator = table.lookup(key)
+        if locator is None:
+            raise QueryError("no row %r in %s" % (key, table_name))
+        page_no, slot = locator
+        page = yield from self.fetch_page(table.page_id(page_no))
+        old_row = page.get(slot)
+        old_values = table.schema.decode(old_row)
+        op = PageOp("delete", slot=slot)
+        self._log_page_op(
+            txn,
+            table,
+            page,
+            op,
+            UndoEntry(
+                table_name,
+                page.page_id,
+                PageOp("insert", slot=slot, row=old_row),
+                old_values,
+                None,
+                "delete",
+            ),
+            undo_row=old_row,
+        )
+        table.index_delete(old_values)
+        self.statements += 1
+
+    # -- commit / rollback -----------------------------------------------------
+    def commit(self, txn: Transaction):
+        """Generator: wait for the commit marker to persist, release locks.
+
+        The transaction's page-op records were logged as they happened;
+        group commit's FIFO batching guarantees they are durable no later
+        than the marker, so waiting on the marker alone is sufficient.
+        """
+        self._check_active(txn)
+        try:
+            if txn.records:
+                marker = RedoRecord(
+                    lsn=self.lsn.allocate(24),
+                    txn_id=txn.txn_id,
+                    page_id=PageId(0, 0),
+                    op=PageOp("format"),  # payload-free marker
+                    commit=True,
+                )
+                txn.records.append(marker)
+                done = self.log.submit([marker], wait=True)
+                yield done
+            txn.status = "committed"
+            self.committed += 1
+        finally:
+            self.locks.release_all(txn)
+
+    def rollback(self, txn: Transaction):
+        """Generator: undo the transaction's effects, newest first.
+
+        Undo is *logical*: a delete is compensated by re-inserting the row
+        wherever there is room now (other transactions may have filled the
+        original page), an update by writing the before image back (with
+        row migration if it no longer fits), an insert by deleting the row
+        at its current locator.  Every compensation is logged as a CLR
+        referencing the record it undoes; an abort marker closes the
+        transaction so crash recovery knows it is fully resolved.
+        """
+        if not txn.is_active:
+            self.locks.release_all(txn)
+            return
+        had_records = bool(txn.records)
+        entries = list(txn.undo)
+        txn.undo.clear()  # compensations must not generate further undo
+        try:
+            for undo in reversed(entries):
+                yield from self._compensate(txn, undo)
+            if had_records:
+                marker = RedoRecord(
+                    lsn=self.lsn.allocate(24),
+                    txn_id=txn.txn_id,
+                    page_id=PageId(0, 0),
+                    op=PageOp("format"),
+                    abort=True,
+                )
+                self.log.submit([marker], wait=False)
+            txn.status = "aborted"
+            self.aborted += 1
+        finally:
+            self.locks.release_all(txn)
+
+    def _compensate(self, txn: Transaction, undo: UndoEntry):
+        """Generator: logically undo one operation, logging a CLR."""
+        table = self.catalog.table(undo.table_name)
+        if undo.kind == "insert":
+            key = table.key_of(undo.new_values)
+            locator = table.lookup(key)
+            if locator is None:
+                return
+            page_no, slot = locator
+            page = yield from self.fetch_page(table.page_id(page_no))
+            self._log_page_op(
+                txn, table, page, PageOp("delete", slot=slot), None,
+                clr=True, compensates=undo.record_lsn,
+            )
+            table.index_delete(undo.new_values)
+        elif undo.kind == "update":
+            key = table.key_of(undo.old_values)
+            locator = table.lookup(key)
+            if locator is None:
+                return
+            page_no, slot = locator
+            page = yield from self.fetch_page(table.page_id(page_no))
+            old_row = table.schema.encode(undo.old_values)
+            current_row = page.get(slot)
+            if len(old_row) - len(current_row) <= page.free_bytes:
+                self._log_page_op(
+                    txn, table, page, PageOp("update", slot=slot, row=old_row),
+                    None, undo_row=current_row, clr=True,
+                    compensates=undo.record_lsn,
+                )
+                table.index_update(undo.new_values, undo.old_values, locator)
+            else:
+                # Migrate: delete here, re-insert the before image elsewhere.
+                self._log_page_op(
+                    txn, table, page, PageOp("delete", slot=slot), None,
+                    undo_row=current_row, clr=True,
+                    compensates=undo.record_lsn,
+                )
+                table.index_delete(undo.new_values)
+                yield from self._compensating_insert(
+                    txn, table, undo.old_values, undo.record_lsn
+                )
+        elif undo.kind == "delete":
+            yield from self._compensating_insert(
+                txn, table, undo.old_values, undo.record_lsn
+            )
+
+    def _compensating_insert(self, txn: Transaction, table: Table,
+                             values, compensates: int):
+        """Generator: logical re-insert of a row during undo."""
+        row = table.schema.encode(list(values))
+        page_no = table.choose_page_for_insert(len(row))
+        if page_no is None:
+            page = self._new_page(table)
+        else:
+            page = yield from self.fetch_page(table.page_id(page_no))
+            if not page.fits(row):
+                page = self._new_page(table)
+        slot = page.allocate_slot()
+        self._log_page_op(
+            txn, table, page, PageOp("insert", slot=slot, row=row), None,
+            clr=True, compensates=compensates,
+        )
+        table.index_insert(values, (page.page_id.page_no, slot))
+
+    # ------------------------------------------------------------------
+    # Crash & recovery
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Lose all volatile state (buffer pool, indexes, ship queue)."""
+        self.crashed = True
+        self.buffer_pool.clear()
+        self._ship_queue.clear()
+        for table in self.catalog.tables():
+            table.clear_indexes()
+            table.free_hints.clear()
+        self.page_versions.clear()
+
+    def recover(self):
+        """Generator: ARIES-style restart using the log backend's tail.
+
+        1. Fetch retained records from the log (SegmentRing binary search
+           or LogStore scan).
+        2. REDO everything into fresh page images via PageStore reads +
+           local replay (PageStore already has most of it applied).
+        3. UNDO loser transactions (no commit marker).
+        4. Rebuild in-memory indexes by scanning table pages.
+        5. Optionally rebuild the EBP index from AStore server scans.
+        Returns statistics about the recovery.
+        """
+        records = yield from self.log_backend.recover()
+        if records:
+            self.lsn.advance_to(max(r.lsn for r in records))
+        committed_txns = {r.txn_id for r in records if r.commit}
+        resolved_txns = {r.txn_id for r in records if r.abort}
+        data_records = [r for r in records if not r.is_marker]
+        if data_records:
+            # Re-ship everything durable (PageStore dedups what it already
+            # has; gaps from the crash get filled).  Fresh copies, so the
+            # normal path can restamp back-links.
+            yield from self.pagestore.ship_records(
+                [
+                    RedoRecord(r.lsn, r.txn_id, r.page_id, r.op,
+                               clr=r.clr, undo_row=r.undo_row)
+                    for r in data_records
+                ]
+            )
+        # Loser undo.  A loser is a txn with data records but neither a
+        # commit nor an abort marker.  CLRs reference the original record
+        # they compensate, so a partially rolled back loser's compensated
+        # records are skipped rather than undone twice.
+        losers: Dict[int, List[RedoRecord]] = {}
+        compensated = {
+            r.compensates for r in data_records if r.clr and r.compensates >= 0
+        }
+        for record in data_records:
+            if record.txn_id == 0 or record.clr:
+                continue
+            if record.txn_id in committed_txns or record.txn_id in resolved_txns:
+                continue
+            if record.lsn in compensated:
+                continue
+            losers.setdefault(record.txn_id, []).append(record)
+        undone = 0
+        clrs: List[RedoRecord] = []
+        to_undo_all = sorted(
+            (r for records_ in losers.values() for r in records_),
+            key=lambda r: -r.lsn,
+        )
+        for record in to_undo_all:
+            inverse = self._inverse_of(record)
+            if inverse is None:
+                continue
+            clrs.append(
+                RedoRecord(
+                    lsn=self.lsn.allocate(inverse.log_bytes),
+                    txn_id=record.txn_id,
+                    page_id=record.page_id,
+                    op=inverse,
+                    clr=True,
+                    compensates=record.lsn,
+                )
+            )
+            undone += 1
+        if clrs:
+            clrs.sort(key=lambda r: r.lsn)
+            self.log.submit(list(clrs), wait=False)
+            yield from self.pagestore.ship_records(clrs)
+        yield from self._rebuild_indexes()
+        ebp_entries = 0
+        if self.ebp is not None:
+            ebp_entries = yield from self.ebp.rebuild_index_after_crash()
+        self.crashed = False
+        return {
+            "log_records": len(records),
+            "committed_txns": len(committed_txns),
+            "losers_undone": undone,
+            "ebp_entries": ebp_entries,
+        }
+
+    def warmup_from_ebp(self, limit: Optional[int] = None):
+        """Generator: pre-load EBP-resident pages into the buffer pool.
+
+        One of the paper's future-work items (Section VIII): after crash
+        recovery the DRAM buffer pool is cold, but the EBP survived with a
+        near-complete hot set - reading it back over RDMA (~20 us/page) is
+        orders of magnitude cheaper than faulting each page from PageStore
+        on first touch.  Returns the number of pages warmed.
+        """
+        if self.ebp is None:
+            return 0
+        budget = self.buffer_pool.capacity_pages
+        if limit is not None:
+            budget = min(budget, limit)
+        warmed = 0
+        for page_id in list(self.ebp.index):
+            if warmed >= budget:
+                break
+            if page_id in self.buffer_pool:
+                continue
+            page = yield from self.ebp.get_page(
+                page_id, self.page_versions.get(page_id, 0)
+            )
+            if page is None:
+                continue
+            self.buffer_pool.put(page)
+            warmed += 1
+        return warmed
+
+    def _inverse_of(self, record: RedoRecord) -> Optional[PageOp]:
+        """The compensating operation for a loser's logged record.
+
+        Inserts invert to deletes; updates and deletes invert using the
+        before image (``undo_row``) logged with the record.
+        """
+        op = record.op
+        if op.kind == "insert":
+            return PageOp("delete", slot=op.slot)
+        if op.kind == "update":
+            if record.undo_row is None:
+                return None
+            return PageOp("update", slot=op.slot, row=record.undo_row)
+        if op.kind == "delete":
+            if record.undo_row is None:
+                return None
+            return PageOp("insert", slot=op.slot, row=record.undo_row)
+        return None
+
+    def _rebuild_indexes(self):
+        """Generator: scan every table's pages and rebuild its B+-trees."""
+        for table in self.catalog.tables():
+            pages = self.pagestore.pages_of_space(table.space_no)
+            table.page_nos = sorted(p.page_id.page_no for p in pages)
+            table._next_page_no = (
+                max(table.page_nos) + 1 if table.page_nos else 0
+            )
+            for page_no in table.page_nos:
+                page_id = table.page_id(page_no)
+                page = yield from self._read_from_pagestore(page_id, 0)
+                self.buffer_pool.put(page)
+                table.note_page(page_no, page.free_bytes)
+                self.page_versions[page_id] = page.page_lsn
+                for slot, row in page.slots():
+                    values = table.schema.decode(row)
+                    table.index_insert(values, (page_no, slot))
+        return None

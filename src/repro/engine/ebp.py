@@ -1,0 +1,549 @@
+"""Extended Buffer Pool (EBP): PMem page cache backed by AStore.
+
+Paper Sections V-C..V-E.  Pages evicted from the DRAM buffer pool are
+appended to single-replica AStore segments and re-read over one-sided RDMA
+(~20 us/16 KB) instead of from PageStore (~1 ms).  The engine-side state is
+the *EBP Index*: ``{(space_no, page_no) -> (lsn, segment_id, offset,
+length)}``.
+
+Implemented behaviours, each with its paper anchor:
+
+- **Best-effort semantics**: EBP loss only lowers the hit ratio; a stale or
+  missing entry is a miss, never an error.
+- **Capacity policies**: ``flat`` (one shared space) vs ``priority``
+  (spaces carry priorities; high-priority pages may occupy any same-or-
+  lower-priority room, and victims are taken lowest-priority-first).
+- **Garbage & compaction**: rewriting a page makes its older copy garbage;
+  compaction periodically rewrites live entries out of garbage-heavy
+  segments; with compaction disabled such segments are released outright,
+  discarding their live pages.
+- **Index lock contention**: index mutations serialise on a mutex whose
+  hold time is charged in sim time - the cause of the diminishing returns
+  at 256 clients in Fig. 13, and called out as future work in the paper.
+- **Recovery**: after a DBEngine crash the index is rebuilt from server
+  scans, pruned by the engine-pushed latest-LSN map; after an AStore server
+  crash, entries on that server are purged.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..common import PAGE_SIZE, US, PageId, StorageError
+from ..astore.client import AStoreClient
+from ..sim.core import Environment
+from ..sim.resources import Mutex
+from .page import Page
+
+__all__ = ["ExtendedBufferPool", "EbpEntry", "EBP_PAGE_TAG"]
+
+#: Payload tag for EBP page entries stored in AStore segments.
+EBP_PAGE_TAG = "ebp-page"
+
+#: Index mutex hold time per operation (lookup bookkeeping + LRU update).
+INDEX_CS_COST = 1.5 * US
+
+
+@dataclass
+class EbpEntry:
+    """Where a cached page lives: LSN + AStore address."""
+
+    lsn: int
+    segment_id: int
+    offset: int
+    length: int
+    priority: int = 0
+
+
+class _SegmentState:
+    """Usage accounting for one EBP-owned AStore segment.
+
+    ``priority`` is the *area* the segment belongs to: under the priority
+    policy, each priority level appends into its own segments, which is
+    how the paper divides the EBP space into priority areas.
+    """
+
+    def __init__(self, segment_id: int, size: int, priority: int = 0):
+        self.segment_id = segment_id
+        self.size = size
+        self.priority = priority
+        self.live_bytes = 0
+        self.garbage_bytes = 0
+        self.sealed = False
+
+    @property
+    def garbage_ratio(self) -> float:
+        total = self.live_bytes + self.garbage_bytes
+        return self.garbage_bytes / total if total else 0.0
+
+
+def describe_ebp_payload(payload: Any) -> Optional[Tuple[PageId, int]]:
+    """Extract (page_id, lsn) from an AStore entry if it is an EBP page."""
+    if isinstance(payload, tuple) and len(payload) == 4 and payload[0] == EBP_PAGE_TAG:
+        return (payload[1], payload[2])
+    return None
+
+
+class ExtendedBufferPool:
+    """The AStore-backed second-level page cache."""
+
+    def __init__(
+        self,
+        env: Environment,
+        client: AStoreClient,
+        capacity_bytes: int,
+        segment_size: int = 4 * 1024 * 1024,
+        page_size: int = PAGE_SIZE,
+        policy: str = "flat",
+        space_priorities: Optional[Dict[int, int]] = None,
+        compaction_enabled: bool = True,
+        compaction_threshold: float = 0.35,
+        lru_lists: int = 8,
+    ):
+        if policy not in ("flat", "priority"):
+            raise ValueError("policy must be 'flat' or 'priority'")
+        if capacity_bytes < segment_size:
+            raise ValueError("EBP capacity below one segment")
+        self.env = env
+        self.client = client
+        self.capacity_bytes = capacity_bytes
+        self.segment_size = segment_size
+        self.page_size = page_size
+        self.policy = policy
+        self.space_priorities = space_priorities or {}
+        self.compaction_enabled = compaction_enabled
+        self.compaction_threshold = compaction_threshold
+        self.index: Dict[PageId, EbpEntry] = {}
+        self._lru: List[OrderedDict] = [OrderedDict() for _ in range(lru_lists)]
+        self._segments: Dict[int, _SegmentState] = {}
+        #: Active (append) segment per priority area.
+        self._active: Dict[int, _SegmentState] = {}
+        self.index_mutex = Mutex(env)
+        self._in_maintenance = False
+        #: Latest LSN per page as modified in the engine's local BP; batched
+        #: to AStore servers for post-crash staleness pruning.
+        self._dirty_lsns: Dict[PageId, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stale_hits = 0
+        self.pages_written = 0
+        self.evictions = 0
+        self.compactions = 0
+        self.segments_released = 0
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+    @property
+    def live_bytes(self) -> int:
+        return sum(s.live_bytes for s in self._segments.values())
+
+    @property
+    def allocated_bytes(self) -> int:
+        return len(self._segments) * self.segment_size
+
+    @property
+    def max_segments(self) -> int:
+        return max(1, self.capacity_bytes // self.segment_size)
+
+    def priority_of(self, page_id: PageId) -> int:
+        if self.policy == "flat":
+            return 0
+        return self.space_priorities.get(page_id.space_no, 0)
+
+    def _lru_of(self, page_id: PageId) -> OrderedDict:
+        return self._lru[hash(page_id) % len(self._lru)]
+
+    def _index_cs(self):
+        """Generator: the serialised index critical section."""
+        req = self.index_mutex.request()
+        yield req
+        yield self.env.timeout(INDEX_CS_COST)
+        self.index_mutex.release(req)
+
+    # ------------------------------------------------------------------
+    # Write path (page evicted from the DRAM buffer pool)
+    # ------------------------------------------------------------------
+    def cache_page(self, page: Page):
+        """Generator: append an evicted page to the EBP (best effort).
+
+        Returns True if cached.  Failures (AStore trouble, no space even
+        after eviction) drop the page silently - correctness never depends
+        on the EBP.
+        """
+        priority = self.priority_of(page.page_id)
+        yield from self._index_cs()
+        old = self.index.get(page.page_id)
+        if old is not None and old.lsn >= page.page_lsn:
+            return True  # already cached at this version or newer
+        segment = yield from self._segment_with_room(priority)
+        if segment is None:
+            return False
+        payload = (EBP_PAGE_TAG, page.page_id, page.page_lsn, page.clone())
+        try:
+            offset, length = yield from self.client.write(
+                segment.segment_id, self.page_size, payload
+            )
+        except StorageError:
+            segment.sealed = True
+            return False
+        yield from self._index_cs()
+        if old is not None:
+            self._mark_garbage(old)
+        self.index[page.page_id] = EbpEntry(
+            page.page_lsn, segment.segment_id, offset, length, priority
+        )
+        segment.live_bytes += length
+        lru = self._lru_of(page.page_id)
+        lru[page.page_id] = None
+        lru.move_to_end(page.page_id)
+        self._dirty_lsns.pop(page.page_id, None)
+        self.pages_written += 1
+        return True
+
+    def _segment_with_room(self, priority: int = 0) -> Any:
+        """Generator: this priority area's append segment, or None."""
+        active = self._active.get(priority)
+        if active is not None and not active.sealed:
+            meta = self.client.open_segments.get(active.segment_id)
+            if meta is not None and meta.free_space >= self.page_size:
+                return active
+            active.sealed = True
+        # Need a new segment: stay within the capacity budget.
+        if len(self._segments) >= self.max_segments:
+            if self._in_maintenance:
+                return None  # compaction must not recurse into make-room
+            self._in_maintenance = True
+            try:
+                made_room = yield from self._make_room(priority)
+            finally:
+                self._in_maintenance = False
+            if not made_room:
+                return None
+        try:
+            segment_id = yield from self.client.create(
+                self.segment_size, replication=1
+            )
+        except StorageError:
+            return None
+        state = _SegmentState(segment_id, self.segment_size, priority)
+        self._segments[segment_id] = state
+        self._active[priority] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get_page(self, page_id: PageId, required_lsn: int = 0):
+        """Generator: fetch a cached page at >= required_lsn, or None.
+
+        A hit whose cached LSN is older than required is *stale*: the entry
+        is dropped (its bytes become garbage) and the caller falls through
+        to PageStore.
+        """
+        yield from self._index_cs()
+        entry = self.index.get(page_id)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.lsn < required_lsn:
+            self.stale_hits += 1
+            self._drop_entry(page_id, entry)
+            return None
+        try:
+            payload = yield from self.client.read(
+                entry.segment_id, entry.offset, entry.length
+            )
+        except StorageError:
+            yield from self._index_cs()
+            self._drop_entry(page_id, entry)
+            self.misses += 1
+            return None
+        described = describe_ebp_payload(payload)
+        if described is None or described[0] != page_id:
+            self._drop_entry(page_id, entry)
+            self.misses += 1
+            return None
+        yield from self._index_cs()
+        lru = self._lru_of(page_id)
+        if page_id in lru:
+            lru.move_to_end(page_id)
+        self.hits += 1
+        return payload[3].clone()
+
+    def note_page_modified(self, page_id: PageId, lsn: int) -> None:
+        """Record that the engine modified a page that the EBP caches.
+
+        The (page_id, lsn) pairs are pushed to AStore servers in batches
+        so a post-crash index rebuild can prune stale copies.
+        """
+        if page_id in self.index:
+            self._dirty_lsns[page_id] = lsn
+
+    def flush_dirty_lsns(self):
+        """Generator: push the batched latest-LSN map to every server."""
+        if not self._dirty_lsns:
+            return 0
+        batch = dict(self._dirty_lsns)
+        self._dirty_lsns.clear()
+        for server in self.client.servers.values():
+            if not server.alive:
+                continue
+            yield from self.client.control_net.call(
+                64 + 16 * len(batch), 64, server_cpu=server.cpu
+            )
+            server.record_page_lsns(batch)
+        return len(batch)
+
+    # ------------------------------------------------------------------
+    # Eviction, garbage, compaction
+    # ------------------------------------------------------------------
+    def _mark_garbage(self, entry: EbpEntry) -> None:
+        segment = self._segments.get(entry.segment_id)
+        if segment is not None:
+            segment.live_bytes -= entry.length
+            segment.garbage_bytes += entry.length
+
+    def _drop_entry(self, page_id: PageId, entry: EbpEntry) -> None:
+        if self.index.get(page_id) is entry:
+            del self.index[page_id]
+            self._mark_garbage(entry)
+            self._lru_of(page_id).pop(page_id, None)
+
+    def _release_victim_segment(self, max_priority: Optional[int] = None):
+        """Generator: release one whole segment, dropping its live pages.
+
+        Victim choice: lowest priority area first, then highest garbage
+        ratio - so the priority policy protects high-priority areas and
+        the flat policy rotates through the most-reclaimable space.  With
+        ``max_priority`` set, segments of higher-priority areas are never
+        sacrificed for a lower-priority page (the paper's rule that pages
+        may only occupy same-or-lower-priority space).
+
+        Returns 1 if a segment was reclaimed, else 0.
+        """
+        candidates = [
+            s
+            for s in self._segments.values()
+            if s not in self._active.values()
+        ] or list(self._segments.values())
+        if max_priority is not None:
+            candidates = [s for s in candidates if s.priority <= max_priority]
+        if not candidates:
+            return 0
+        victim = min(candidates, key=lambda s: (s.priority, -s.garbage_ratio))
+        for page_id in [
+            pid
+            for pid, entry in self.index.items()
+            if entry.segment_id == victim.segment_id
+        ]:
+            entry = self.index.pop(page_id)
+            self._lru_of(page_id).pop(page_id, None)
+            self.evictions += 1
+        yield from self._release_segment(victim)
+        return 1
+
+    def _make_room(self, priority: int = 0):
+        """Generator: free one segment slot for the given priority area."""
+        if self.compaction_enabled:
+            reclaimed = yield from self.run_compaction()
+            if reclaimed:
+                return True
+        reclaimed = yield from self._release_victim_segment(
+            max_priority=priority if self.policy == "priority" else None
+        )
+        return reclaimed > 0
+
+    def run_compaction(self, max_segments: int = 2):
+        """Generator: rewrite live pages out of garbage-heavy segments.
+
+        Transparent to the DBEngine; returns segments reclaimed.
+        """
+        reclaimed = 0
+        candidates = sorted(
+            (
+                s
+                for s in self._segments.values()
+                if s.sealed or s not in self._active.values()
+            ),
+            key=lambda s: -s.garbage_ratio,
+        )
+        for segment in candidates:
+            if reclaimed >= max_segments:
+                break
+            if segment.garbage_ratio < self.compaction_threshold:
+                break
+            live_entries = [
+                (page_id, entry)
+                for page_id, entry in self.index.items()
+                if entry.segment_id == segment.segment_id
+            ]
+            moved_all = True
+            for page_id, entry in live_entries:
+                try:
+                    payload = yield from self.client.read(
+                        entry.segment_id, entry.offset, entry.length
+                    )
+                except StorageError:
+                    self._drop_entry(page_id, entry)
+                    continue
+                target = yield from self._segment_with_room(entry.priority)
+                if target is None or target.segment_id == segment.segment_id:
+                    moved_all = False
+                    break
+                try:
+                    offset, length = yield from self.client.write(
+                        target.segment_id, entry.length, payload
+                    )
+                except StorageError:
+                    moved_all = False
+                    break
+                self._mark_garbage(entry)
+                self.index[page_id] = EbpEntry(
+                    entry.lsn, target.segment_id, offset, length, entry.priority
+                )
+                target.live_bytes += length
+            if moved_all:
+                yield from self._release_segment(segment)
+                reclaimed += 1
+                self.compactions += 1
+        return reclaimed
+
+    def _release_segment(self, segment: _SegmentState):
+        try:
+            yield from self.client.delete(segment.segment_id)
+        except StorageError:
+            pass
+        self._segments.pop(segment.segment_id, None)
+        for priority, active in list(self._active.items()):
+            if active is segment:
+                del self._active[priority]
+        self.segments_released += 1
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def purge_server(self, server_id: str) -> int:
+        """Drop every index entry whose segment lived on a crashed server.
+
+        Hit-ratio event only.  Returns entries purged.
+        """
+        lost_segments = set()
+        for segment_id in list(self._segments):
+            meta = self.client.open_segments.get(segment_id)
+            if meta is None or server_id in meta.route.replicas:
+                # meta None: the CM already dropped the route (total loss
+                # of a single-replica segment) and the route-refresh loop
+                # erased our cached copy - that *is* the lost case.
+                lost_segments.add(segment_id)
+        purged = 0
+        for page_id in list(self.index):
+            if self.index[page_id].segment_id in lost_segments:
+                del self.index[page_id]
+                self._lru_of(page_id).pop(page_id, None)
+                purged += 1
+        for segment_id in lost_segments:
+            self._segments.pop(segment_id, None)
+            for priority, active in list(self._active.items()):
+                if active.segment_id == segment_id:
+                    del self._active[priority]
+        return purged
+
+    def reclaim_server(self, server_id: str):
+        """Generator: re-adopt EBP pages that survived a server restart.
+
+        The paper's last future-work item (Section VIII): because AStore
+        uses PMem, a restarted server still holds its EBP pages.  We
+        re-register each surviving EBP segment with the CM, rescue it from
+        stale-cleanup, scan it (with latest-LSN pruning), and re-add the
+        winning copies to the index.  Returns pages reclaimed.
+        """
+        server = self.client.servers.get(server_id)
+        if server is None or not server.alive:
+            raise StorageError("server %s not available" % server_id)
+        reclaimed = 0
+        survivors = yield from server.scan_ebp_pages(
+            describe_ebp_payload, include_stale=True
+        )
+        by_segment: Dict[int, List] = {}
+        for entry in survivors:
+            by_segment.setdefault(entry[2], []).append(entry)
+        for segment_id, entries in by_segment.items():
+            segment = server.segments.get(segment_id)
+            if segment is None:
+                continue
+            try:
+                self.client.cm.readopt_segment(
+                    segment_id, server_id, segment.size,
+                    owner=self.client.client_id,
+                )
+            except StorageError:
+                continue  # routed again already, or raced with cleanup
+            server.unmark_stale(segment_id)
+            yield from self.client.open(segment_id)
+            state = self._segments.get(segment_id)
+            if state is None:
+                state = _SegmentState(segment_id, self.segment_size)
+                state.sealed = True
+                self._segments[segment_id] = state
+            for page_id, lsn, _seg, offset, length in entries:
+                current = self.index.get(page_id)
+                if current is not None and current.lsn >= lsn:
+                    continue
+                if current is not None:
+                    self._mark_garbage(current)
+                self.index[page_id] = EbpEntry(
+                    lsn, segment_id, offset, length, self.priority_of(page_id)
+                )
+                state.live_bytes += length
+                self._lru_of(page_id)[page_id] = None
+                reclaimed += 1
+        return reclaimed
+
+    def rebuild_index_after_crash(self):
+        """Generator: rebuild the EBP index after a DBEngine failure.
+
+        Each AStore server scans its PMem, prunes pages older than the
+        engine-pushed latest-LSN map, and returns survivors; the newest
+        copy of each page wins (paper Section V-E).  Returns entry count.
+        """
+        self.index.clear()
+        for lru in self._lru:
+            lru.clear()
+        best: Dict[PageId, Tuple[int, int, int, int]] = {}
+        for server in self.client.servers.values():
+            if not server.alive:
+                continue
+            survivors = yield from server.scan_ebp_pages(describe_ebp_payload)
+            for page_id, lsn, segment_id, offset, length in survivors:
+                current = best.get(page_id)
+                if current is None or lsn > current[0]:
+                    best[page_id] = (lsn, segment_id, offset, length)
+        for page_id, (lsn, segment_id, offset, length) in best.items():
+            if segment_id not in self.client.open_segments:
+                try:
+                    yield from self.client.open(segment_id)
+                except StorageError:
+                    continue
+            self.index[page_id] = EbpEntry(
+                lsn, segment_id, offset, length, self.priority_of(page_id)
+            )
+            state = self._segments.get(segment_id)
+            if state is None:
+                state = _SegmentState(segment_id, self.segment_size)
+                state.sealed = True
+                self._segments[segment_id] = state
+            state.live_bytes += length
+            lru = self._lru_of(page_id)
+            lru[page_id] = None
+        return len(self.index)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses + self.stale_hits
+        return self.hits / total if total else 0.0

@@ -1,0 +1,14 @@
+"""Experiment harness: deployments, runners, chaos injection, stats."""
+from .chaos import ChaosEvent, ChaosInjector, ChaosSchedule
+from .deployment import Deployment, DeploymentConfig
+from .stats import collect_stats, format_stats
+
+__all__ = [
+    "Deployment",
+    "DeploymentConfig",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "ChaosInjector",
+    "collect_stats",
+    "format_stats",
+]

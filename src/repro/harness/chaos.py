@@ -1,0 +1,143 @@
+"""Failure-injection harness: scheduled chaos against a deployment.
+
+Drives the failure modes the paper's design must survive (Sections IV-C
+and V-E): AStore server crashes and restarts, PageStore replica outages,
+and network degradation windows.  Used by the chaos integration tests and
+available to users who want to script their own outage drills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..sim.core import Environment
+from .deployment import Deployment
+
+__all__ = ["ChaosEvent", "ChaosSchedule", "ChaosInjector"]
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled action.
+
+    ``kind`` is one of:
+
+    - ``astore_crash`` / ``astore_restart`` - power-fail / revive the
+      AStore server named by ``target`` (PMem contents persist);
+    - ``astore_reclaim`` - after a restart, re-adopt the server's surviving
+      EBP pages (future-work path);
+    - ``pagestore_crash`` / ``pagestore_restart`` - same for a PageStore
+      data server (quorum replication absorbs one loss);
+    - ``network_spike`` - for ``duration`` seconds, multiply the RPC
+      network's scheduling-stall probability by ``factor``.
+    """
+
+    at: float
+    kind: str
+    target: str = ""
+    duration: float = 0.0
+    factor: float = 10.0
+
+    VALID = (
+        "astore_crash",
+        "astore_restart",
+        "astore_reclaim",
+        "pagestore_crash",
+        "pagestore_restart",
+        "network_spike",
+    )
+
+    def __post_init__(self):
+        if self.kind not in self.VALID:
+            raise ValueError("unknown chaos kind %r" % self.kind)
+        if self.at < 0:
+            raise ValueError("negative schedule time")
+
+
+@dataclass
+class ChaosSchedule:
+    """An ordered list of chaos events."""
+
+    events: List[ChaosEvent] = field(default_factory=list)
+
+    def add(self, at: float, kind: str, target: str = "", duration: float = 0.0,
+            factor: float = 10.0) -> "ChaosSchedule":
+        self.events.append(ChaosEvent(at, kind, target, duration, factor))
+        return self
+
+    def sorted_events(self) -> List[ChaosEvent]:
+        return sorted(self.events, key=lambda e: e.at)
+
+
+class ChaosInjector:
+    """Executes a :class:`ChaosSchedule` against a deployment."""
+
+    def __init__(self, deployment: Deployment, schedule: ChaosSchedule):
+        self.deployment = deployment
+        self.schedule = schedule
+        self.log: List[str] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Arm the injector (events fire at their virtual times)."""
+        if self._started:
+            return
+        self._started = True
+        self.deployment.env.process(self._run(), name="chaos-injector")
+
+    def _run(self):
+        env = self.deployment.env
+        start = env.now
+        for event in self.schedule.sorted_events():
+            delay = start + event.at - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            yield from self._execute(event)
+
+    def _execute(self, event: ChaosEvent):
+        dep = self.deployment
+        env = dep.env
+        if event.kind == "astore_crash":
+            server = dep.astore.servers[event.target]
+            server.crash()
+            self._note(env, "crashed AStore %s" % event.target)
+        elif event.kind == "astore_restart":
+            server = dep.astore.servers[event.target]
+            server.restart()
+            dep.astore.cm.heartbeat_sweep()
+            self._note(env, "restarted AStore %s" % event.target)
+        elif event.kind == "astore_reclaim":
+            if dep.ebp is not None:
+                reclaimed = yield from dep.ebp.reclaim_server(event.target)
+                self._note(
+                    env, "reclaimed %d EBP pages from %s"
+                    % (reclaimed, event.target)
+                )
+        elif event.kind == "pagestore_crash":
+            server = self._pagestore_server(event.target)
+            server.alive = False
+            self._note(env, "crashed PageStore %s" % event.target)
+        elif event.kind == "pagestore_restart":
+            server = self._pagestore_server(event.target)
+            server.alive = True
+            self._note(env, "restarted PageStore %s" % event.target)
+        elif event.kind == "network_spike":
+            network = dep.pagestore.network
+            original = network.spike_probability
+            network.spike_probability = min(1.0, original * event.factor)
+            self._note(env, "network spike x%.0f for %.3fs"
+                       % (event.factor, event.duration))
+            yield env.timeout(max(event.duration, 0.0))
+            network.spike_probability = original
+            self._note(env, "network spike ended")
+        return None
+
+    def _pagestore_server(self, server_id: str):
+        for server in self.deployment.pagestore.servers:
+            if server.server_id == server_id:
+                return server
+        raise KeyError("no PageStore server %r" % server_id)
+
+    def _note(self, env: Environment, message: str) -> None:
+        self.log.append("t=%.4f %s" % (env.now, message))

@@ -1,0 +1,228 @@
+"""Deployment builder: wire a complete veDB system in one call.
+
+Four deployment shapes cover every experiment in the paper:
+
+============================  ==========  =====  ===========
+name                          log path    EBP    push-down
+============================  ==========  =====  ===========
+``stock``                     LogStore    no     no
+``astore-log``                SegmentRing no     no
+``astore-ebp``                SegmentRing yes    no
+``astore-pq``                 SegmentRing yes    yes
+============================  ==========  =====  ===========
+
+(The PQ flag only marks intent; the query layer checks
+``deployment.config.enable_pushdown``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..astore.cluster import AStoreCluster
+from ..astore.segment_ring import SegmentRing
+from ..common import GB, MB
+from ..engine.dbengine import DBEngine, EngineConfig
+from ..engine.ebp import ExtendedBufferPool
+from ..engine.logbackends import AStoreLogBackend, SsdLogBackend
+from ..sim.core import Environment
+from ..sim.rand import SeedSequence
+from ..storage.logstore import LogStore
+from ..storage.pagestore import PageStoreService
+
+__all__ = ["Deployment", "DeploymentConfig"]
+
+
+@dataclass
+class DeploymentConfig:
+    """Everything needed to stand up one veDB deployment."""
+
+    seed: int = 42
+    # Feature switches (the paper's experimental axes).
+    use_astore_log: bool = False
+    use_ebp: bool = False
+    enable_pushdown: bool = False
+    # Engine.
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    # EBP.
+    ebp_capacity_bytes: int = 64 * MB
+    ebp_segment_bytes: int = 4 * MB
+    ebp_policy: str = "flat"
+    ebp_space_priorities: Optional[Dict[int, int]] = None
+    ebp_compaction: bool = True
+    # AStore cluster.
+    astore_servers: int = 3
+    astore_pmem_bytes: int = 1 * GB
+    astore_segment_slot_bytes: int = 4 * MB
+    astore_server_cores: int = 8
+    # SegmentRing for the log.
+    log_ring_segments: int = 8
+    log_segment_bytes: int = 4 * MB
+    log_replication: int = 3
+    # PageStore.
+    pagestore_servers: int = 3
+    pagestore_segments: int = 12
+    # Baseline LogStore.
+    logstore_replicas: int = 3
+
+    @staticmethod
+    def stock(**overrides) -> "DeploymentConfig":
+        return DeploymentConfig(**overrides)
+
+    @staticmethod
+    def astore_log(**overrides) -> "DeploymentConfig":
+        return DeploymentConfig(use_astore_log=True, **overrides)
+
+    @staticmethod
+    def astore_ebp(**overrides) -> "DeploymentConfig":
+        return DeploymentConfig(use_astore_log=True, use_ebp=True, **overrides)
+
+    @staticmethod
+    def astore_pq(**overrides) -> "DeploymentConfig":
+        return DeploymentConfig(
+            use_astore_log=True, use_ebp=True, enable_pushdown=True, **overrides
+        )
+
+
+class Deployment:
+    """A fully wired veDB system on one simulation environment."""
+
+    def __init__(self, config: Optional[DeploymentConfig] = None):
+        self.config = config or DeploymentConfig()
+        self.env = Environment()
+        self.seeds = SeedSequence(self.config.seed)
+        self.pagestore = PageStoreService(
+            self.env,
+            self.seeds,
+            num_servers=self.config.pagestore_servers,
+            num_segments=self.config.pagestore_segments,
+        )
+        self.astore: Optional[AStoreCluster] = None
+        self.logstore: Optional[LogStore] = None
+        self.ring: Optional[SegmentRing] = None
+        self.ebp: Optional[ExtendedBufferPool] = None
+        self.engine: Optional[DBEngine] = None
+        self._needs_astore = self.config.use_astore_log or self.config.use_ebp
+        if self._needs_astore:
+            self.astore = AStoreCluster(
+                self.env,
+                self.seeds,
+                num_servers=self.config.astore_servers,
+                pmem_capacity=self.config.astore_pmem_bytes,
+                segment_slot_size=max(
+                    self.config.astore_segment_slot_bytes,
+                    self.config.log_segment_bytes,
+                    self.config.ebp_segment_bytes,
+                ),
+                server_cpu_cores=self.config.astore_server_cores,
+            )
+        if self.config.use_astore_log:
+            client = self.astore.new_client("log-client")
+            self.ring = SegmentRing(
+                client,
+                ring_size=self.config.log_ring_segments,
+                segment_size=self.config.log_segment_bytes,
+                replication=self.config.log_replication,
+                can_recycle=self._can_recycle,
+            )
+            log_backend = AStoreLogBackend(self.ring)
+        else:
+            self.logstore = LogStore(
+                self.env, self.seeds, replicas=self.config.logstore_replicas
+            )
+            log_backend = SsdLogBackend(self.logstore)
+        if self.config.use_ebp:
+            ebp_client = self.astore.new_client("ebp-client")
+            self.ebp = ExtendedBufferPool(
+                self.env,
+                ebp_client,
+                capacity_bytes=self.config.ebp_capacity_bytes,
+                segment_size=self.config.ebp_segment_bytes,
+                page_size=self.config.engine.page_size,
+                policy=self.config.ebp_policy,
+                space_priorities=self.config.ebp_space_priorities,
+                compaction_enabled=self.config.ebp_compaction,
+            )
+        self.engine = DBEngine(
+            self.env,
+            self.seeds,
+            self.config.engine,
+            log_backend,
+            self.pagestore,
+            ebp=self.ebp,
+        )
+        self._started = False
+
+    def _can_recycle(self, start_lsn: int) -> bool:
+        """A FULL log segment is recyclable once its REDO reached PageStore."""
+        return self.engine is None or self.engine.shipped_lsn >= start_lsn
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Initialise storage (ring pre-creation) and start all daemons.
+
+        Runs the environment until initialisation completes; afterwards the
+        deployment is ready for workload processes.
+        """
+        if self._started:
+            return
+        self._started = True
+        if self.ring is not None:
+            init = self.env.process(self.ring.initialize(first_lsn=0))
+            self.env.run_until_event(init)
+        self.engine.start()
+        self.pagestore.start_apply_daemon()
+        if self.astore is not None:
+            self.astore.start_maintenance()
+
+    def run_until(self, event) -> None:
+        self.env.run_until_event(event)
+
+    def run_for(self, seconds: float) -> None:
+        self.env.run(until=self.env.now + seconds)
+
+    # ------------------------------------------------------------------
+    # Query sessions
+    # ------------------------------------------------------------------
+    def new_session(
+        self,
+        enable_pushdown: Optional[bool] = None,
+        force_hash_joins: Optional[bool] = None,
+        pushdown_row_threshold: int = 200,
+        pushdown_cost_based: bool = False,
+    ):
+        """A SQL session against this deployment's engine.
+
+        Push-down defaults to the deployment's ``enable_pushdown`` flag;
+        ``force_hash_joins`` defaults to following push-down (the paper's
+        observation that PQ steers the optimizer toward hash joins).
+        """
+        from ..query.executor import QuerySession
+        from ..query.planner import PlannerConfig
+        from ..query.pushdown import PushdownRuntime
+
+        pushdown = (
+            self.config.enable_pushdown if enable_pushdown is None else enable_pushdown
+        )
+        hash_joins = pushdown if force_hash_joins is None else force_hash_joins
+        runtime = None
+        if pushdown:
+            runtime = PushdownRuntime(
+                self.env,
+                self.engine,
+                self.pagestore,
+                ebp=self.ebp,
+                cost_based=pushdown_cost_based,
+            )
+        return QuerySession(
+            self.engine,
+            planner_config=PlannerConfig(
+                enable_pushdown=pushdown,
+                force_hash_joins=hash_joins,
+                pushdown_row_threshold=pushdown_row_threshold,
+            ),
+            pushdown_runtime=runtime,
+        )

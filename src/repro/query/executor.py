@@ -1,0 +1,517 @@
+"""Volcano-style single-threaded query executor.
+
+veDB processes each query on one thread (paper Section VI): the whole plan
+runs inside the calling client's simulation process, so a large scan
+through remote storage serialises page fetch after page fetch - precisely
+the pathology push-down removes.
+
+Operators execute eagerly (OLAP-style materialisation); CPU is charged in
+per-page / per-batch quanta to keep event counts manageable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..common import US, QueryError
+from ..engine.dbengine import DBEngine
+from ..engine.table import Table
+from .ast import (
+    AggCall,
+    Between,
+    BinOp,
+    ColumnRef,
+    Delete,
+    Expr,
+    InList,
+    Insert,
+    Like,
+    Select,
+    SelectItem,
+    UnaryOp,
+    Update,
+)
+from .parser import parse
+from .plan import (
+    Aggregate,
+    HashJoin,
+    IndexNLJoin,
+    Limit,
+    PlanNode,
+    Project,
+    SeqScan,
+    Sort,
+)
+from .planner import Planner, PlannerConfig
+
+__all__ = ["QuerySession", "QueryResult", "AggAccumulator",
+           "new_agg_states", "update_agg_states", "merge_agg_states",
+           "finalize_agg_states"]
+
+#: CPU charged per row flowing through a tight operator loop.
+ROW_CPU = 0.25 * US
+#: CPU charged per page decode (slots -> row dicts).
+PAGE_CPU = 2.0 * US
+
+
+@dataclass
+class QueryResult:
+    columns: List[str]
+    rows: List[Tuple[Any, ...]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+# ---------------------------------------------------------------------------
+# Aggregate accumulators (shared with the push-down runtime)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AggAccumulator:
+    """Partial state for one aggregate call."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: Any = None
+    maximum: Any = None
+    distinct: Optional[set] = None
+
+
+def new_agg_states(aggs: Sequence[AggCall]) -> List[AggAccumulator]:
+    return [
+        AggAccumulator(distinct=set() if agg.distinct else None) for agg in aggs
+    ]
+
+
+def update_agg_states(
+    states: List[AggAccumulator], aggs: Sequence[AggCall], row: Dict[str, Any]
+) -> None:
+    for state, agg in zip(states, aggs):
+        if agg.argument is None:  # COUNT(*)
+            state.count += 1
+            continue
+        value = agg.argument.eval(row)
+        if value is None:
+            continue
+        if agg.distinct:
+            state.distinct.add(value)
+            continue
+        state.count += 1
+        if agg.func in ("sum", "avg"):
+            state.total += value
+        elif agg.func == "min":
+            state.minimum = value if state.minimum is None else min(state.minimum, value)
+        elif agg.func == "max":
+            state.maximum = value if state.maximum is None else max(state.maximum, value)
+
+
+def merge_agg_states(
+    into: List[AggAccumulator], other: List[AggAccumulator], aggs: Sequence[AggCall]
+) -> None:
+    for state, extra, agg in zip(into, other, aggs):
+        if agg.distinct:
+            state.distinct |= extra.distinct
+            continue
+        state.count += extra.count
+        state.total += extra.total
+        for attr, pick in (("minimum", min), ("maximum", max)):
+            mine, theirs = getattr(state, attr), getattr(extra, attr)
+            if theirs is not None:
+                setattr(state, attr, theirs if mine is None else pick(mine, theirs))
+
+
+def finalize_agg_states(
+    states: List[AggAccumulator], aggs: Sequence[AggCall]
+) -> Dict[AggCall, Any]:
+    values: Dict[AggCall, Any] = {}
+    for state, agg in zip(states, aggs):
+        if agg.distinct:
+            values[agg] = len(state.distinct)
+        elif agg.func == "count":
+            values[agg] = state.count
+        elif agg.func == "sum":
+            values[agg] = state.total if state.count else None
+        elif agg.func == "avg":
+            values[agg] = (state.total / state.count) if state.count else None
+        elif agg.func == "min":
+            values[agg] = state.minimum
+        elif agg.func == "max":
+            values[agg] = state.maximum
+    return values
+
+
+def eval_with_aggs(expr: Expr, row: Dict[str, Any],
+                   agg_values: Dict[AggCall, Any]) -> Any:
+    """Evaluate an expression that may embed aggregate results."""
+    if isinstance(expr, AggCall):
+        return agg_values[expr]
+    if isinstance(expr, BinOp):
+        if expr.op == "and":
+            return bool(eval_with_aggs(expr.left, row, agg_values)) and bool(
+                eval_with_aggs(expr.right, row, agg_values)
+            )
+        if expr.op == "or":
+            return bool(eval_with_aggs(expr.left, row, agg_values)) or bool(
+                eval_with_aggs(expr.right, row, agg_values)
+            )
+        left = eval_with_aggs(expr.left, row, agg_values)
+        right = eval_with_aggs(expr.right, row, agg_values)
+        rebuilt = BinOp(expr.op, ColumnRef("__l"), ColumnRef("__r"))
+        return rebuilt.eval({"__l": left, "__r": right})
+    if isinstance(expr, UnaryOp):
+        value = eval_with_aggs(expr.operand, row, agg_values)
+        return (not bool(value)) if expr.op == "not" else -value
+    return expr.eval(row)
+
+
+# ---------------------------------------------------------------------------
+# The session
+# ---------------------------------------------------------------------------
+
+
+class QuerySession:
+    """One client session: parse -> plan -> execute."""
+
+    def __init__(
+        self,
+        engine: DBEngine,
+        planner_config: Optional[PlannerConfig] = None,
+        pushdown_runtime=None,
+    ):
+        self.engine = engine
+        self.planner_config = planner_config or PlannerConfig()
+        self.planner = Planner(engine.catalog, self.planner_config)
+        self.pushdown_runtime = pushdown_runtime
+        self.queries_executed = 0
+        self.pages_scanned = 0
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def execute(self, sql: str):
+        """Generator: run one SQL statement; returns a QueryResult."""
+        statement = parse(sql)
+        if isinstance(statement, Select):
+            plan = self.planner.plan_select(statement)
+            return (yield from self.execute_plan(plan))
+        if isinstance(statement, Insert):
+            return (yield from self._execute_insert(statement))
+        if isinstance(statement, Update):
+            return (yield from self._execute_update(statement))
+        if isinstance(statement, Delete):
+            return (yield from self._execute_delete(statement))
+        raise QueryError("unsupported statement %r" % statement)
+
+    def plan(self, sql: str) -> PlanNode:
+        """Plan without executing (EXPLAIN)."""
+        statement = parse(sql)
+        if not isinstance(statement, Select):
+            raise QueryError("only SELECT can be explained")
+        return self.planner.plan_select(statement)
+
+    def execute_plan(self, plan: PlanNode):
+        """Generator: run a logical plan; returns a QueryResult."""
+        rows, columns = yield from self._run(plan)
+        self.queries_executed += 1
+        if columns is None:
+            # Plan without a Project on top (bare scan/join): expose the
+            # qualified column keys directly.
+            columns = sorted(
+                {k for row in rows for k in row if not k.startswith("__")}
+            )
+        shaped = [tuple(row.get(c) for c in columns) for row in rows]
+        return QueryResult(columns, shaped)
+
+    # ------------------------------------------------------------------
+    # Plan walking
+    # ------------------------------------------------------------------
+    def _run(self, node: PlanNode):
+        if isinstance(node, SeqScan):
+            rows = yield from self._run_scan(node)
+            return rows, None
+        if isinstance(node, HashJoin):
+            return (yield from self._run_hash_join(node))
+        if isinstance(node, IndexNLJoin):
+            return (yield from self._run_nl_join(node))
+        if isinstance(node, Aggregate):
+            return (yield from self._run_aggregate(node))
+        if isinstance(node, Project):
+            return (yield from self._run_project(node))
+        if isinstance(node, Sort):
+            return (yield from self._run_sort(node))
+        if isinstance(node, Limit):
+            rows, columns = yield from self._run(node.child)
+            return rows[: node.count], columns
+        raise QueryError("unknown plan node %r" % node)
+
+    # -- scans ----------------------------------------------------------------
+    def _run_scan(self, scan: SeqScan):
+        """Generator: return row dicts (or partial agg states if pushed)."""
+        if scan.pushdown and self.pushdown_runtime is not None:
+            result = yield from self.pushdown_runtime.run_scan(scan)
+            return result
+        table = self.engine.catalog.table(scan.table_name)
+        rows: List[Dict[str, Any]] = []
+        for page_no in list(table.page_nos):
+            page = yield from self.engine.fetch_page(table.page_id(page_no))
+            yield from self.engine.cpu.consume(
+                PAGE_CPU + ROW_CPU * page.row_count
+            )
+            self.pages_scanned += 1
+            for _slot, raw in page.slots():
+                values = table.schema.decode(raw)
+                row = self._bind_row(scan.binding, table, values)
+                if scan.filter is None or scan.filter.eval(row):
+                    rows.append(row)
+        return rows
+
+    @staticmethod
+    def _bind_row(binding: str, table: Table, values: List[Any]) -> Dict[str, Any]:
+        return {
+            "%s.%s" % (binding, name): value
+            for name, value in zip(table.schema.names, values)
+        }
+
+    # -- joins ----------------------------------------------------------------
+    def _run_hash_join(self, join: HashJoin):
+        left_rows, _ = yield from self._run(join.left)
+        right_rows, _ = yield from self._run(join.right)
+        if self._are_partials(left_rows) or self._are_partials(right_rows):
+            raise QueryError("partial aggregates cannot feed a join")
+        yield from self.engine.cpu.consume(
+            ROW_CPU * (len(left_rows) + len(right_rows))
+        )
+        build: Dict[Tuple, List[Dict[str, Any]]] = {}
+        for row in right_rows:
+            key = tuple(expr.eval(row) for expr in join.right_keys)
+            build.setdefault(key, []).append(row)
+        out: List[Dict[str, Any]] = []
+        for row in left_rows:
+            key = tuple(expr.eval(row) for expr in join.left_keys)
+            for match in build.get(key, ()):
+                joined = dict(row)
+                joined.update(match)
+                if join.residual is None or join.residual.eval(joined):
+                    out.append(joined)
+        return out, None
+
+    def _run_nl_join(self, join: IndexNLJoin):
+        outer_rows, _ = yield from self._run(join.outer)
+        table = self.engine.catalog.table(join.inner_table)
+        out: List[Dict[str, Any]] = []
+        for row in outer_rows:
+            prefix = tuple(expr.eval(row) for expr in join.outer_keys)
+            yield from self.engine.cpu.consume(ROW_CPU * 2)
+            locators = []
+            if join.index_name == "":
+                if len(prefix) == len(table.key_columns):
+                    locator = table.lookup(prefix)
+                    if locator is not None:
+                        locators.append(locator)
+                else:
+                    for _key, locator in table.pk_index.range(prefix, None):
+                        if _key[: len(prefix)] != prefix:
+                            break
+                        locators.append(locator)
+            else:
+                for _key, locator in table.lookup_secondary(join.index_name, prefix):
+                    locators.append(locator)
+            for page_no, slot in locators:
+                page = yield from self.engine.fetch_page(table.page_id(page_no))
+                try:
+                    raw = page.get(slot)
+                except KeyError:
+                    continue
+                values = table.schema.decode(raw)
+                inner = self._bind_row(join.inner_binding, table, values)
+                if join.inner_filter is not None and not join.inner_filter.eval(inner):
+                    continue
+                joined = dict(row)
+                joined.update(inner)
+                if join.residual is None or join.residual.eval(joined):
+                    out.append(joined)
+        return out, None
+
+    # -- aggregation -------------------------------------------------------------
+    @staticmethod
+    def _are_partials(rows: List[Any]) -> bool:
+        return bool(rows) and isinstance(rows[0], tuple) and len(rows[0]) == 2 and \
+            isinstance(rows[0][1], list) and (
+                not rows[0][1] or isinstance(rows[0][1][0], AggAccumulator)
+            )
+
+    def _run_aggregate(self, agg: Aggregate):
+        child_rows, _ = yield from self._run(agg.child)
+        groups: Dict[Tuple, List[AggAccumulator]] = {}
+        group_samples: Dict[Tuple, Dict[str, Any]] = {}
+        if agg.from_partials and self._are_partials(child_rows):
+            # Secondary aggregation over storage-produced partials.
+            yield from self.engine.cpu.consume(ROW_CPU * max(len(child_rows), 1))
+            for group_key, states in child_rows:
+                key, sample = group_key
+                if key not in groups:
+                    groups[key] = states
+                    group_samples[key] = sample
+                else:
+                    merge_agg_states(groups[key], states, agg.aggregates)
+        else:
+            if self._are_partials(child_rows):
+                raise QueryError("unexpected partial aggregates")
+            yield from self.engine.cpu.consume(ROW_CPU * max(len(child_rows), 1))
+            for row in child_rows:
+                key = tuple(expr.eval(row) for expr in agg.group_exprs)
+                states = groups.get(key)
+                if states is None:
+                    states = new_agg_states(agg.aggregates)
+                    groups[key] = states
+                    group_samples[key] = row
+                update_agg_states(states, agg.aggregates, row)
+        if not groups and not agg.group_exprs:
+            # Global aggregate over zero rows still yields one output row.
+            groups[()] = new_agg_states(agg.aggregates)
+            group_samples[()] = {}
+        out: List[Dict[str, Any]] = []
+        for key, states in groups.items():
+            agg_values = finalize_agg_states(states, agg.aggregates)
+            row = dict(group_samples[key])
+            row["__aggs__"] = agg_values
+            out.append(row)
+        return out, None
+
+    # -- projection / sort ----------------------------------------------------
+    def _run_project(self, project: Project):
+        child_rows, _ = yield from self._run(project.child)
+        yield from self.engine.cpu.consume(ROW_CPU * max(len(child_rows), 1))
+        if project.star:
+            columns = (
+                sorted(k for k in child_rows[0] if not k.startswith("__"))
+                if child_rows
+                else []
+            )
+            # Keep dict shape so Sort above Project can evaluate keys.
+            return child_rows, columns
+        columns = [item.output_name for item in project.items]
+        out_rows: List[Dict[str, Any]] = []
+        for row in child_rows:
+            agg_values = row.get("__aggs__", {})
+            out = {}
+            for item, name in zip(project.items, columns):
+                out[name] = eval_with_aggs(item.expr, row, agg_values)
+            # Retain source columns so ORDER BY can reference them.
+            for key, value in row.items():
+                if key != "__aggs__" and key not in out:
+                    out[key] = value
+            out["__columns__"] = columns
+            out["__aggs__"] = agg_values
+            out_rows.append(out)
+        return out_rows, columns
+
+    def _run_sort(self, sort: Sort):
+        child_rows, columns = yield from self._run(sort.child)
+        import math
+
+        count = max(len(child_rows), 1)
+        yield from self.engine.cpu.consume(
+            ROW_CPU * count * max(1.0, math.log2(count))
+        )
+
+        def sort_key(row):
+            parts = []
+            for expr, desc in sort.order_by:
+                value = eval_with_aggs(expr, row, row.get("__aggs__", {}))
+                parts.append(_Reversible(value, desc))
+            return tuple(parts)
+
+        child_rows.sort(key=sort_key)
+        return child_rows, columns
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def _execute_insert(self, stmt: Insert):
+        table = self.engine.catalog.table(stmt.table)
+        txn = self.engine.begin()
+        inserted = 0
+        for row in stmt.rows:
+            if stmt.columns is not None:
+                values = [None] * len(table.schema)
+                for column, value in zip(stmt.columns, row):
+                    values[table.schema.position(column)] = value
+            else:
+                values = list(row)
+            yield from self.engine.insert(txn, stmt.table, values)
+            inserted += 1
+        yield from self.engine.commit(txn)
+        return QueryResult(["inserted"], [(inserted,)])
+
+    def _matching_keys(self, table: Table, where):
+        """Generator: PKs of rows matching ``where`` (via a scan)."""
+        scan = SeqScan(
+            estimated_rows=table.row_count,
+            table_name=table.name,
+            binding=table.name,
+            filter=where,
+            projection=None,
+        )
+        rows = yield from self._run_scan(scan)
+        keys = []
+        for row in rows:
+            keys.append(
+                tuple(row["%s.%s" % (table.name, c)] for c in table.key_columns)
+            )
+        return keys
+
+    def _execute_update(self, stmt: Update):
+        table = self.engine.catalog.table(stmt.table)
+        keys = yield from self._matching_keys(table, stmt.where)
+        txn = self.engine.begin()
+        for key in keys:
+            current = yield from self.engine.read_row(
+                txn, stmt.table, key, for_update=True
+            )
+            row = {
+                "%s.%s" % (table.name, name): value
+                for name, value in zip(table.schema.names, current)
+            }
+            changes = {
+                column: expr.eval(row) for column, expr in stmt.assignments.items()
+            }
+            yield from self.engine.update(txn, stmt.table, key, changes)
+        yield from self.engine.commit(txn)
+        return QueryResult(["updated"], [(len(keys),)])
+
+    def _execute_delete(self, stmt: Delete):
+        table = self.engine.catalog.table(stmt.table)
+        keys = yield from self._matching_keys(table, stmt.where)
+        txn = self.engine.begin()
+        for key in keys:
+            yield from self.engine.delete(txn, stmt.table, key)
+        yield from self.engine.commit(txn)
+        return QueryResult(["deleted"], [(len(keys),)])
+
+
+class _Reversible:
+    """Sort-key wrapper supporting DESC order."""
+
+    __slots__ = ("value", "desc")
+
+    def __init__(self, value, desc: bool):
+        self.value = value
+        self.desc = desc
+
+    def __lt__(self, other: "_Reversible") -> bool:
+        a, b = self.value, other.value
+        if a is None or b is None:
+            return (b is None) if self.desc else (a is None and b is not None)
+        if self.desc:
+            return b < a
+        return a < b
+
+    def __eq__(self, other: "_Reversible") -> bool:
+        return self.value == other.value

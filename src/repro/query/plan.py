@@ -1,0 +1,163 @@
+"""Logical query plans.
+
+A plan is a tree of dataclass nodes.  The planner (:mod:`.planner`)
+assembles it from the AST; the executor walks it.  The node set mirrors
+veDB's executor operators: sequential scan (with pushed filter and
+projection), hash join, index nested-loop join, aggregation, sort, limit,
+projection.
+
+``SeqScan.pushdown`` is the paper's "marked plan fragment": when True, the
+executor hands the scan (plus its filter/projection and, when the whole
+query is a single-table aggregate, partial aggregation) to the push-down
+runtime instead of pumping pages through the engine thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .ast import AggCall, Expr, SelectItem
+
+__all__ = [
+    "PlanNode",
+    "SeqScan",
+    "HashJoin",
+    "IndexNLJoin",
+    "Aggregate",
+    "Project",
+    "Sort",
+    "Limit",
+    "explain",
+]
+
+
+@dataclass
+class PlanNode:
+    """Base plan node; ``estimated_rows`` drives push-down thresholds."""
+
+    estimated_rows: int = 0
+
+
+@dataclass
+class SeqScan(PlanNode):
+    table_name: str = ""
+    binding: str = ""
+    filter: Optional[Expr] = None
+    #: Columns actually needed downstream (None = all).
+    projection: Optional[List[str]] = None
+    #: Marked for storage-side execution.
+    pushdown: bool = False
+    #: When the scan is the whole query, partial aggregation is pushed too:
+    #: (group_exprs, agg_calls) - see Aggregate for semantics.
+    partial_agg: Optional[Tuple[List[Expr], List[AggCall]]] = None
+
+
+@dataclass
+class HashJoin(PlanNode):
+    left: PlanNode = None
+    right: PlanNode = None
+    left_keys: List[Expr] = field(default_factory=list)
+    right_keys: List[Expr] = field(default_factory=list)
+    #: Residual non-equi condition evaluated on joined rows.
+    residual: Optional[Expr] = None
+
+
+@dataclass
+class IndexNLJoin(PlanNode):
+    """For each outer row, probe the inner table through an index.
+
+    Friendly to OLTP-style selective joins; hostile to push-down (the
+    inner probes are point reads through the engine) - the plan-shape
+    effect the paper measures in Fig. 14.
+    """
+
+    outer: PlanNode = None
+    inner_table: str = ""
+    inner_binding: str = ""
+    #: Outer-side expressions producing the inner index key prefix.
+    outer_keys: List[Expr] = field(default_factory=list)
+    #: Inner columns matched against (index prefix order).
+    inner_columns: List[str] = field(default_factory=list)
+    inner_filter: Optional[Expr] = None
+    residual: Optional[Expr] = None
+    #: Name of the inner index to probe ('' = primary key).
+    index_name: str = ""
+
+
+@dataclass
+class Aggregate(PlanNode):
+    child: PlanNode = None
+    group_exprs: List[Expr] = field(default_factory=list)
+    aggregates: List[AggCall] = field(default_factory=list)
+    #: True when the child already produced partial aggregate states
+    #: (push-down secondary aggregation).
+    from_partials: bool = False
+
+
+@dataclass
+class Project(PlanNode):
+    child: PlanNode = None
+    items: List[SelectItem] = field(default_factory=list)
+    #: For aggregate queries: map from AggCall to its output position.
+    star: bool = False
+
+
+@dataclass
+class Sort(PlanNode):
+    child: PlanNode = None
+    order_by: List[Tuple[Expr, bool]] = field(default_factory=list)
+
+
+@dataclass
+class Limit(PlanNode):
+    child: PlanNode = None
+    count: int = 0
+
+
+def explain(node: PlanNode, depth: int = 0) -> str:
+    """Human-readable plan tree (used by tests and examples)."""
+    pad = "  " * depth
+    if isinstance(node, SeqScan):
+        marks = []
+        if node.pushdown:
+            marks.append("PUSHDOWN")
+        if node.partial_agg:
+            marks.append("partial-agg")
+        if node.filter is not None:
+            marks.append("filtered")
+        suffix = (" [%s]" % ", ".join(marks)) if marks else ""
+        return "%sSeqScan(%s as %s)%s ~%d rows" % (
+            pad, node.table_name, node.binding, suffix, node.estimated_rows,
+        )
+    if isinstance(node, HashJoin):
+        return "%sHashJoin ~%d rows\n%s\n%s" % (
+            pad,
+            node.estimated_rows,
+            explain(node.left, depth + 1),
+            explain(node.right, depth + 1),
+        )
+    if isinstance(node, IndexNLJoin):
+        return "%sIndexNLJoin(inner=%s as %s) ~%d rows\n%s" % (
+            pad, node.inner_table, node.inner_binding, node.estimated_rows,
+            explain(node.outer, depth + 1),
+        )
+    if isinstance(node, Aggregate):
+        return "%sAggregate(groups=%d, aggs=%d%s)\n%s" % (
+            pad,
+            len(node.group_exprs),
+            len(node.aggregates),
+            ", from-partials" if node.from_partials else "",
+            explain(node.child, depth + 1),
+        )
+    if isinstance(node, Project):
+        return "%sProject(%d items)\n%s" % (
+            pad, len(node.items), explain(node.child, depth + 1)
+        )
+    if isinstance(node, Sort):
+        return "%sSort(%d keys)\n%s" % (
+            pad, len(node.order_by), explain(node.child, depth + 1)
+        )
+    if isinstance(node, Limit):
+        return "%sLimit(%d)\n%s" % (pad, node.count, explain(node.child, depth + 1))
+    return "%s%s" % (pad, type(node).__name__)

@@ -1,0 +1,377 @@
+"""Query planner: AST -> logical plan, with push-down marking.
+
+Planning steps (paper Section VI-A):
+
+1. Bind table references against the catalog.
+2. Split the WHERE conjunction: single-binding conjuncts become scan
+   filters; cross-binding equi-conjuncts become join keys; the rest become
+   join residuals.
+3. Choose a join algorithm per join: index nested-loop when the join keys
+   form a prefix of an inner index and the estimated outer cardinality is
+   small; hash join otherwise.  ``force_hash_joins`` reproduces the
+   paper's observation that enabling PQ steers plans toward hash joins
+   (whose bulk inner scans are pushable); it also serves as the Fig. 14
+   "plan change only" hint.
+4. Mark scans push-down eligible: single table reference, simple filter,
+   no aggregate in the filter, estimated rows above the threshold, and the
+   session flag on.  A single-table aggregate query additionally pushes
+   partial aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..common import QueryError
+from ..engine.table import Catalog, Table
+from .ast import (
+    AggCall,
+    BinOp,
+    ColumnRef,
+    Expr,
+    JoinClause,
+    Select,
+    SelectItem,
+    TableRef,
+)
+from .plan import (
+    Aggregate,
+    HashJoin,
+    IndexNLJoin,
+    Limit,
+    PlanNode,
+    Project,
+    SeqScan,
+    Sort,
+)
+
+__all__ = ["Planner", "PlannerConfig"]
+
+
+@dataclass
+class PlannerConfig:
+    """Session knobs affecting plan shape and push-down marking."""
+
+    enable_pushdown: bool = False
+    #: Minimum estimated scan rows before push-down pays off (the paper
+    #: uses a plain row-count threshold; cost-based PQ is future work).
+    pushdown_row_threshold: int = 200
+    #: Prefer hash joins (PQ-friendly plans / Fig 14 plan hint).
+    force_hash_joins: bool = False
+    #: Outer-cardinality bound under which index NL join is chosen.
+    nl_join_outer_limit: int = 2000
+
+
+def split_conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    """Flatten an AND tree into its conjunct list."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def and_together(conjuncts: List[Expr]) -> Optional[Expr]:
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = BinOp("and", result, conjunct)
+    return result
+
+
+class Planner:
+    def __init__(self, catalog: Catalog, config: Optional[PlannerConfig] = None):
+        self.catalog = catalog
+        self.config = config or PlannerConfig()
+
+    # ------------------------------------------------------------------
+    # Binding helpers
+    # ------------------------------------------------------------------
+    def _bindings_of(self, expr: Expr, binding_tables: Dict[str, Table]):
+        """The set of table bindings an expression touches."""
+        bindings = set()
+        for key in expr.columns():
+            if "." in key:
+                bindings.add(key.split(".", 1)[0])
+            else:
+                name = key
+                owners = [
+                    b for b, t in binding_tables.items() if t.schema.has_column(name)
+                ]
+                if len(owners) == 1:
+                    bindings.add(owners[0])
+                elif len(owners) > 1:
+                    raise QueryError("ambiguous column %r" % name)
+                else:
+                    raise QueryError("unknown column %r" % name)
+        return bindings
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def plan_select(self, select: Select) -> PlanNode:
+        binding_tables: Dict[str, Table] = {}
+        order: List[str] = []
+
+        def bind(ref: TableRef):
+            table = self.catalog.table(ref.name)
+            if ref.binding in binding_tables:
+                raise QueryError("duplicate binding %r" % ref.binding)
+            binding_tables[ref.binding] = table
+            order.append(ref.binding)
+
+        bind(select.table)
+        for join in select.joins:
+            bind(join.table)
+
+        conjuncts = split_conjuncts(select.where)
+        for join in select.joins:
+            conjuncts.extend(split_conjuncts(join.condition))
+
+        # Partition conjuncts by the bindings they reference.
+        scan_filters: Dict[str, List[Expr]] = {b: [] for b in binding_tables}
+        multi: List[Expr] = []
+        for conjunct in conjuncts:
+            bindings = self._bindings_of(conjunct, binding_tables)
+            if len(bindings) == 1:
+                scan_filters[bindings.pop()].append(conjunct)
+            else:
+                multi.append(conjunct)
+
+        # Projection pruning: which columns does anything downstream need?
+        needed: Dict[str, set] = {b: set() for b in binding_tables}
+        if select.star:
+            for binding, table in binding_tables.items():
+                needed[binding].update(table.schema.names)
+        else:
+            exprs: List[Expr] = [item.expr for item in select.items]
+            exprs.extend(select.group_by)
+            exprs.extend(expr for expr, _ in select.order_by)
+            exprs.extend(multi)
+            for b, conj in scan_filters.items():
+                exprs.extend(conj)
+            for expr in exprs:
+                for key in expr.columns():
+                    if "." in key:
+                        binding, column = key.split(".", 1)
+                        if binding in needed:
+                            needed[binding].add(column)
+                    else:
+                        for binding, table in binding_tables.items():
+                            if table.schema.has_column(key):
+                                needed[binding].add(key)
+
+        def scan_of(binding: str) -> SeqScan:
+            table = binding_tables[binding]
+            filt = and_together(scan_filters[binding])
+            projection = sorted(needed[binding]) or None
+            return SeqScan(
+                estimated_rows=self._estimate_scan(table, scan_filters[binding]),
+                table_name=table.name,
+                binding=binding,
+                filter=filt,
+                projection=projection,
+            )
+
+        # Build the join tree left-deep in FROM order.
+        self._inner_filters = scan_filters
+        plan: PlanNode = scan_of(order[0])
+        joined = {order[0]}
+        for binding in order[1:]:
+            plan = self._plan_join(
+                plan, binding, binding_tables, joined, multi, scan_of
+            )
+            joined.add(binding)
+        residual = and_together(
+            [c for c in multi if self._bindings_of(c, binding_tables) <= joined]
+        )
+        # Any leftover residual (shouldn't exist in a left-deep chain) is
+        # attached as a final filter through a degenerate hash join... not
+        # needed: _plan_join consumes conjuncts as bindings complete.
+
+        # Aggregation.
+        agg_calls = self._collect_aggregates(select)
+        if agg_calls or select.group_by:
+            single_scan = isinstance(plan, SeqScan)
+            pushable_aggs = single_scan and self._aggs_are_pushable(agg_calls)
+            if (
+                single_scan
+                and pushable_aggs
+                and self._scan_pushable(plan, binding_tables[plan.binding])
+            ):
+                plan.pushdown = True
+                plan.partial_agg = (list(select.group_by), agg_calls)
+                plan = Aggregate(
+                    estimated_rows=max(1, len(select.group_by) * 10),
+                    child=plan,
+                    group_exprs=list(select.group_by),
+                    aggregates=agg_calls,
+                    from_partials=True,
+                )
+            else:
+                plan = Aggregate(
+                    estimated_rows=max(1, len(select.group_by) * 10),
+                    child=plan,
+                    group_exprs=list(select.group_by),
+                    aggregates=agg_calls,
+                )
+        # Mark remaining scans for plain (non-aggregating) push-down.
+        self._mark_scans(plan, binding_tables)
+
+        plan = Project(
+            estimated_rows=plan.estimated_rows,
+            child=plan,
+            items=list(select.items),
+            star=select.star,
+        )
+        if select.order_by:
+            plan = Sort(
+                estimated_rows=plan.estimated_rows,
+                child=plan,
+                order_by=list(select.order_by),
+            )
+        if select.limit is not None:
+            plan = Limit(
+                estimated_rows=min(plan.estimated_rows, select.limit),
+                child=plan,
+                count=select.limit,
+            )
+        return plan
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def _plan_join(self, left, binding, binding_tables, joined, multi, scan_of):
+        table = binding_tables[binding]
+        available = joined | {binding}
+        # Conjuncts that become evaluable once this binding joins in.
+        usable = [
+            c
+            for c in multi
+            if self._bindings_of(c, binding_tables) <= available
+            and binding in self._bindings_of(c, binding_tables)
+        ]
+        for conjunct in usable:
+            multi.remove(conjunct)
+        equi_pairs: List[Tuple[Expr, Expr]] = []
+        residuals: List[Expr] = []
+        for conjunct in usable:
+            pair = self._as_equi_pair(conjunct, binding, binding_tables)
+            if pair is not None:
+                equi_pairs.append(pair)
+            else:
+                residuals.append(conjunct)
+        if not equi_pairs:
+            raise QueryError(
+                "join with %s has no equi-join condition" % binding
+            )
+        inner_columns = [
+            right.name for _, right in equi_pairs if isinstance(right, ColumnRef)
+        ]
+        index_name = self._matching_index(table, inner_columns)
+        use_nl = (
+            not self.config.force_hash_joins
+            and index_name is not None
+            and left.estimated_rows <= self.config.nl_join_outer_limit
+        )
+        estimated = max(left.estimated_rows, 1)
+        if use_nl:
+            # The inner side has no scan node, so its single-table filter
+            # must ride the join and apply per probed row.
+            inner_filter = and_together(self._inner_filters[binding])
+            return IndexNLJoin(
+                estimated_rows=estimated,
+                outer=left,
+                inner_table=table.name,
+                inner_binding=binding,
+                outer_keys=[l for l, _ in equi_pairs],
+                inner_columns=inner_columns,
+                inner_filter=inner_filter,
+                residual=and_together(residuals),
+                index_name=index_name,
+            )
+        right_scan = scan_of(binding)
+        return HashJoin(
+            estimated_rows=max(estimated, right_scan.estimated_rows),
+            left=left,
+            right=right_scan,
+            left_keys=[l for l, _ in equi_pairs],
+            right_keys=[r for _, r in equi_pairs],
+            residual=and_together(residuals),
+        )
+
+    def _as_equi_pair(self, conjunct, inner_binding, binding_tables):
+        """(outer_expr, inner_column_ref) if the conjunct is outer = inner."""
+        if not (isinstance(conjunct, BinOp) and conjunct.op == "="):
+            return None
+        left_b = self._bindings_of(conjunct.left, binding_tables)
+        right_b = self._bindings_of(conjunct.right, binding_tables)
+        if right_b == {inner_binding} and inner_binding not in left_b:
+            return (conjunct.left, conjunct.right)
+        if left_b == {inner_binding} and inner_binding not in right_b:
+            return (conjunct.right, conjunct.left)
+        return None
+
+    def _matching_index(self, table: Table, columns: List[str]) -> Optional[str]:
+        """'' for the PK, an index name, or None if nothing matches."""
+        normalized = [c.split(".")[-1] for c in columns]
+        if list(table.key_columns[: len(normalized)]) == normalized:
+            return ""
+        for name, index in table.secondary.items():
+            if list(index.columns[: len(normalized)]) == normalized:
+                return name
+        return None
+
+    # ------------------------------------------------------------------
+    # Aggregates & push-down marking
+    # ------------------------------------------------------------------
+    def _collect_aggregates(self, select: Select) -> List[AggCall]:
+        calls: List[AggCall] = []
+
+        def walk(expr: Expr):
+            if isinstance(expr, AggCall):
+                if expr not in calls:
+                    calls.append(expr)
+                return
+            for attr in ("left", "right", "operand", "low", "high", "argument"):
+                child = getattr(expr, attr, None)
+                if isinstance(child, Expr):
+                    walk(child)
+
+        for item in select.items:
+            walk(item.expr)
+        return calls
+
+    def _aggs_are_pushable(self, aggs: List[AggCall]) -> bool:
+        """DISTINCT aggregates cannot be partially aggregated."""
+        return all(not agg.distinct for agg in aggs)
+
+    def _estimate_scan(self, table: Table, filters: List[Expr]) -> int:
+        rows = max(table.row_count, 1)
+        # Crude selectivity: each conjunct keeps ~1/3 of rows.
+        for _ in filters:
+            rows = max(1, rows // 3)
+        return rows
+
+    def _scan_pushable(self, scan: SeqScan, table: Table) -> bool:
+        if not self.config.enable_pushdown:
+            return False
+        if scan.filter is not None and scan.filter.contains_aggregate():
+            return False
+        # The paper thresholds on rows *scanned* by the fragment (output
+        # selectivity is irrelevant: a selective filter over a big table is
+        # the best push-down case).
+        return table.row_count >= self.config.pushdown_row_threshold
+
+    def _mark_scans(self, node: PlanNode, binding_tables: Dict[str, Table]):
+        if isinstance(node, SeqScan):
+            if not node.pushdown:
+                table = binding_tables[node.binding]
+                node.pushdown = self._scan_pushable(node, table)
+            return
+        for attr in ("child", "left", "right", "outer"):
+            child = getattr(node, attr, None)
+            if isinstance(child, PlanNode):
+                self._mark_scans(child, binding_tables)

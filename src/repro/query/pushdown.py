@@ -1,0 +1,427 @@
+"""Push-down query (PQ) framework.
+
+Paper Section VI.  A marked scan fragment (filter + projection + optional
+partial aggregation) is decomposed into per-server tasks by looking up each
+required page in the EBP index:
+
+- pages resident in the engine's own buffer pool are processed locally
+  (they may be newer than any cached copy);
+- pages found in the EBP index at a sufficient LSN form one task per
+  AStore server holding them - executed by the PQ process on that server
+  against local PMem, using CPU the one-sided data plane leaves idle;
+- all remaining pages form one task per PageStore (primary) server,
+  executed against local SSD.
+
+Tasks are dispatched in parallel; each returns either filtered/projected
+rows or partial aggregate states, which the engine merges (secondary
+aggregation).  Pages a server cannot serve (entry cleaned, server crashed)
+are returned as failures and re-processed through the engine's normal read
+path - push-down never affects correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..common import US, PageId, QueryError, StorageError
+from ..engine.dbengine import DBEngine
+from ..engine.ebp import EBP_PAGE_TAG, ExtendedBufferPool
+from ..engine.page import Page
+from ..engine.table import Table
+from ..sim.core import AllOf, Environment
+from ..sim.network import RpcNetwork
+from ..storage.pagestore import PageStoreService, PageStoreServer
+from .ast import AggCall, Expr
+from .executor import (
+    PAGE_CPU,
+    ROW_CPU,
+    AggAccumulator,
+    new_agg_states,
+    update_agg_states,
+)
+from .plan import SeqScan
+
+__all__ = ["PushdownRuntime", "PushdownFragment", "execute_fragment_on_pages"]
+
+#: Approximate wire size of one projected row (dispatch accounting).
+ROW_WIRE_BYTES = 48
+#: Approximate wire size of one partial-aggregate group.
+GROUP_WIRE_BYTES = 96
+#: Serialized plan-fragment size.
+FRAGMENT_WIRE_BYTES = 600
+
+
+@dataclass
+class PushdownFragment:
+    """The serialisable unit shipped to storage: scan + filter + projection
+    (+ partial aggregation)."""
+
+    table_name: str
+    binding: str
+    schema_names: Tuple[str, ...]
+    filter: Optional[Expr]
+    partial_agg: Optional[Tuple[List[Expr], List[AggCall]]]
+
+
+def execute_fragment_on_pages(fragment: PushdownFragment, pages: List[Page]):
+    """Run the fragment over page images; pure compute, no timing.
+
+    Returns ``("rows", [...])`` or ``("partials", [(key, sample), states]...)``
+    plus the number of rows scanned (for CPU accounting by the caller).
+    """
+    scanned = 0
+    if fragment.partial_agg is None:
+        rows: List[Dict[str, Any]] = []
+        for page in pages:
+            for _slot, raw in page.slots():
+                scanned += 1
+                values = _decode(fragment, raw)
+                row = _bind(fragment, values)
+                if fragment.filter is None or fragment.filter.eval(row):
+                    rows.append(row)
+        return ("rows", rows), scanned
+    group_exprs, aggs = fragment.partial_agg
+    groups: Dict[Tuple, List[AggAccumulator]] = {}
+    samples: Dict[Tuple, Dict[str, Any]] = {}
+    for page in pages:
+        for _slot, raw in page.slots():
+            scanned += 1
+            values = _decode(fragment, raw)
+            row = _bind(fragment, values)
+            if fragment.filter is not None and not fragment.filter.eval(row):
+                continue
+            key = tuple(expr.eval(row) for expr in group_exprs)
+            states = groups.get(key)
+            if states is None:
+                states = new_agg_states(aggs)
+                groups[key] = states
+                samples[key] = row
+            update_agg_states(states, aggs, row)
+    partials = [((key, samples[key]), states) for key, states in groups.items()]
+    return ("partials", partials), scanned
+
+
+# The schema needed by _decode is carried out-of-band: fragments are shipped
+# with the schema object attached at dispatch time (a production system
+# serialises the schema with the fragment; here it rides along).
+
+
+def _decode(fragment: PushdownFragment, raw: bytes):
+    return fragment._schema.decode(raw)  # type: ignore[attr-defined]
+
+
+def _bind(fragment: PushdownFragment, values) -> Dict[str, Any]:
+    return {
+        "%s.%s" % (fragment.binding, name): value
+        for name, value in zip(fragment.schema_names, values)
+    }
+
+
+@dataclass
+class _Task:
+    kind: str  # 'astore' | 'pagestore'
+    server_id: str
+    #: For astore: [(page_id, entry)]; for pagestore: [(page_id, min_lsn)].
+    pages: List[Tuple] = field(default_factory=list)
+
+
+class PushdownRuntime:
+    """Engine-side dispatcher plus the storage-side PQ executor model."""
+
+    #: Cost-model constants (seconds) for the cost-based PQ decision -
+    #: the paper's first future-work item.  They mirror the calibrated
+    #: storage paths: BP page scan, EBP RDMA read, PageStore RPC read,
+    #: per-task dispatch round trip.
+    COST_BP_PAGE = 4e-6
+    COST_EBP_PAGE = 28e-6
+    COST_PAGESTORE_PAGE = 1.0e-3
+    COST_TASK_DISPATCH = 0.35e-3
+    COST_SERVER_PAGE = 18e-6
+
+    def __init__(
+        self,
+        env: Environment,
+        engine: DBEngine,
+        pagestore: PageStoreService,
+        ebp: Optional[ExtendedBufferPool] = None,
+        network: Optional[RpcNetwork] = None,
+        cost_based: bool = False,
+    ):
+        self.env = env
+        self.engine = engine
+        self.pagestore = pagestore
+        self.ebp = ebp
+        #: Decide per fragment whether pushing actually wins (future work
+        #: in the paper; opt-in here).  With False, every marked fragment
+        #: is pushed - the paper's threshold-only production behaviour.
+        self.cost_based = cost_based
+        from ..sim.rand import Rng
+
+        self.network = network or RpcNetwork(env, Rng(1299827))
+        self.tasks_dispatched = 0
+        self.pages_via_ebp = 0
+        self.pages_via_pagestore = 0
+        self.pages_local = 0
+        self.fallback_pages = 0
+        self.cost_rejected = 0
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def run_scan(self, scan: SeqScan):
+        """Generator: execute a marked scan fragment via PQ.
+
+        Returns row dicts, or partial-aggregate pairs when the fragment
+        carries partial aggregation (the Aggregate node above merges them).
+        """
+        table = self.engine.catalog.table(scan.table_name)
+        fragment = PushdownFragment(
+            table_name=scan.table_name,
+            binding=scan.binding,
+            schema_names=tuple(table.schema.names),
+            filter=scan.filter,
+            partial_agg=scan.partial_agg,
+        )
+        fragment._schema = table.schema  # type: ignore[attr-defined]
+        local_pages: List[PageId] = []
+        astore_tasks: Dict[str, _Task] = {}
+        pagestore_tasks: Dict[str, _Task] = {}
+        for page_no in list(table.page_nos):
+            page_id = table.page_id(page_no)
+            required = self.engine.page_versions.get(page_id, 0)
+            if page_id in self.engine.buffer_pool:
+                local_pages.append(page_id)
+                continue
+            entry = self.ebp.index.get(page_id) if self.ebp is not None else None
+            if entry is not None and entry.lsn >= required:
+                server_id = self._astore_server_of(entry.segment_id)
+                if server_id is not None:
+                    task = astore_tasks.setdefault(
+                        server_id, _Task("astore", server_id)
+                    )
+                    task.pages.append((page_id, entry))
+                    continue
+            server = self.pagestore.server_for_page(page_id)
+            task = pagestore_tasks.setdefault(
+                server.server_id, _Task("pagestore", server.server_id)
+            )
+            task.pages.append((page_id, required))
+
+        all_tasks = list(astore_tasks.values()) + list(pagestore_tasks.values())
+        if self.cost_based and all_tasks and not self._push_wins(
+            local_pages, astore_tasks, pagestore_tasks
+        ):
+            # Cost model says the engine path is cheaper: run the whole
+            # fragment locally through the normal read path.
+            self.cost_rejected += 1
+            everything = [(pid, 0) for pid in local_pages]
+            for task in all_tasks:
+                for spec in task.pages:
+                    page_id = spec[0]
+                    everything.append(
+                        (page_id, self.engine.page_versions.get(page_id, 0))
+                    )
+            result, failed = yield from self._run_local(
+                fragment, everything, via_engine=True
+            )
+            if failed:
+                raise StorageError("pages unreadable locally: %r" % failed)
+            merged = _Merge(fragment)
+            merged.add(result)
+            self.pages_local += len(everything)
+            return merged.finish()
+        procs = [
+            self.env.process(self._dispatch(fragment, task)) for task in all_tasks
+        ]
+        # Meanwhile the engine thread processes buffer-pool-resident pages.
+        local_result, failed = yield from self._run_local(
+            fragment, [(pid, 0) for pid in local_pages]
+        )
+        self.pages_local += len(local_pages)
+        merged = _Merge(fragment)
+        merged.add(local_result)
+        if procs:
+            results = yield AllOf(self.env, procs)
+            for proc in procs:
+                task_result, task_failed = proc.value
+                merged.add(task_result)
+                failed.extend(task_failed)
+        # Fallback: any failed page goes through the normal engine path.
+        if failed:
+            self.fallback_pages += len(failed)
+            fallback_result, still_failed = yield from self._run_local(
+                fragment, failed, via_engine=True
+            )
+            if still_failed:
+                raise StorageError(
+                    "pages unreadable even via engine path: %r" % still_failed
+                )
+            merged.add(fallback_result)
+        self.tasks_dispatched += len(all_tasks)
+        return merged.finish()
+
+    def _push_wins(self, local_pages, astore_tasks, pagestore_tasks) -> bool:
+        """Estimate: is storage-side execution cheaper than the engine path?
+
+        Local cost is serial (the single-threaded executor pages through
+        storage one read at a time); pushed cost is the slowest task plus
+        one dispatch round trip per task batch (they run in parallel).
+        """
+        ebp_pages = sum(len(t.pages) for t in astore_tasks.values())
+        ps_pages = sum(len(t.pages) for t in pagestore_tasks.values())
+        local_cost = (
+            len(local_pages) * self.COST_BP_PAGE
+            + ebp_pages * self.COST_EBP_PAGE
+            + ps_pages * self.COST_PAGESTORE_PAGE
+        )
+        task_sizes = [
+            len(t.pages)
+            for t in list(astore_tasks.values()) + list(pagestore_tasks.values())
+        ]
+        pushed_cost = (
+            self.COST_TASK_DISPATCH
+            + max(task_sizes) * self.COST_SERVER_PAGE
+            + len(local_pages) * self.COST_BP_PAGE
+        )
+        return pushed_cost < local_cost
+
+    def _astore_server_of(self, segment_id: int) -> Optional[str]:
+        meta = self.ebp.client.open_segments.get(segment_id)
+        if meta is None:
+            return None
+        for server_id in meta.route.replicas:
+            server = self.ebp.client.servers.get(server_id)
+            if server is not None and server.alive:
+                return server_id
+        return None
+
+    # ------------------------------------------------------------------
+    # Task execution
+    # ------------------------------------------------------------------
+    def _dispatch(self, fragment: PushdownFragment, task: _Task):
+        """Generator: RPC a task to its server and execute it there."""
+        request_bytes = FRAGMENT_WIRE_BYTES + 24 * len(task.pages)
+        yield from self.network.send(request_bytes)
+        if task.kind == "astore":
+            result, failed = yield from self._run_on_astore(fragment, task)
+        else:
+            result, failed = yield from self._run_on_pagestore(fragment, task)
+        yield from self.network.send(self._result_bytes(result))
+        return result, failed
+
+    @staticmethod
+    def _result_bytes(result) -> int:
+        kind, payload = result
+        if kind == "rows":
+            return 64 + ROW_WIRE_BYTES * len(payload)
+        return 64 + GROUP_WIRE_BYTES * len(payload)
+
+    def _run_on_astore(self, fragment: PushdownFragment, task: _Task):
+        """Generator: PQ process on an AStore server, reading local PMem."""
+        server = self.ebp.client.servers[task.server_id]
+        pages: List[Page] = []
+        failed: List[Tuple[PageId, int]] = []
+        for page_id, entry in task.pages:
+            if not server.alive:
+                failed.append((page_id, entry.lsn))
+                continue
+            segment = server.segments.get(entry.segment_id)
+            stored = segment.entries.get(entry.offset) if segment else None
+            payload = stored.payload if stored else None
+            if (
+                payload is None
+                or not (isinstance(payload, tuple) and payload[0] == EBP_PAGE_TAG)
+                or payload[1] != page_id
+                or payload[2] != entry.lsn
+            ):
+                failed.append((page_id, entry.lsn))
+                continue
+            # Local PMem read: no fabric hop, just media time.
+            yield from server.pmem.read(entry.length)
+            pages.append(payload[3])
+        result, scanned = execute_fragment_on_pages(fragment, pages)
+        yield from server.cpu.consume(
+            PAGE_CPU * max(len(pages), 1) + ROW_CPU * scanned
+        )
+        self.pages_via_ebp += len(pages)
+        return result, failed
+
+    def _run_on_pagestore(self, fragment: PushdownFragment, task: _Task):
+        """Generator: PQ process on a PageStore server, reading local SSD."""
+        server: PageStoreServer = next(
+            s for s in self.pagestore.servers if s.server_id == task.server_id
+        )
+        pages: List[Page] = []
+        failed: List[Tuple[PageId, int]] = []
+        for page_id, min_lsn in task.pages:
+            if not server.alive:
+                failed.append((page_id, min_lsn))
+                continue
+            segment_no = self.pagestore.segment_of(page_id)
+            try:
+                yield from server.catch_up(segment_no)
+                replica = server.replica(segment_no)
+                page = replica.pages.get(page_id)
+                if page is None or page.page_lsn < min_lsn:
+                    failed.append((page_id, min_lsn))
+                    continue
+                yield from server.device.read(page.size)
+                pages.append(page)
+            except StorageError:
+                failed.append((page_id, min_lsn))
+        result, scanned = execute_fragment_on_pages(fragment, pages)
+        yield from server.cpu.consume(
+            PAGE_CPU * max(len(pages), 1) + ROW_CPU * scanned
+        )
+        self.pages_via_pagestore += len(pages)
+        return result, failed
+
+    def _run_local(self, fragment: PushdownFragment, page_specs, via_engine=False):
+        """Generator: process pages on the engine thread.
+
+        ``page_specs`` is [(page_id, min_lsn)].  With ``via_engine`` the
+        pages go through the full fetch path (fallback); otherwise only
+        buffer-pool residents are read.
+        """
+        pages: List[Page] = []
+        failed: List[Tuple[PageId, int]] = []
+        for page_id, min_lsn in page_specs:
+            if via_engine:
+                try:
+                    page = yield from self.engine.fetch_page(page_id)
+                except StorageError:
+                    failed.append((page_id, min_lsn))
+                    continue
+            else:
+                page = self.engine.buffer_pool.get(page_id)
+                if page is None:
+                    failed.append((page_id, min_lsn))
+                    continue
+            pages.append(page)
+        result, scanned = execute_fragment_on_pages(fragment, pages)
+        yield from self.engine.cpu.consume(
+            PAGE_CPU * max(len(pages), 1) + ROW_CPU * scanned
+        )
+        return result, failed
+
+
+class _Merge:
+    """Accumulates task results into the fragment's output shape."""
+
+    def __init__(self, fragment: PushdownFragment):
+        self.fragment = fragment
+        self.rows: List[Dict[str, Any]] = []
+        self.partials: List = []
+
+    def add(self, result) -> None:
+        kind, payload = result
+        if kind == "rows":
+            self.rows.extend(payload)
+        else:
+            self.partials.extend(payload)
+
+    def finish(self):
+        if self.fragment.partial_agg is None:
+            return self.rows
+        return self.partials

@@ -1,0 +1,356 @@
+"""Discrete-event simulation kernel.
+
+This module provides the virtual-time substrate on which every hardware and
+network component of the reproduction runs.  The design follows the classic
+process-interaction style (cf. SimPy): a *process* is a Python generator that
+yields :class:`Event` objects; the :class:`Environment` resumes the generator
+when the yielded event fires.
+
+The kernel is deliberately small and deterministic:
+
+- Events scheduled for the same virtual time fire in schedule order (a
+  monotonically increasing sequence number breaks ties), so a simulation with
+  a fixed RNG seed always produces byte-identical results.
+- There is no wall-clock anywhere; ``env.now`` is a float number of seconds.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(1.5)
+...     return "done at %.1f" % env.now
+>>> proc = env.process(hello(env))
+>>> env.run()
+>>> proc.value
+'done at 1.5'
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (double trigger, yield of non-event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+PENDING = object()
+
+
+class Event:
+    """A condition that may happen at some point in virtual time.
+
+    An event starts *pending*; it is *triggered* once it has a value (or an
+    exception) and a scheduled callback flush.  Processes wait on events by
+    yielding them.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok = True
+
+    # -- inspection -------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or was) scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if self._value is not PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay)
+        return self
+
+    # -- composition ------------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError("negative delay: %r" % delay)
+        super().__init__(env)
+        self._ok = True
+        self._value = value
+        self.delay = delay
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """Wraps a generator; itself an event that fires when the generator ends.
+
+    The process value is the generator's ``return`` value; if the generator
+    raises, the process fails with that exception (propagated to waiters, or
+    re-raised by :meth:`Environment.run` if nobody waits).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise TypeError("process requires a generator, got %r" % (generator,))
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the generator at the current time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._schedule(init, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True  # consumed by the interrupted process
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        # An interrupt may race with the target event; if we already
+        # terminated, drop it silently.
+        if not self.is_alive:
+            return
+        # Detach from the event we were waiting on (relevant for interrupts).
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self.env._active_process = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                event._defused = True
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+        if not isinstance(result, Event):
+            self._generator.throw(
+                SimulationError("process yielded non-event %r" % (result,))
+            )
+            return
+        if result.callbacks is None:
+            # Already processed: resume immediately (next tick, same time).
+            follow = Event(self.env)
+            follow._ok = result._ok
+            follow._value = result._value
+            if not result._ok:
+                result._defused = True
+            follow.callbacks.append(self._resume)
+            self.env._schedule(follow, 0.0)
+        else:
+            result.callbacks.append(self._resume)
+            self._target = result
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("events from different environments")
+        for event in self.events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+        if not self.events and self._value is PENDING:
+            self.succeed({})
+
+    def _collect(self) -> dict:
+        return {
+            event: event._value for event in self.events if event.processed and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once every constituent event has fired."""
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        if all(e.processed for e in self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as one constituent event fires."""
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """Virtual-time event loop."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []  # heap of (time, seq, event)
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories --------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        time, _, event = heapq.heappop(self._queue)
+        self._now = time
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "_defused", False):
+            raise event._value
+
+    def run_until_event(self, event: Event) -> Any:
+        """Run until ``event`` fires; needed when daemon loops never drain.
+
+        Returns the event's value (raises if the event failed and the value
+        is an exception).
+        """
+        while not event.processed:
+            if not self._queue:
+                raise SimulationError("queue drained before event fired")
+            self.step()
+        if not event._ok:
+            raise event._value
+        return event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or virtual time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError("until (%r) is in the past (now=%r)" % (until, self._now))
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

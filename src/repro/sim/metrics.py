@@ -1,0 +1,162 @@
+"""Measurement utilities: latency recorders, percentiles, throughput.
+
+Everything the benchmark harness reports (P95/P99 latency, TPS/QPS,
+bandwidth) is computed here from raw per-operation samples recorded in
+virtual time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["LatencyRecorder", "ThroughputMeter", "Counter", "summarize", "geomean"]
+
+
+class LatencyRecorder:
+    """Collects latency samples (seconds) and reports summary statistics."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError("negative latency sample")
+        self.samples.append(latency)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Linear-interpolated percentile, pct in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError("percentile out of range: %r" % pct)
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (pct / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        if ordered[low] == ordered[high]:
+            return ordered[low]
+        frac = rank - low
+        # a + f*(b-a) keeps interpolation monotone in f under floats.
+        value = ordered[low] + frac * (ordered[high] - ordered[low])
+        return min(max(value, ordered[low]), ordered[high])
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+class ThroughputMeter:
+    """Counts completed operations over a virtual-time window."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.completed = 0
+        self.bytes_moved = 0
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+
+    def start(self, now: float) -> None:
+        self.start_time = now
+
+    def record(self, now: float, nbytes: int = 0) -> None:
+        if self.start_time is None:
+            self.start_time = now
+        self.completed += 1
+        self.bytes_moved += nbytes
+        self.end_time = now
+
+    @property
+    def elapsed(self) -> float:
+        if self.start_time is None or self.end_time is None:
+            return 0.0
+        return self.end_time - self.start_time
+
+    def rate(self) -> float:
+        """Operations per second of virtual time."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.completed / self.elapsed
+
+    def bandwidth_mb_s(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.bytes_moved / self.elapsed / (1024.0 * 1024.0)
+
+
+class Counter:
+    """A named bag of monotonically increasing counters."""
+
+    def __init__(self):
+        self._values: Dict[str, int] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._values[name] = self._values.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+
+def summarize(samples: Iterable[float]) -> Dict[str, float]:
+    """One-shot summary of a latency sample iterable."""
+    recorder = LatencyRecorder()
+    for sample in samples:
+        recorder.record(sample)
+    return recorder.summary()
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper reports push-down speedups this way."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

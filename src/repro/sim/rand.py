@@ -1,0 +1,112 @@
+"""Deterministic random streams for the simulation.
+
+Every stochastic component (network jitter, workload generators, device
+spikes) draws from its own named substream derived from a single experiment
+seed, so adding a component never perturbs the draws of another and whole
+experiments replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["SeedSequence", "Rng", "ZipfGenerator", "nurand"]
+
+
+class SeedSequence:
+    """Derives independent child seeds from (root_seed, name)."""
+
+    def __init__(self, root_seed: int):
+        self.root_seed = int(root_seed)
+
+    def seed_for(self, name: str) -> int:
+        digest = hashlib.sha256(
+            ("%d/%s" % (self.root_seed, name)).encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def stream(self, name: str) -> "Rng":
+        return Rng(self.seed_for(name))
+
+
+class Rng:
+    """A thin wrapper over :class:`random.Random` with latency-shaped draws."""
+
+    def __init__(self, seed: int):
+        self._random = random.Random(seed)
+
+    # Plain delegation -----------------------------------------------------
+    def random(self) -> float:
+        return self._random.random()
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._random.randint(low, high)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._random.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> List[T]:
+        return self._random.sample(seq, k)
+
+    def shuffle(self, seq: list) -> None:
+        self._random.shuffle(seq)
+
+    def expovariate(self, rate: float) -> float:
+        return self._random.expovariate(rate)
+
+    # Latency-shaped draws --------------------------------------------------
+    def lognormal_around(self, median: float, sigma: float = 0.25) -> float:
+        """A latency sample with the given median and log-space std dev.
+
+        Log-normal is the standard heavy-ish-tailed model for service
+        latencies; the median parameterisation keeps calibration intuitive.
+        """
+        if median <= 0:
+            raise ValueError("median must be positive")
+        return median * math.exp(self._random.gauss(0.0, sigma))
+
+    def bernoulli(self, p: float) -> bool:
+        return self._random.random() < p
+
+
+class ZipfGenerator:
+    """Zipf-distributed integers in [0, n) via inverse-CDF table lookup.
+
+    Used for skewed page/key popularity (the paper's internal lookup
+    workload, Fig. 12, is hit-ratio-shaped and needs realistic skew).
+    """
+
+    def __init__(self, n: int, theta: float, rng: Rng):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if theta < 0:
+            raise ValueError("theta must be >= 0")
+        self.n = n
+        self.theta = theta
+        self._rng = rng
+        weights = [1.0 / (i + 1) ** theta for i in range(n)]
+        total = sum(weights)
+        self._cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0
+
+    def next(self) -> int:
+        import bisect
+
+        return bisect.bisect_left(self._cdf, self._rng.random())
+
+
+def nurand(rng: Rng, a: int, x: int, y: int, c: int) -> int:
+    """TPC-C NURand(A, x, y) non-uniform random integer (clause 2.1.6)."""
+    return (((rng.randint(0, a) | rng.randint(x, y)) + c) % (y - x + 1)) + x

@@ -1,0 +1,227 @@
+"""Contended resources for the simulation kernel.
+
+These model the queueing points of the system: CPU cores, device channels,
+mutexes, and message queues.  All of them hand out :class:`~repro.sim.core.Event`
+objects that a process yields on.
+
+The canonical usage pattern is::
+
+    req = resource.request()
+    yield req
+    try:
+        ... hold the resource ...
+    finally:
+        resource.release(req)
+
+or the :meth:`Resource.locked` context-generator helper used throughout the
+code base.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from .core import Environment, Event, SimulationError
+
+__all__ = ["Resource", "PriorityResource", "Store", "CpuPool", "Mutex"]
+
+
+class _Request(Event):
+    """A pending claim on a resource; fires when the claim is granted."""
+
+    def __init__(self, env: Environment, resource: "Resource"):
+        super().__init__(env)
+        self.resource = resource
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (granted ones must be released)."""
+        self.cancelled = True
+
+
+class Resource:
+    """A FIFO resource with fixed capacity (e.g. device channels)."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._users: List[_Request] = []
+        self._waiting: Deque[_Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of granted, unreleased requests."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a free slot."""
+        return len(self._waiting)
+
+    def request(self) -> _Request:
+        req = _Request(self.env, self)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: _Request) -> None:
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise SimulationError("release of a request that is not held")
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            req = self._waiting.popleft()
+            if req.cancelled:
+                continue
+            self._users.append(req)
+            req.succeed(req)
+
+    def locked(self, inner):
+        """Run generator ``inner`` while holding one slot of the resource.
+
+        Usage: ``result = yield from resource.locked(some_generator())``.
+        """
+        req = self.request()
+        yield req
+        try:
+            result = yield from inner
+        finally:
+            self.release(req)
+        return result
+
+
+class Mutex(Resource):
+    """A capacity-1 resource; named for readability at call sites."""
+
+    def __init__(self, env: Environment):
+        super().__init__(env, capacity=1)
+
+
+class PriorityResource(Resource):
+    """A resource whose waiters are served lowest-priority-value first.
+
+    Ties are FIFO (a sequence number preserves arrival order).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._pq: List[Tuple[float, int, _Request]] = []
+        self._pseq = 0
+
+    def request(self, priority: float = 0.0) -> _Request:  # type: ignore[override]
+        req = _Request(self.env, self)
+        if len(self._users) < self.capacity and not self._pq:
+            self._users.append(req)
+            req.succeed(req)
+        else:
+            import heapq
+
+            heapq.heappush(self._pq, (priority, self._pseq, req))
+            self._pseq += 1
+        return req
+
+    def _grant_next(self) -> None:  # type: ignore[override]
+        import heapq
+
+        while self._pq and len(self._users) < self.capacity:
+            _, _, req = heapq.heappop(self._pq)
+            if req.cancelled:
+                continue
+            self._users.append(req)
+            req.succeed(req)
+
+    @property
+    def queue_length(self) -> int:  # type: ignore[override]
+        return len(self._pq)
+
+
+class Store:
+    """An unbounded FIFO message queue between processes."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; wakes one waiting getter immediately."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if getattr(getter, "cancelled", False):
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = Event(self.env)
+        event.cancelled = False
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def get_nowait(self) -> Optional[Any]:
+        """Pop an item if available, else None (no waiting)."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+
+class CpuPool:
+    """A pool of CPU cores with a work-consumption helper.
+
+    ``yield from pool.consume(seconds)`` occupies one core for ``seconds`` of
+    virtual time, queueing FIFO when all cores are busy.  This is how the
+    reproduction charges per-operation CPU cost (parsing, page application,
+    I/O scheduling) and is what produces the CPU-bound throughput plateaus
+    the paper reports.
+    """
+
+    def __init__(self, env: Environment, cores: int):
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        self.env = env
+        self.cores = cores
+        self._resource = Resource(env, capacity=cores)
+        self.busy_time = 0.0
+
+    @property
+    def in_use(self) -> int:
+        return self._resource.count
+
+    @property
+    def queue_length(self) -> int:
+        return self._resource.queue_length
+
+    def consume(self, seconds: float):
+        """Generator: hold one core for ``seconds`` of virtual time."""
+        if seconds < 0:
+            raise ValueError("negative CPU time")
+        req = self._resource.request()
+        yield req
+        try:
+            yield self.env.timeout(seconds)
+            self.busy_time += seconds
+        finally:
+            self._resource.release(req)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of total core-seconds consumed over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self.cores)

@@ -1,0 +1,21 @@
+"""veDB's original storage layer: blob-backed LogStore and PageStore.
+
+- :mod:`repro.storage.blob` - append-only blobs and the BlobGroup container
+- :mod:`repro.storage.logstore` - the SSD/TCP REDO log service (baseline)
+- :mod:`repro.storage.pagestore` - segments, REDO replay, quorum + gossip
+"""
+
+from .blob import DEFAULT_IO_SIZE, Blob, BlobGroup
+from .logstore import LogStore, LogStoreServer
+from .pagestore import PageStoreServer, PageStoreService, SegmentReplica
+
+__all__ = [
+    "Blob",
+    "BlobGroup",
+    "DEFAULT_IO_SIZE",
+    "LogStore",
+    "LogStoreServer",
+    "PageStoreService",
+    "PageStoreServer",
+    "SegmentReplica",
+]

@@ -1,0 +1,434 @@
+"""PageStore: page persistence and continuous REDO replay.
+
+Paper Section III.  PageStore owns *segments*; every data page maps to one
+segment, and a segment is replicated (quorum writes, default 3 replicas /
+ack at 2).  REDO records shipped to a segment carry a *back-link* - the LSN
+of the preceding record of the same segment - letting a replica detect
+missing records and *gossip* with its peers to fetch them.
+
+Records are applied to pages asynchronously by an apply daemon; a page read
+at a required LSN forces catch-up for that segment first.  Reading a page
+from PageStore costs ~1 ms end to end (RPC + lookup + materialisation),
+the number the EBP is designed to beat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..common import MS, US, PageId, StorageError
+from ..engine.page import Page, PageOp, apply_op
+from ..engine.wal import RedoRecord
+from ..sim.core import AllOf, Environment, Event
+from ..sim.devices import SsdDevice
+from ..sim.network import RpcNetwork
+from ..sim.rand import Rng, SeedSequence
+from ..sim.resources import CpuPool
+
+__all__ = ["PageStoreService", "PageStoreServer", "SegmentReplica"]
+
+#: Server-side cost to locate page versions and materialise the page image
+#: (the log-structured lookup the paper's ~1 ms read latency comes from).
+PAGE_MATERIALIZE_COST = 350 * US
+#: CPU cost to apply one REDO record to a page.
+APPLY_COST_PER_RECORD = 2 * US
+
+
+class SegmentReplica:
+    """One replica of a PageStore segment: pages + the record chain."""
+
+    def __init__(self, segment_no: int):
+        self.segment_no = segment_no
+        self.pages: Dict[PageId, Page] = {}
+        #: LSN of the last record appended to this replica's chain.
+        self.chain_lsn = -1
+        #: Records received, in chain order, not yet applied to pages.
+        self.to_apply: List[RedoRecord] = []
+        #: Out-of-order records parked until the gap before them fills.
+        self.parked: Dict[int, RedoRecord] = {}  # back_link -> record
+        #: Every record ever accepted, for serving gossip. (In production
+        #: this is the segment's on-disk log, GC'd after apply.)
+        self.history: Dict[int, RedoRecord] = {}
+        self.applied_lsn = -1
+
+    def accept(self, record: RedoRecord) -> bool:
+        """Chain-append a record; park it if its back-link shows a gap.
+
+        Returns True if the record extended the chain (possibly unparking
+        successors), False if parked.
+        """
+        if record.lsn in self.history:
+            return True  # duplicate delivery (gossip + direct ship)
+        if record.back_link != self.chain_lsn:
+            self.parked[record.back_link] = record
+            return False
+        self._extend(record)
+        # Unpark any successors now connectable.
+        while self.chain_lsn in self.parked:
+            self._extend(self.parked.pop(self.chain_lsn))
+        return True
+
+    def _extend(self, record: RedoRecord) -> None:
+        self.history[record.lsn] = record
+        self.to_apply.append(record)
+        self.chain_lsn = record.lsn
+
+    def missing_range(self) -> Optional[Tuple[int, int]]:
+        """(after_lsn, up_to_back_link) describing the earliest gap."""
+        if not self.parked:
+            return None
+        earliest = min(self.parked)
+        return (self.chain_lsn, earliest)
+
+    def apply_all(self) -> int:
+        """Apply every chained record to its page; returns count applied."""
+        count = 0
+        for record in self.to_apply:
+            page = self.pages.get(record.page_id)
+            if page is None:
+                page = Page(record.page_id)
+                self.pages[record.page_id] = page
+            apply_op(page, record.op, record.lsn)
+            self.applied_lsn = record.lsn
+            count += 1
+        self.to_apply.clear()
+        return count
+
+
+class PageStoreServer:
+    """A PageStore data server hosting many segment replicas."""
+
+    def __init__(self, env: Environment, rng: Rng, server_id: str,
+                 cpu_cores: int = 16):
+        self.env = env
+        self.rng = rng
+        self.server_id = server_id
+        self.cpu = CpuPool(env, cores=cpu_cores)
+        self.device = SsdDevice(env, rng, name="%s-ssd" % server_id)
+        self.replicas: Dict[int, SegmentReplica] = {}
+        self.alive = True
+        self.records_received = 0
+        self.gossip_served = 0
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise StorageError("pagestore server %s down" % self.server_id)
+
+    def replica(self, segment_no: int) -> SegmentReplica:
+        replica = self.replicas.get(segment_no)
+        if replica is None:
+            replica = SegmentReplica(segment_no)
+            self.replicas[segment_no] = replica
+        return replica
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def receive_records(self, segment_no: int, records: List[RedoRecord]):
+        """Generator: durably accept a shipped record batch (then async
+        apply).  Ack means durable, not applied - no checkpointing needed."""
+        self._check_alive()
+        nbytes = sum(r.log_bytes for r in records)
+        yield from self.cpu.consume(5 * US + 0.2 * US * len(records))
+        yield from self.device.write(nbytes)
+        replica = self.replica(segment_no)
+        for record in records:
+            replica.accept(record)
+        self.records_received += len(records)
+
+    # ------------------------------------------------------------------
+    # Apply / catch-up
+    # ------------------------------------------------------------------
+    def catch_up(self, segment_no: int):
+        """Generator: apply every chained record of a segment now."""
+        self._check_alive()
+        replica = self.replica(segment_no)
+        pending = len(replica.to_apply)
+        if pending:
+            yield from self.cpu.consume(APPLY_COST_PER_RECORD * pending)
+            replica.apply_all()
+        return pending
+
+    def serve_gossip(self, segment_no: int, after_lsn: int,
+                     up_to: int) -> List[RedoRecord]:
+        """Return known records in (after_lsn, up_to] for a lagging peer.
+
+        Both chained history and locally *parked* records are served: a
+        parked record is durably received, merely not yet connectable on
+        this replica - a peer may be able to chain it immediately.
+        """
+        self._check_alive()
+        replica = self.replicas.get(segment_no)
+        if replica is None:
+            return []
+        known: Dict[int, RedoRecord] = dict(replica.history)
+        for record in replica.parked.values():
+            known.setdefault(record.lsn, record)
+        records = [
+            record
+            for lsn, record in sorted(known.items())
+            if after_lsn < lsn <= up_to
+        ]
+        self.gossip_served += len(records)
+        return records
+
+    # ------------------------------------------------------------------
+    # Page reads
+    # ------------------------------------------------------------------
+    def read_page(self, segment_no: int, page_id: PageId, min_lsn: int):
+        """Generator: materialise and return a page image (clone).
+
+        Catches the segment up first so the image reflects at least
+        ``min_lsn``.  Raises if the page is unknown or still behind
+        (caller retries after gossip).
+        """
+        self._check_alive()
+        yield from self.catch_up(segment_no)
+        yield from self.cpu.consume(
+            self.rng.lognormal_around(PAGE_MATERIALIZE_COST, 0.20)
+        )
+        replica = self.replica(segment_no)
+        page = replica.pages.get(page_id)
+        if page is None:
+            raise StorageError("page %s unknown to %s" % (page_id, self.server_id))
+        if page.page_lsn < min_lsn and replica.parked:
+            raise StorageError(
+                "page %s behind (at %d, need %d) with gaps"
+                % (page_id, page.page_lsn, min_lsn)
+            )
+        yield from self.device.read(page.size)
+        return page.clone()
+
+
+class PageStoreService:
+    """Client-side view: segment mapping, quorum shipping, page reads."""
+
+    def __init__(
+        self,
+        env: Environment,
+        seeds: SeedSequence,
+        num_servers: int = 3,
+        num_segments: int = 12,
+        replication: int = 3,
+        quorum: int = 2,
+    ):
+        if replication > num_servers:
+            raise ValueError("replication exceeds server count")
+        if quorum > replication:
+            raise ValueError("quorum exceeds replication")
+        self.env = env
+        self.network = RpcNetwork(env, seeds.stream("pagestore-net"))
+        self.gossip_network = RpcNetwork(env, seeds.stream("pagestore-gossip"))
+        self.servers: List[PageStoreServer] = [
+            PageStoreServer(env, seeds.stream("pagestore-%d" % i), "ps-%d" % i)
+            for i in range(num_servers)
+        ]
+        self.num_segments = num_segments
+        self.replication = replication
+        self.quorum = quorum
+        #: Last shipped LSN per segment, for back-link stamping.
+        self._chain_tail: Dict[int, int] = {s: -1 for s in range(num_segments)}
+        self.ships = 0
+        self.page_reads = 0
+        self.gossip_rounds = 0
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def segment_of(self, page_id: PageId) -> int:
+        return hash((page_id.space_no, page_id.page_no)) % self.num_segments
+
+    def replicas_of(self, segment_no: int) -> List[PageStoreServer]:
+        start = segment_no % len(self.servers)
+        return [
+            self.servers[(start + i) % len(self.servers)]
+            for i in range(self.replication)
+        ]
+
+    # ------------------------------------------------------------------
+    # Shipping
+    # ------------------------------------------------------------------
+    def ship_records(self, records: List[RedoRecord]):
+        """Generator: group by segment, stamp back-links, quorum-ship.
+
+        Returns once every segment batch reached its quorum; remaining
+        replicas complete in the background (and gossip can fill any that
+        fail).
+        """
+        by_segment: Dict[int, List[RedoRecord]] = {}
+        for record in records:
+            segment_no = self.segment_of(record.page_id)
+            record.back_link = self._chain_tail[segment_no]
+            self._chain_tail[segment_no] = record.lsn
+            by_segment.setdefault(segment_no, []).append(record)
+        waits = []
+        for segment_no, batch in by_segment.items():
+            waits.append(
+                self.env.process(self._ship_segment(segment_no, batch))
+            )
+        yield AllOf(self.env, waits)
+        self.ships += 1
+
+    def _ship_segment(self, segment_no: int, batch: List[RedoRecord]):
+        nbytes = sum(r.log_bytes for r in batch)
+        procs = []
+        for server in self.replicas_of(segment_no):
+            procs.append(
+                self.env.process(self._ship_to_server(server, segment_no,
+                                                      batch, nbytes))
+            )
+        yield from self._await_quorum(procs, self.quorum)
+
+    def _ship_to_server(self, server: PageStoreServer, segment_no: int,
+                        batch: List[RedoRecord], nbytes: int):
+        yield from self.network.send(nbytes)
+        yield from server.receive_records(segment_no, batch)
+        yield from self.network.send(64)
+
+    def _await_quorum(self, procs, need: int):
+        """Generator: fires once ``need`` of the processes succeeded."""
+        done = Event(self.env)
+        state = {"ok": 0, "fail": 0}
+
+        def callback(event):
+            event._defused = True  # a failed replica is survivable
+            if done.triggered:
+                return
+            if event.ok:
+                state["ok"] += 1
+                if state["ok"] >= need:
+                    done.succeed(state["ok"])
+            else:
+                state["fail"] += 1
+                if len(procs) - state["fail"] < need:
+                    done.fail(
+                        StorageError("quorum unreachable (%d failures)"
+                                     % state["fail"])
+                    )
+
+        for proc in procs:
+            if proc.processed:
+                callback(proc)
+            else:
+                proc.callbacks.append(callback)
+        result = yield done
+        return result
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read_page(self, page_id: PageId, min_lsn: int = 0):
+        """Generator: RPC page read with replica failover and gossip fill.
+
+        Returns a fresh :class:`Page` clone at LSN >= min_lsn.
+        """
+        segment_no = self.segment_of(page_id)
+        replicas = self.replicas_of(segment_no)
+        last_error: Optional[StorageError] = None
+        for attempt, server in enumerate(replicas):
+            if not server.alive:
+                continue
+            try:
+                yield from self.network.send(96)
+                replica = server.replica(segment_no)
+                if replica.missing_range() is not None:
+                    yield from self._gossip_fill(server, segment_no)
+                page = yield from server.read_page(segment_no, page_id, min_lsn)
+                yield from self.network.send(page.size)
+                self.page_reads += 1
+                return page
+            except StorageError as exc:
+                last_error = exc
+        raise last_error or StorageError("no replica served page %s" % page_id)
+
+    # ------------------------------------------------------------------
+    # Gossip
+    # ------------------------------------------------------------------
+    def _gossip_fill(self, lagging: PageStoreServer, segment_no: int):
+        """Generator: fetch a lagging replica's missing records from peers.
+
+        Each round targets the earliest gap and merges what *every* healthy
+        peer has in that range - with quorum-2 shipping, consecutive missing
+        records can be scattered across different peers, so a single-peer
+        answer may only partially close a gap.  Rounds repeat until the
+        chain is whole or no peer can contribute anything new.
+        """
+        for _ in range(32):  # a gap may hide further gaps behind it
+            gap = lagging.replica(segment_no).missing_range()
+            if gap is None:
+                return
+            after_lsn, up_to = gap
+            progressed = False
+            for peer in self.replicas_of(segment_no):
+                if peer is lagging or not peer.alive:
+                    continue
+                yield from self.gossip_network.call(
+                    64, 512, server_cpu=peer.cpu, server_cpu_seconds=3 * US
+                )
+                records = peer.serve_gossip(segment_no, after_lsn, up_to)
+                if not records:
+                    continue
+                replica = lagging.replica(segment_no)
+                state = (replica.chain_lsn, len(replica.history),
+                         len(replica.parked))
+                for record in records:
+                    replica.accept(record)
+                if (replica.chain_lsn, len(replica.history),
+                        len(replica.parked)) != state:
+                    progressed = True
+                self.gossip_rounds += 1
+            if not progressed:
+                return
+
+    # ------------------------------------------------------------------
+    # Background apply daemon
+    # ------------------------------------------------------------------
+    def start_apply_daemon(self, interval: float = 1 * MS) -> None:
+        """Continuously replay shipped records on every server."""
+
+        def loop():
+            while True:
+                yield self.env.timeout(interval)
+                for server in self.servers:
+                    if not server.alive:
+                        continue
+                    # Snapshot: catch_up yields, and new segment replicas
+                    # may register while this generator is suspended.
+                    for segment_no, replica in list(server.replicas.items()):
+                        if replica.to_apply:
+                            yield from server.catch_up(segment_no)
+
+        self.env.process(loop(), name="pagestore-apply")
+
+    # ------------------------------------------------------------------
+    # Introspection for push-down planning
+    # ------------------------------------------------------------------
+    def server_for_page(self, page_id: PageId) -> PageStoreServer:
+        """The primary replica server for a page (PQ task grouping)."""
+        return self.replicas_of(self.segment_of(page_id))[0]
+
+    def pages_of_space(self, space_no: int) -> List[Page]:
+        """All pages of a tablespace (primary replicas, fully applied).
+
+        Recovery-path metadata query; applies pending records inline.
+        """
+        pages: Dict[PageId, Page] = {}
+        for segment_no in range(self.num_segments):
+            server = next(
+                (s for s in self.replicas_of(segment_no) if s.alive), None
+            )
+            if server is None:
+                continue
+            replica = server.replica(segment_no)
+            replica.apply_all()
+            for page_id, page in replica.pages.items():
+                if page_id.space_no == space_no:
+                    pages[page_id] = page
+        return list(pages.values())
+
+    def applied_lsn(self, page_id: PageId) -> int:
+        segment_no = self.segment_of(page_id)
+        server = self.replicas_of(segment_no)[0]
+        page = server.replica(segment_no).pages.get(page_id)
+        return page.page_lsn if page is not None else -1

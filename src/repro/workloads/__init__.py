@@ -1,0 +1,44 @@
+"""Workload generators for every experiment in the paper.
+
+- :mod:`repro.workloads.microbench` - Table II log-writing micro-benchmark
+- :mod:`repro.workloads.tpcc` - TPC-C (Figures 6-7)
+- :mod:`repro.workloads.orders` - internal order processing (Figure 8)
+- :mod:`repro.workloads.ads` - internal advertisement library (Figure 9)
+- :mod:`repro.workloads.tpcch` - TPC-CH mixed workload (Figures 10, 11, 14)
+- :mod:`repro.workloads.lookup` - internal big-table lookups (Figure 12)
+- :mod:`repro.workloads.sysbench` - sysbench OLTP (Table III / Figure 13)
+"""
+
+from .ads import AdsClient, AdsConfig, AdsDatabase
+from .lookup import LookupClient, LookupConfig, LookupDatabase
+from .microbench import MicrobenchResult, run_astore_micro, run_logstore_micro
+from .orders import OrdersClient, OrdersConfig, OrdersDatabase
+from .sysbench import SysbenchClient, SysbenchConfig, SysbenchDatabase
+from .tpcc import TpccClient, TpccConfig, TpccDatabase, run_tpcc
+from .tpcch import CH_QUERIES, TpcchConfig, TpcchDatabase, ch_query_sql
+
+__all__ = [
+    "AdsClient",
+    "AdsConfig",
+    "AdsDatabase",
+    "LookupClient",
+    "LookupConfig",
+    "LookupDatabase",
+    "MicrobenchResult",
+    "run_astore_micro",
+    "run_logstore_micro",
+    "OrdersClient",
+    "OrdersConfig",
+    "OrdersDatabase",
+    "SysbenchClient",
+    "SysbenchConfig",
+    "SysbenchDatabase",
+    "TpccClient",
+    "TpccConfig",
+    "TpccDatabase",
+    "run_tpcc",
+    "CH_QUERIES",
+    "TpcchConfig",
+    "TpcchDatabase",
+    "ch_query_sql",
+]

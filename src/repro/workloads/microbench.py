@@ -1,0 +1,109 @@
+"""Log-writing micro-benchmark (paper Table II).
+
+"A micro benchmark tool that continuously writes 4 KB pages to either
+AStore or the regular LogStore in a single thread and measures the latency,
+I/OPS, and bandwidth."
+
+Paper numbers:
+
+=========  =================  ==========  ===================
+           avg write latency  avg I/OPS   avg bandwidth (MB/s)
+=========  =================  ==========  ===================
+W/O PMem   0.638 ms           1,527       5.97
+W/ PMem    0.086 ms           11,465      44.79
+=========  =================  ==========  ===================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..astore.cluster import AStoreCluster
+from ..astore.segment_ring import SegmentRing
+from ..common import KB, MB
+from ..sim.core import Environment
+from ..sim.metrics import LatencyRecorder
+from ..sim.rand import SeedSequence
+from ..storage.logstore import LogStore
+
+__all__ = ["MicrobenchResult", "run_logstore_micro", "run_astore_micro"]
+
+
+@dataclass
+class MicrobenchResult:
+    """One Table II row."""
+
+    label: str
+    avg_latency_ms: float
+    iops: float
+    bandwidth_mb_s: float
+    p99_latency_ms: float
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "avg_write_latency_ms": round(self.avg_latency_ms, 3),
+            "avg_iops": round(self.iops, 0),
+            "avg_bandwidth_mb_s": round(self.bandwidth_mb_s, 2),
+        }
+
+
+def run_logstore_micro(
+    writes: int = 2000, write_bytes: int = 4 * KB, seed: int = 7
+) -> MicrobenchResult:
+    """Single-threaded 4 KB appends against the SSD/TCP LogStore."""
+    env = Environment()
+    seeds = SeedSequence(seed)
+    store = LogStore(env, seeds)
+    recorder = LatencyRecorder()
+
+    def writer(env):
+        for _ in range(writes):
+            latency = yield from store.append(write_bytes)
+            recorder.record(latency)
+
+    proc = env.process(writer(env))
+    env.run_until_event(proc)
+    elapsed = env.now
+    return _result("W/O PMem (LogStore)", recorder, writes, write_bytes, elapsed)
+
+
+def run_astore_micro(
+    writes: int = 2000, write_bytes: int = 4 * KB, seed: int = 7
+) -> MicrobenchResult:
+    """Single-threaded 4 KB appends through a SegmentRing on AStore."""
+    env = Environment()
+    seeds = SeedSequence(seed)
+    cluster = AStoreCluster(env, seeds, num_servers=3,
+                            segment_slot_size=16 * MB)
+    client = cluster.new_client("micro")
+    ring = SegmentRing(client, ring_size=8, segment_size=16 * MB)
+    recorder = LatencyRecorder()
+
+    def writer(env):
+        yield from ring.initialize(first_lsn=0)
+        start_after_init = env.now
+        lsn = 0
+        for _ in range(writes):
+            start = env.now
+            lsn += write_bytes
+            yield from ring.append(lsn, write_bytes, b"")
+            recorder.record(env.now - start)
+        return start_after_init
+
+    proc = env.process(writer(env))
+    env.run_until_event(proc)
+    elapsed = env.now - proc.value
+    return _result("W/ PMem (AStore)", recorder, writes, write_bytes, elapsed)
+
+
+def _result(label, recorder, writes, write_bytes, elapsed) -> MicrobenchResult:
+    iops = writes / elapsed if elapsed > 0 else 0.0
+    bandwidth = iops * write_bytes / (1024.0 * 1024.0)
+    return MicrobenchResult(
+        label=label,
+        avg_latency_ms=recorder.mean * 1000.0,
+        iops=iops,
+        bandwidth_mb_s=bandwidth,
+        p99_latency_ms=recorder.p99 * 1000.0,
+    )

@@ -1,0 +1,183 @@
+"""The internal order-processing workload (paper Section VII-A, Fig. 8).
+
+Characteristics stated in the paper:
+
+1. INSERTs are wide - about 2 KB per row.
+2. UPDATEs hit hot rows: one merchant's balance record receives many
+   concurrent updates.
+3. The customer needs 10,000+ TPS.
+
+Two transaction shapes are measured: a *single insert* transaction, and the
+full *order processing* transaction (a batch of orders for one vendor: the
+vendor's balance row is updated per order and the updated balance is
+inserted into the order-flow table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common import TransactionAborted
+from ..engine.codec import DECIMAL, INT, VARCHAR, Column, Schema
+from ..engine.dbengine import DBEngine
+from ..sim.metrics import LatencyRecorder, ThroughputMeter
+from ..sim.rand import Rng
+
+__all__ = ["OrdersConfig", "OrdersDatabase", "OrdersClient"]
+
+#: Filler bringing the order-flow row to ~2 KB, per the paper.
+WIDE_ROW_FILLER = 1900
+
+
+@dataclass
+class OrdersConfig:
+    vendors: int = 20
+    #: Zipf-ish hotness: fraction of traffic hitting the hottest vendor.
+    hot_vendor_share: float = 0.5
+    orders_per_batch: int = 8
+
+
+class OrdersDatabase:
+    """Vendor accounts + the wide order-flow table."""
+
+    def __init__(self, engine: DBEngine, config: OrdersConfig):
+        self.engine = engine
+        self.config = config
+        self._next_order_id = 0
+        engine.create_table(
+            "vendor_account",
+            Schema(
+                [
+                    Column("v_id", INT()),
+                    Column("v_name", VARCHAR(32)),
+                    Column("v_balance", DECIMAL(2)),
+                    Column("v_order_count", INT()),
+                ]
+            ),
+            ["v_id"],
+        )
+        engine.create_table(
+            "order_flow",
+            Schema(
+                [
+                    Column("of_id", INT()),
+                    Column("of_v_id", INT()),
+                    Column("of_amount", DECIMAL(2)),
+                    Column("of_balance_after", DECIMAL(2)),
+                    Column("of_payload", VARCHAR(2048)),
+                ]
+            ),
+            ["of_id"],
+        )
+
+    def load(self):
+        """Generator: create the vendor accounts."""
+        txn = self.engine.begin()
+        for v_id in range(1, self.config.vendors + 1):
+            yield from self.engine.insert(
+                txn, "vendor_account", [v_id, "vendor-%d" % v_id, 0.0, 0]
+            )
+        yield from self.engine.commit(txn)
+
+    def next_order_id(self) -> int:
+        self._next_order_id += 1
+        return self._next_order_id
+
+
+class OrdersClient:
+    """One application worker issuing order traffic."""
+
+    def __init__(self, database: OrdersDatabase, rng: Rng):
+        self.db = database
+        self.engine = database.engine
+        self.rng = rng
+        self.latencies = LatencyRecorder()
+        self.committed = 0
+        self.aborted = 0
+
+    def _pick_vendor(self) -> int:
+        if self.rng.random() < self.db.config.hot_vendor_share:
+            return 1  # the hot merchant
+        return self.rng.randint(1, self.db.config.vendors)
+
+    def single_insert(self):
+        """Generator: one wide-row insert transaction (Fig. 8 left)."""
+        start = self.engine.env.now
+        txn = self.engine.begin()
+        try:
+            order_id = self.db.next_order_id()
+            yield from self.engine.insert(
+                txn,
+                "order_flow",
+                [
+                    order_id,
+                    self._pick_vendor(),
+                    25.0,
+                    0.0,
+                    "p" * WIDE_ROW_FILLER,
+                ],
+            )
+            yield from self.engine.commit(txn)
+        except TransactionAborted:
+            yield from self.engine.rollback(txn)
+            self.aborted += 1
+            return None
+        latency = self.engine.env.now - start
+        self.latencies.record(latency)
+        self.committed += 1
+        return latency
+
+    def order_processing(self):
+        """Generator: the full batched transaction (Fig. 8 right).
+
+        A vendor's orders are batched into one transaction: each order
+        updates the (hot) balance row and inserts the updated balance into
+        the order-flow table.
+        """
+        start = self.engine.env.now
+        vendor = self._pick_vendor()
+        txn = self.engine.begin()
+        try:
+            for _ in range(self.db.config.orders_per_batch):
+                amount = round(5.0 + self.rng.random() * 95.0, 2)
+                account = yield from self.engine.read_row(
+                    txn, "vendor_account", (vendor,), for_update=True
+                )
+                new_balance = round(account[2] + amount, 2)
+                yield from self.engine.update(
+                    txn,
+                    "vendor_account",
+                    (vendor,),
+                    {"v_balance": new_balance, "v_order_count": account[3] + 1},
+                )
+                yield from self.engine.insert(
+                    txn,
+                    "order_flow",
+                    [
+                        self.db.next_order_id(),
+                        vendor,
+                        amount,
+                        new_balance,
+                        "p" * WIDE_ROW_FILLER,
+                    ],
+                )
+            yield from self.engine.commit(txn)
+        except TransactionAborted:
+            yield from self.engine.rollback(txn)
+            self.aborted += 1
+            return None
+        latency = self.engine.env.now - start
+        self.latencies.record(latency)
+        self.committed += 1
+        return latency
+
+    def run_for(self, duration: float, kind: str = "order_processing",
+                meter: Optional[ThroughputMeter] = None):
+        """Generator: issue transactions back to back until the deadline."""
+        deadline = self.engine.env.now + duration
+        work = self.single_insert if kind == "single_insert" else self.order_processing
+        while self.engine.env.now < deadline:
+            latency = yield from work()
+            if meter is not None and latency is not None:
+                meter.record(self.engine.env.now)

@@ -1,0 +1,136 @@
+"""sysbench-style OLTP workload (paper Section VII-B, Table III / Fig. 13).
+
+Implements the classic ``oltp_read_write`` shape: per "query" a client
+picks point selects, short range scans, and index updates over the sbtest
+table, with uniform key distribution.  QPS (operations/second) is the
+metric, matching the figure's y-axis.
+
+The interesting systems effect is buffer-pool pressure: Table III shrinks
+the DRAM buffer pool in the AStore deployment and gives the saved budget
+to a 3x-larger EBP, so a miss costs an RDMA read instead of a PageStore
+round trip as long as the working set fits DRAM+EBP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common import TransactionAborted
+from ..engine.codec import INT, VARCHAR, Column, Schema
+from ..engine.dbengine import DBEngine
+from ..sim.metrics import LatencyRecorder, ThroughputMeter
+from ..sim.rand import Rng
+
+__all__ = ["SysbenchConfig", "SysbenchDatabase", "SysbenchClient"]
+
+
+@dataclass
+class SysbenchConfig:
+    rows: int = 4000
+    #: Row padding (sysbench's c/pad columns; spec is 120+60 chars).
+    pad_chars: int = 120
+    point_selects: int = 4
+    range_scans: int = 1
+    range_size: int = 20
+    index_updates: int = 1
+
+
+class SysbenchDatabase:
+    def __init__(self, engine: DBEngine, config: SysbenchConfig):
+        self.engine = engine
+        self.config = config
+        engine.create_table(
+            "sbtest",
+            Schema(
+                [
+                    Column("id", INT()),
+                    Column("k", INT()),
+                    Column("c", VARCHAR(256)),
+                    Column("pad", VARCHAR(64)),
+                ]
+            ),
+            ["id"],
+        )
+
+    def load(self):
+        txn = self.engine.begin()
+        for row_id in range(1, self.config.rows + 1):
+            yield from self.engine.insert(
+                txn,
+                "sbtest",
+                [
+                    row_id,
+                    (row_id * 7919) % self.config.rows,
+                    "c" * self.config.pad_chars,
+                    "p" * (self.config.pad_chars // 2),
+                ],
+            )
+            if row_id % 500 == 0:
+                yield from self.engine.commit(txn)
+                txn = self.engine.begin()
+        yield from self.engine.commit(txn)
+
+
+class SysbenchClient:
+    def __init__(self, database: SysbenchDatabase, rng: Rng):
+        self.db = database
+        self.engine = database.engine
+        self.rng = rng
+        self.latencies = LatencyRecorder()
+        self.operations = 0
+        self.aborted = 0
+
+    def _key(self) -> int:
+        return self.rng.randint(1, self.db.config.rows)
+
+    def run_one(self):
+        """Generator: one sysbench "event" (the standard statement bundle).
+
+        Returns the number of statements completed (counted as QPS).
+        """
+        config = self.db.config
+        engine = self.engine
+        start = engine.env.now
+        table = engine.catalog.table("sbtest")
+        statements = 0
+        txn = engine.begin()
+        try:
+            for _ in range(config.point_selects):
+                yield from engine.read_row(None, "sbtest", (self._key(),))
+                statements += 1
+            for _ in range(config.range_scans):
+                low = self._key()
+                count = 0
+                for key, locator in table.pk_index.range(
+                    (low,), (low + config.range_size,)
+                ):
+                    page_no, slot = locator
+                    page = yield from engine.fetch_page(table.page_id(page_no))
+                    count += 1
+                statements += 1
+            for _ in range(config.index_updates):
+                key = self._key()
+                row = yield from engine.read_row(
+                    txn, "sbtest", (key,), for_update=True
+                )
+                yield from engine.update(
+                    txn, "sbtest", (key,), {"k": (row[1] + 1) % config.rows}
+                )
+                statements += 1
+            yield from engine.commit(txn)
+        except TransactionAborted:
+            yield from engine.rollback(txn)
+            self.aborted += 1
+            return 0
+        self.latencies.record(engine.env.now - start)
+        self.operations += statements
+        return statements
+
+    def run_for(self, duration: float, meter: Optional[ThroughputMeter] = None):
+        deadline = self.engine.env.now + duration
+        while self.engine.env.now < deadline:
+            statements = yield from self.run_one()
+            if meter is not None and statements:
+                for _ in range(statements):
+                    meter.record(self.engine.env.now)

@@ -1,0 +1,348 @@
+"""Tests for AStore client + cluster manager: routing, leases, replication,
+failure handling, and the one-sided consistency protocol."""
+
+import pytest
+
+from repro.common import (
+    MB,
+    US,
+    LeaseExpiredError,
+    SegmentFrozenError,
+    SegmentNotFoundError,
+    StorageError,
+)
+from repro.sim.core import Environment
+from repro.sim.rand import SeedSequence
+from repro.astore.cluster import AStoreCluster
+
+
+def make_cluster(num_servers=3, **kwargs):
+    env = Environment()
+    seeds = SeedSequence(7)
+    cluster = AStoreCluster(env, seeds, num_servers=num_servers, **kwargs)
+    return env, cluster
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value
+
+
+def test_create_places_replicas_on_distinct_servers():
+    env, cluster = make_cluster()
+    client = cluster.new_client("c1")
+
+    def do(env):
+        return (yield from client.create(1 * MB, replication=3))
+
+    segment_id = run(env, do(env))
+    route = cluster.cm.lookup_route(segment_id)
+    assert len(set(route.replicas)) == 3
+    for server_id in route.replicas:
+        assert segment_id in cluster.servers[server_id].segments
+
+
+def test_create_is_control_plane_slow():
+    env, cluster = make_cluster()
+    client = cluster.new_client("c1")
+
+    def do(env):
+        start = env.now
+        yield from client.create(1 * MB, replication=3)
+        return env.now - start
+
+    elapsed = run(env, do(env))
+    # "a few milliseconds" per the paper: RPCs to CM + 3 servers.
+    assert elapsed > 300 * US
+
+
+def test_write_replicates_to_all_and_read_roundtrips():
+    env, cluster = make_cluster()
+    client = cluster.new_client("c1")
+
+    def do(env):
+        seg = yield from client.create(1 * MB, replication=3)
+        offset, length = yield from client.write(seg, 4096, "redo-batch-1")
+        value = yield from client.read(seg, offset, length)
+        return seg, offset, value
+
+    seg, offset, value = run(env, do(env))
+    assert offset == 0
+    assert value == "redo-batch-1"
+    for server in cluster.servers.values():
+        if seg in server.segments:
+            assert server.segments[seg].write_offset == 4096
+
+
+def test_write_latency_is_data_plane_fast():
+    env, cluster = make_cluster()
+    client = cluster.new_client("c1")
+
+    def do(env):
+        seg = yield from client.create(1 * MB, replication=3)
+        start = env.now
+        yield from client.write(seg, 512, "r")
+        return env.now - start
+
+    latency = run(env, do(env))
+    assert latency < 100 * US  # microseconds, not milliseconds
+
+
+def test_replica_failure_freezes_segment():
+    env, cluster = make_cluster()
+    client = cluster.new_client("c1")
+
+    def do(env):
+        seg = yield from client.create(1 * MB, replication=3)
+        yield from client.write(seg, 512, "a")
+        route = cluster.cm.lookup_route(seg)
+        cluster.servers[route.replicas[0]].crash()
+        try:
+            yield from client.write(seg, 512, "b")
+        except SegmentFrozenError:
+            return seg, "frozen"
+        return seg, "wrote"
+
+    seg, outcome = run(env, do(env))
+    assert outcome == "frozen"
+    assert client.open_segments[seg].frozen
+    # Effective length is the last acknowledged write.
+    assert client.open_segments[seg].written == 512
+
+
+def test_frozen_segment_rejects_further_writes():
+    env, cluster = make_cluster()
+    client = cluster.new_client("c1")
+
+    def do(env):
+        seg = yield from client.create(1 * MB, replication=3)
+        route = cluster.cm.lookup_route(seg)
+        cluster.servers[route.replicas[0]].crash()
+        try:
+            yield from client.write(seg, 512, "x")
+        except SegmentFrozenError:
+            pass
+        yield from client.write(seg, 512, "y")
+
+    with pytest.raises(SegmentFrozenError):
+        run(env, do(env))
+
+
+def test_read_fails_over_to_surviving_replica():
+    env, cluster = make_cluster()
+    client = cluster.new_client("c1")
+
+    def do(env):
+        seg = yield from client.create(1 * MB, replication=3)
+        yield from client.write(seg, 256, "durable")
+        route = cluster.cm.lookup_route(seg)
+        cluster.servers[route.replicas[0]].crash()
+        return (yield from client.read(seg, 0, 256))
+
+    assert run(env, do(env)) == "durable"
+
+
+def test_single_replica_ebp_segment_loss_is_total():
+    env, cluster = make_cluster()
+    client = cluster.new_client("c1")
+
+    def do(env):
+        seg = yield from client.create(1 * MB, replication=1)
+        yield from client.write(seg, 256, "cached-page")
+        route = cluster.cm.lookup_route(seg)
+        cluster.servers[route.replicas[0]].crash()
+        yield from client.read(seg, 0, 256)
+
+    with pytest.raises(StorageError):
+        run(env, do(env))
+
+
+def test_lease_expiry_blocks_writes():
+    env, cluster = make_cluster(lease_duration=2.0)
+    client = cluster.new_client("c1")
+
+    def do(env):
+        seg = yield from client.create(1 * MB, replication=3)
+        yield env.timeout(5.0)  # client "hangs"; lease expires
+        yield from client.write(seg, 128, "zombie write")
+
+    with pytest.raises(LeaseExpiredError):
+        run(env, do(env))
+
+
+def test_lease_renewal_keeps_client_alive():
+    env, cluster = make_cluster(lease_duration=2.0)
+    client = cluster.new_client("c1")
+
+    def do(env):
+        seg = yield from client.create(1 * MB, replication=3)
+        for _ in range(5):
+            yield env.timeout(1.0)
+            yield from client.renew_lease()
+        yield from client.write(seg, 128, "alive")
+        return "ok"
+
+    assert run(env, do(env)) == "ok"
+
+
+def test_ownership_transfer_story():
+    """Section IV-C: client A dies, B takes over the segment, A returns and
+    must not be able to write."""
+    env, cluster = make_cluster(lease_duration=2.0)
+    client_a = cluster.new_client("a")
+    client_b = cluster.new_client("b")
+
+    def do(env):
+        seg = yield from client_a.create(1 * MB, replication=3)
+        yield from client_a.write(seg, 128, "a1")
+        # A goes silent; its lease expires.
+        yield env.timeout(5.0)
+        yield from client_b.renew_lease()
+        cluster.cm.transfer_ownership(seg, "b")
+        # A returns and tries to write without renewing.
+        try:
+            yield from client_a.write(seg, 128, "a2-stale")
+        except LeaseExpiredError:
+            return "blocked"
+        return "inconsistency"
+
+    assert run(env, do(env)) == "blocked"
+
+
+def test_heartbeat_detects_failure_and_rebuilds():
+    env, cluster = make_cluster(num_servers=4)
+    client = cluster.new_client("c1")
+
+    def do(env):
+        seg = yield from client.create(1 * MB, replication=3)
+        yield from client.write(seg, 512, "replicated")
+        route_before = cluster.cm.lookup_route(seg)
+        victim = route_before.replicas[0]
+        cluster.servers[victim].crash()
+        # Simulate heartbeat rounds past the failure timeout.
+        for _ in range(6):
+            yield env.timeout(1.0)
+            cluster.cm.heartbeat_sweep()
+        route_after = cluster.cm.lookup_route(seg)
+        return victim, route_before, route_after
+
+    victim, before, after = run(env, do(env))
+    assert victim not in after.replicas
+    assert len(after.replicas) == 3
+    assert after.epoch > before.epoch
+    new_replica = (set(after.replicas) - set(before.replicas)).pop()
+    segment = cluster.servers[new_replica].segments[before.segment_id]
+    assert segment.write_offset == 512  # contents copied during rebuild
+    assert cluster.cm.rebuilds == 1
+
+
+def test_route_refresh_picks_up_epoch_change():
+    env, cluster = make_cluster(num_servers=4)
+    client = cluster.new_client("c1")
+
+    def do(env):
+        seg = yield from client.create(1 * MB, replication=3)
+        yield from client.write(seg, 128, "x")
+        victim = cluster.cm.lookup_route(seg).replicas[0]
+        cluster.servers[victim].crash()
+        for _ in range(6):
+            yield env.timeout(1.0)
+            cluster.cm.heartbeat_sweep()
+        old_epoch = client.open_segments[seg].route.epoch
+        yield from client.refresh_routes()
+        return old_epoch, client.open_segments[seg].route.epoch
+
+    old_epoch, new_epoch = run(env, do(env))
+    assert new_epoch > old_epoch
+
+
+def test_returned_server_segments_marked_stale():
+    env, cluster = make_cluster(num_servers=4)
+    client = cluster.new_client("c1")
+
+    def do(env):
+        seg = yield from client.create(1 * MB, replication=3)
+        yield from client.write(seg, 128, "x")
+        victim = cluster.cm.lookup_route(seg).replicas[0]
+        cluster.servers[victim].crash()
+        for _ in range(6):
+            yield env.timeout(1.0)
+            cluster.cm.heartbeat_sweep()
+        cluster.servers[victim].restart()
+        cluster.cm.heartbeat_sweep()
+        return victim, seg
+
+    victim, seg = run(env, do(env))
+    stale_copy = cluster.servers[victim].segments.get(seg)
+    assert stale_copy is not None and stale_copy.stale
+
+
+def test_refresh_faster_than_cleanup_invariant_enforced():
+    env = Environment()
+    seeds = SeedSequence(5)
+    with pytest.raises(ValueError):
+        AStoreCluster(
+            env, seeds, num_servers=3, cleanup_delay=2.0, route_refresh_period=1.0
+        ).new_client("c1")
+
+
+def test_delete_segment_releases_space():
+    env, cluster = make_cluster()
+    client = cluster.new_client("c1")
+
+    def do(env):
+        seg = yield from client.create(1 * MB, replication=3)
+        yield from client.write(seg, 128, "gone soon")
+        yield from client.delete(seg)
+        return seg
+
+    seg = run(env, do(env))
+    with pytest.raises(SegmentNotFoundError):
+        cluster.cm.lookup_route(seg)
+    for server in cluster.servers.values():
+        assert seg not in server.segments
+
+
+def test_delete_by_non_owner_rejected():
+    env, cluster = make_cluster()
+    client_a = cluster.new_client("a")
+    client_b = cluster.new_client("b")
+
+    def do(env):
+        seg = yield from client_a.create(1 * MB, replication=3)
+        yield from client_b.delete(seg)
+
+    with pytest.raises(StorageError):
+        run(env, do(env))
+
+
+def test_open_existing_segment_recovers_written_length():
+    env, cluster = make_cluster()
+    client_a = cluster.new_client("a")
+    client_b = cluster.new_client("b")
+
+    def do(env):
+        seg = yield from client_a.create(1 * MB, replication=3)
+        yield from client_a.write(seg, 100, "one")
+        yield from client_a.write(seg, 200, "two")
+        meta = yield from client_b.open(seg)
+        return meta.written
+
+    assert run(env, do(env)) == 300
+
+
+def test_maintenance_daemons_keep_lease_alive():
+    env, cluster = make_cluster(lease_duration=3.0)
+    client = cluster.new_client("c1")
+    cluster.start_maintenance()
+
+    def do(env):
+        seg = yield from client.create(1 * MB, replication=3)
+        yield env.timeout(20.0)  # many lease durations
+        yield from client.write(seg, 64, "still the owner")
+        return "ok"
+
+    proc = env.process(do(env))
+    env.run_until_event(proc)
+    assert proc.value == "ok"

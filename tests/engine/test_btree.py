@@ -1,0 +1,159 @@
+"""B+-tree tests, including model-based property checks against a dict."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.btree import BPlusTree
+
+
+def test_empty_tree():
+    tree = BPlusTree(order=4)
+    assert len(tree) == 0
+    assert tree.get(1) is None
+    assert 1 not in tree
+    assert tree.min_key() is None
+    assert tree.max_key() is None
+    assert list(tree.items()) == []
+
+
+def test_insert_and_get():
+    tree = BPlusTree(order=4)
+    tree.insert(5, "five")
+    tree.insert(1, "one")
+    tree.insert(9, "nine")
+    assert tree.get(5) == "five"
+    assert tree.get(1) == "one"
+    assert tree.get(2) is None
+    assert len(tree) == 3
+
+
+def test_insert_overwrites():
+    tree = BPlusTree(order=4)
+    tree.insert(1, "a")
+    tree.insert(1, "b")
+    assert tree.get(1) == "b"
+    assert len(tree) == 1
+
+
+def test_splits_preserve_order():
+    tree = BPlusTree(order=4)
+    for i in range(200):
+        tree.insert(i * 7 % 200, i)
+    keys = [k for k, _ in tree.items()]
+    assert keys == sorted(keys)
+    assert len(keys) == 200
+    assert tree.height > 1
+
+
+def test_delete():
+    tree = BPlusTree(order=4)
+    for i in range(50):
+        tree.insert(i, i)
+    assert tree.delete(25)
+    assert not tree.delete(25)
+    assert tree.get(25) is None
+    assert len(tree) == 49
+
+
+def test_delete_everything_then_reuse():
+    tree = BPlusTree(order=4)
+    for i in range(100):
+        tree.insert(i, i)
+    for i in range(100):
+        assert tree.delete(i)
+    assert len(tree) == 0
+    tree.insert(42, "back")
+    assert tree.get(42) == "back"
+
+
+def test_range_scan_half_open():
+    tree = BPlusTree(order=4)
+    for i in range(0, 100, 2):
+        tree.insert(i, i * 10)
+    result = list(tree.range(10, 20))
+    assert [k for k, _ in result] == [10, 12, 14, 16, 18]
+    result = list(tree.range(10, 20, include_high=True))
+    assert [k for k, _ in result] == [10, 12, 14, 16, 18, 20]
+
+
+def test_range_scan_open_ends():
+    tree = BPlusTree(order=4)
+    for i in range(10):
+        tree.insert(i, i)
+    assert [k for k, _ in tree.range(None, 3)] == [0, 1, 2]
+    assert [k for k, _ in tree.range(7, None)] == [7, 8, 9]
+    assert [k for k, _ in tree.range()] == list(range(10))
+
+
+def test_range_with_missing_boundaries():
+    tree = BPlusTree(order=4)
+    for i in range(0, 100, 10):
+        tree.insert(i, i)
+    assert [k for k, _ in tree.range(15, 45)] == [20, 30, 40]
+
+
+def test_tuple_keys():
+    tree = BPlusTree(order=4)
+    tree.insert((1, 2), "a")
+    tree.insert((1, 1), "b")
+    tree.insert((2, 0), "c")
+    assert [k for k, _ in tree.items()] == [(1, 1), (1, 2), (2, 0)]
+    assert [k for k, _ in tree.range((1, 0), (2, 0))] == [(1, 1), (1, 2)]
+
+
+def test_min_max_keys():
+    tree = BPlusTree(order=4)
+    for i in [5, 3, 8, 1, 9]:
+        tree.insert(i, i)
+    assert tree.min_key() == 1
+    assert tree.max_key() == 9
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        BPlusTree(order=2)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "get"]),
+            st.integers(min_value=0, max_value=300),
+        ),
+        max_size=400,
+    ),
+    order=st.sampled_from([4, 5, 8, 64]),
+)
+@settings(max_examples=40, deadline=None)
+def test_btree_matches_dict_model(ops, order):
+    """Model-based property: the tree behaves exactly like a dict, and
+    iteration stays sorted through any operation sequence."""
+    tree = BPlusTree(order=order)
+    model = {}
+    for kind, key in ops:
+        if kind == "insert":
+            tree.insert(key, key * 2)
+            model[key] = key * 2
+        elif kind == "delete":
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert tree.get(key) == model.get(key)
+    assert len(tree) == len(model)
+    assert list(tree.items()) == sorted(model.items())
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=10000), min_size=1, max_size=300),
+    low=st.integers(min_value=0, max_value=10000),
+    span=st.integers(min_value=0, max_value=3000),
+)
+@settings(max_examples=30, deadline=None)
+def test_range_scan_matches_model(keys, low, span):
+    tree = BPlusTree(order=8)
+    for k in keys:
+        tree.insert(k, k)
+    high = low + span
+    expected = sorted(k for k in set(keys) if low <= k < high)
+    assert [k for k, _ in tree.range(low, high)] == expected

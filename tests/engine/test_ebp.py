@@ -1,0 +1,290 @@
+"""Tests for the Extended Buffer Pool."""
+
+import pytest
+
+from repro.common import KB, MB, PageId
+from repro.astore.cluster import AStoreCluster
+from repro.engine.ebp import EBP_PAGE_TAG, ExtendedBufferPool, describe_ebp_payload
+from repro.engine.page import Page, PageOp, apply_op
+from repro.sim.core import Environment
+from repro.sim.rand import SeedSequence
+
+PAGE_SIZE = 4 * KB
+
+
+def make_ebp(capacity=8 * MB, segment=1 * MB, policy="flat", priorities=None,
+             compaction=True, servers=3):
+    env = Environment()
+    seeds = SeedSequence(77)
+    cluster = AStoreCluster(env, seeds, num_servers=servers,
+                            segment_slot_size=max(segment, 1 * MB))
+    client = cluster.new_client("ebp")
+    ebp = ExtendedBufferPool(
+        env,
+        client,
+        capacity_bytes=capacity,
+        segment_size=segment,
+        page_size=PAGE_SIZE,
+        policy=policy,
+        space_priorities=priorities,
+        compaction_enabled=compaction,
+    )
+    return env, cluster, ebp
+
+
+def make_page(space, number, lsn=1, payload=b"data"):
+    page = Page(PageId(space, number), size=PAGE_SIZE)
+    apply_op(page, PageOp("insert", slot=0, row=payload), lsn)
+    return page
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run_until_event(proc)
+    return proc.value
+
+
+def test_cache_and_get_roundtrip():
+    env, cluster, ebp = make_ebp()
+    page = make_page(1, 1, lsn=10, payload=b"cached")
+
+    def do(env):
+        ok = yield from ebp.cache_page(page)
+        assert ok
+        got = yield from ebp.get_page(PageId(1, 1), required_lsn=10)
+        return got
+
+    got = run(env, do(env))
+    assert got is not None
+    assert got.get(0) == b"cached"
+    assert got.page_lsn == 10
+    assert ebp.hits == 1
+
+
+def test_get_returns_clone():
+    env, cluster, ebp = make_ebp()
+    page = make_page(1, 1, lsn=5)
+
+    def do(env):
+        yield from ebp.cache_page(page)
+        first = yield from ebp.get_page(PageId(1, 1))
+        second = yield from ebp.get_page(PageId(1, 1))
+        return first, second
+
+    first, second = run(env, do(env))
+    assert first is not second
+    assert first.same_content(second)
+
+
+def test_miss_on_unknown_page():
+    env, cluster, ebp = make_ebp()
+
+    def do(env):
+        return (yield from ebp.get_page(PageId(9, 9)))
+
+    assert run(env, do(env)) is None
+    assert ebp.misses == 1
+
+
+def test_stale_entry_is_dropped_not_served():
+    env, cluster, ebp = make_ebp()
+    page = make_page(1, 1, lsn=10)
+
+    def do(env):
+        yield from ebp.cache_page(page)
+        got = yield from ebp.get_page(PageId(1, 1), required_lsn=20)
+        return got
+
+    assert run(env, do(env)) is None
+    assert ebp.stale_hits == 1
+    assert PageId(1, 1) not in ebp.index
+
+
+def test_newer_version_makes_old_copy_garbage():
+    env, cluster, ebp = make_ebp()
+    v1 = make_page(1, 1, lsn=10)
+    v2 = make_page(1, 1, lsn=20)
+
+    def do(env):
+        yield from ebp.cache_page(v1)
+        yield from ebp.cache_page(v2)
+        got = yield from ebp.get_page(PageId(1, 1), required_lsn=20)
+        return got
+
+    got = run(env, do(env))
+    assert got.page_lsn == 20
+    garbage = sum(s.garbage_bytes for s in ebp._segments.values())
+    assert garbage == PAGE_SIZE
+
+
+def test_older_version_not_recached():
+    env, cluster, ebp = make_ebp()
+    v2 = make_page(1, 1, lsn=20)
+    v1 = make_page(1, 1, lsn=10)
+
+    def do(env):
+        yield from ebp.cache_page(v2)
+        yield from ebp.cache_page(v1)  # older: ignored
+        got = yield from ebp.get_page(PageId(1, 1), required_lsn=0)
+        return got
+
+    assert run(env, do(env)).page_lsn == 20
+
+
+def test_capacity_eviction_lru():
+    # Room for 2 segments x 256 pages... use tiny capacity: 2 segments.
+    env, cluster, ebp = make_ebp(capacity=2 * MB, segment=1 * MB)
+    pages_per_segment = (1 * MB) // PAGE_SIZE
+
+    def do(env):
+        total = pages_per_segment * 2 + 10
+        for number in range(total):
+            ok = yield from ebp.cache_page(make_page(1, number, lsn=1))
+        return total
+
+    total = run(env, do(env))
+    assert ebp.evictions > 0
+    assert len(ebp.index) < total
+    assert ebp.allocated_bytes <= ebp.capacity_bytes
+
+
+def test_priority_policy_evicts_low_priority_first():
+    env, cluster, ebp = make_ebp(
+        capacity=2 * MB, segment=1 * MB, policy="priority",
+        priorities={1: 0, 2: 5},
+    )
+    pages_per_segment = (1 * MB) // PAGE_SIZE
+
+    def do(env):
+        # Fill with alternating low (space 1) and high (space 2) priority.
+        for number in range(pages_per_segment * 2 + 20):
+            space = 1 if number % 2 == 0 else 2
+            yield from ebp.cache_page(make_page(space, number, lsn=1))
+
+    run(env, do(env))
+    low = [pid for pid in ebp.index if pid.space_no == 1]
+    high = [pid for pid in ebp.index if pid.space_no == 2]
+    assert len(high) > len(low)  # victims were taken from low priority
+
+
+def test_compaction_reclaims_garbage_segments():
+    env, cluster, ebp = make_ebp(capacity=3 * MB, segment=1 * MB)
+    pages_per_segment = (1 * MB) // PAGE_SIZE
+
+    def do(env):
+        # Write pages, then overwrite all of them (making v1 garbage).
+        for number in range(pages_per_segment):
+            yield from ebp.cache_page(make_page(1, number, lsn=1))
+        for number in range(pages_per_segment):
+            yield from ebp.cache_page(make_page(1, number, lsn=2))
+        released_before = ebp.segments_released
+        yield from ebp.run_compaction()
+        return released_before
+
+    released_before = run(env, do(env))
+    assert ebp.segments_released > released_before
+
+
+def test_no_compaction_mode_releases_whole_segments():
+    env, cluster, ebp = make_ebp(capacity=2 * MB, segment=1 * MB,
+                                 compaction=False)
+    pages_per_segment = (1 * MB) // PAGE_SIZE
+
+    def do(env):
+        for number in range(pages_per_segment * 3):
+            yield from ebp.cache_page(make_page(1, number, lsn=1))
+
+    run(env, do(env))
+    assert ebp.segments_released > 0
+
+
+def test_purge_server_only_lowers_hit_ratio():
+    env, cluster, ebp = make_ebp()
+
+    def do(env):
+        for number in range(30):
+            yield from ebp.cache_page(make_page(1, number, lsn=1))
+        victim = next(iter(cluster.servers))
+        cluster.servers[victim].crash()
+        purged = ebp.purge_server(victim)
+        # Reads of surviving entries still work; purged ones are misses.
+        survivors = 0
+        for number in range(30):
+            got = yield from ebp.get_page(PageId(1, number))
+            if got is not None:
+                survivors += 1
+        return purged, survivors
+
+    purged, survivors = run(env, do(env))
+    assert purged + survivors >= 30 - ebp.evictions
+    assert survivors > 0 or purged == 30
+
+
+def test_rebuild_index_after_engine_crash():
+    env, cluster, ebp = make_ebp()
+
+    def do(env):
+        for number in range(10):
+            yield from ebp.cache_page(make_page(1, number, lsn=5))
+        # Engine pushes newer LSNs for two pages (they were re-modified).
+        ebp._dirty_lsns[PageId(1, 0)] = 9
+        ebp._dirty_lsns[PageId(1, 1)] = 9
+        yield from ebp.flush_dirty_lsns()
+        # Crash: the index vanishes with the engine.
+        ebp.index.clear()
+        count = yield from ebp.rebuild_index_after_crash()
+        return count
+
+    count = run(env, do(env))
+    # Pages 0 and 1 are pruned as stale (cached LSN 5 < pushed LSN 9).
+    assert count == 8
+    assert PageId(1, 0) not in ebp.index
+    assert PageId(1, 5) in ebp.index
+
+
+def test_rebuild_keeps_newest_copy():
+    env, cluster, ebp = make_ebp()
+
+    def do(env):
+        yield from ebp.cache_page(make_page(1, 1, lsn=5))
+        yield from ebp.cache_page(make_page(1, 1, lsn=9))
+        ebp.index.clear()
+        yield from ebp.rebuild_index_after_crash()
+        got = yield from ebp.get_page(PageId(1, 1))
+        return got
+
+    assert run(env, do(env)).page_lsn == 9
+
+
+def test_describe_payload():
+    page = make_page(1, 1, lsn=3)
+    payload = (EBP_PAGE_TAG, page.page_id, 3, page)
+    assert describe_ebp_payload(payload) == (page.page_id, 3)
+    assert describe_ebp_payload("junk") is None
+    assert describe_ebp_payload(("other", 1, 2, 3)) is None
+
+
+def test_policy_validation():
+    env = Environment()
+    seeds = SeedSequence(1)
+    cluster = AStoreCluster(env, seeds, num_servers=1)
+    client = cluster.new_client("x")
+    with pytest.raises(ValueError):
+        ExtendedBufferPool(env, client, capacity_bytes=8 * MB, policy="weird")
+    with pytest.raises(ValueError):
+        ExtendedBufferPool(env, client, capacity_bytes=1 * KB)
+
+
+def test_flush_dirty_lsns_batches():
+    env, cluster, ebp = make_ebp()
+
+    def do(env):
+        yield from ebp.cache_page(make_page(1, 1, lsn=5))
+        ebp.note_page_modified(PageId(1, 1), 8)
+        ebp.note_page_modified(PageId(2, 2), 8)  # not cached: ignored
+        sent = yield from ebp.flush_dirty_lsns()
+        return sent
+
+    assert run(env, do(env)) == 1
+    for server in cluster.servers.values():
+        assert server.ebp_latest_lsn.get(PageId(1, 1)) == 8

@@ -1,0 +1,49 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in COMMANDS:
+        assert name in out
+
+
+def test_no_command_lists(capsys):
+    assert main([]) == 0
+    assert "available experiments" in capsys.readouterr().out
+
+
+def test_parser_accepts_every_command():
+    parser = build_parser()
+    for name in COMMANDS:
+        args = parser.parse_args([name])
+        assert args.command == name
+
+
+def test_parser_client_lists():
+    parser = build_parser()
+    args = parser.parse_args(["fig6", "--clients", "2,4,8"])
+    assert args.clients == "2,4,8"
+
+
+def test_table2_command_runs(capsys):
+    assert main(["table2", "--writes", "150"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "speedup" in out
+
+
+def test_fig12_command_runs(capsys):
+    assert main(["fig12", "--lookups", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 12" in out
+    assert "no-EBP" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-a-figure"])

@@ -1,0 +1,133 @@
+"""Chaos integration tests: scheduled failures under live TPC-C traffic."""
+
+import pytest
+
+from repro import Deployment, DeploymentConfig
+from repro.harness.chaos import ChaosEvent, ChaosInjector, ChaosSchedule
+from repro.harness.stats import collect_stats, format_stats
+from repro.sim.core import AllOf
+from repro.workloads.tpcc import TpccClient, TpccConfig, TpccDatabase
+
+
+SMALL = TpccConfig(
+    warehouses=2, districts_per_warehouse=3, customers_per_district=8, items=30
+)
+
+
+def build(**kwargs):
+    dep = Deployment(DeploymentConfig.astore_ebp(seed=47, astore_servers=4,
+                                                 **kwargs))
+    dep.start()
+    database = TpccDatabase(dep.engine, SMALL, dep.seeds.stream("load"))
+    proc = dep.env.process(database.load())
+    dep.env.run_until_event(proc)
+    return dep, database
+
+
+def drive(dep, database, clients, duration):
+    terminals = [
+        TpccClient(database, dep.seeds.stream("c%d" % i)) for i in range(clients)
+    ]
+    procs = [dep.env.process(t.run_for(duration)) for t in terminals]
+    dep.env.run_until_event(AllOf(dep.env, procs))
+    return terminals
+
+
+def check_ytd(dep):
+    def work(env):
+        for w_id in range(1, SMALL.warehouses + 1):
+            warehouse = yield from dep.engine.read_row(None, "warehouse", (w_id,))
+            total = 0.0
+            for d_id in range(1, SMALL.districts_per_warehouse + 1):
+                district = yield from dep.engine.read_row(
+                    None, "district", (w_id, d_id)
+                )
+                total += district[6]
+            assert warehouse[7] == pytest.approx(total, abs=0.01)
+        return True
+
+    proc = dep.env.process(work(dep.env))
+    dep.env.run_until_event(proc)
+    return proc.value
+
+
+def test_chaos_schedule_validation():
+    with pytest.raises(ValueError):
+        ChaosEvent(0.1, "meteor_strike")
+    with pytest.raises(ValueError):
+        ChaosEvent(-1.0, "astore_crash")
+    schedule = ChaosSchedule().add(0.2, "astore_crash", "astore-0")
+    schedule.add(0.1, "network_spike", duration=0.05)
+    assert [e.kind for e in schedule.sorted_events()] == [
+        "network_spike", "astore_crash",
+    ]
+
+
+def test_tpcc_survives_astore_crash_restart_cycle():
+    dep, database = build()
+    schedule = (
+        ChaosSchedule()
+        .add(0.05, "astore_crash", "astore-0")
+        .add(0.20, "astore_restart", "astore-0")
+        .add(0.22, "astore_reclaim", "astore-0")
+    )
+    injector = ChaosInjector(dep, schedule)
+    injector.start()
+    terminals = drive(dep, database, clients=6, duration=0.35)
+    committed = sum(t.committed for t in terminals)
+    assert committed > 50
+    assert check_ytd(dep)
+    assert any("crashed AStore" in line for line in injector.log)
+    assert any("restarted AStore" in line for line in injector.log)
+
+
+def test_tpcc_survives_pagestore_outage():
+    dep, database = build()
+    victim = dep.pagestore.servers[0].server_id
+    schedule = (
+        ChaosSchedule()
+        .add(0.05, "pagestore_crash", victim)
+        .add(0.25, "pagestore_restart", victim)
+    )
+    ChaosInjector(dep, schedule).start()
+    terminals = drive(dep, database, clients=6, duration=0.35)
+    assert sum(t.committed for t in terminals) > 50
+    assert check_ytd(dep)
+
+
+def test_tpcc_survives_network_spike_window():
+    dep, database = build()
+    schedule = ChaosSchedule().add(
+        0.05, "network_spike", duration=0.1, factor=50.0
+    )
+    injector = ChaosInjector(dep, schedule)
+    injector.start()
+    terminals = drive(dep, database, clients=6, duration=0.3)
+    assert sum(t.committed for t in terminals) > 30
+    assert check_ytd(dep)
+    # The spike window must have been reverted.
+    assert dep.pagestore.network.spike_probability < 0.1
+
+
+def test_stats_report_covers_all_components():
+    dep, database = build()
+    drive(dep, database, clients=4, duration=0.1)
+    stats = collect_stats(dep)
+    assert stats["engine"]["committed"] > 0
+    assert stats["buffer_pool"]["hits"] > 0
+    assert "ebp" in stats
+    assert "astore" in stats
+    assert "segment_ring" in stats
+    assert stats["pagestore"]["ships"] > 0
+    text = format_stats(dep)
+    assert "engine.committed" in text
+    assert "astore.servers" in text
+
+
+def test_stats_on_stock_deployment():
+    dep = Deployment(DeploymentConfig.stock(seed=3))
+    dep.start()
+    stats = collect_stats(dep)
+    assert "logstore" in stats
+    assert "ebp" not in stats
+    assert "astore" not in stats

@@ -1,0 +1,271 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.common import QueryError
+from repro.query.ast import (
+    AggCall,
+    Between,
+    BinOp,
+    ColumnRef,
+    InList,
+    Like,
+    Literal,
+    Select,
+    UnaryOp,
+)
+from repro.query.lexer import Token, tokenize
+from repro.query.parser import parse
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]
+
+
+def test_tokenize_basic_select():
+    tokens = kinds("SELECT a FROM t")
+    assert tokens == [
+        ("keyword", "select"),
+        ("name", "a"),
+        ("keyword", "from"),
+        ("name", "t"),
+    ]
+
+
+def test_tokenize_numbers():
+    assert kinds("1 2.5 0.125") == [
+        ("number", 1),
+        ("number", 2.5),
+        ("number", 0.125),
+    ]
+
+
+def test_tokenize_string_with_escape():
+    assert kinds("'it''s'") == [("string", "it's")]
+
+
+def test_tokenize_unterminated_string():
+    with pytest.raises(QueryError, match="unterminated"):
+        tokenize("SELECT 'oops")
+
+
+def test_tokenize_operators():
+    values = [v for _, v in kinds("a <= b >= c != d <> e = f")]
+    assert values == ["a", "<=", "b", ">=", "c", "!=", "d", "!=", "e", "=", "f"]
+
+
+def test_tokenize_qualified_name():
+    assert kinds("t1.col") == [("name", "t1"), ("punct", "."), ("name", "col")]
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(QueryError):
+        tokenize("SELECT @x")
+
+
+def test_keywords_case_insensitive():
+    assert kinds("select SELECT SeLeCt") == [("keyword", "select")] * 3
+
+
+# ---------------------------------------------------------------------------
+# Parser: SELECT
+# ---------------------------------------------------------------------------
+
+
+def test_parse_simple_select():
+    stmt = parse("SELECT a, b FROM t WHERE a > 5")
+    assert isinstance(stmt, Select)
+    assert [item.output_name for item in stmt.items] == ["a", "b"]
+    assert stmt.table.name == "t"
+    assert isinstance(stmt.where, BinOp)
+    assert stmt.where.op == ">"
+
+
+def test_parse_star():
+    stmt = parse("SELECT * FROM t")
+    assert stmt.star
+
+
+def test_parse_aliases():
+    stmt = parse("SELECT a AS x, b y FROM t AS u")
+    assert [item.output_name for item in stmt.items] == ["x", "y"]
+    assert stmt.table.binding == "u"
+
+
+def test_parse_aggregates():
+    stmt = parse("SELECT count(*), sum(a), avg(b), min(c), max(d) FROM t")
+    funcs = [item.expr.func for item in stmt.items]
+    assert funcs == ["count", "sum", "avg", "min", "max"]
+    assert stmt.items[0].expr.argument is None
+    assert stmt.has_aggregates
+
+
+def test_parse_count_distinct():
+    stmt = parse("SELECT count(DISTINCT a) FROM t")
+    assert stmt.items[0].expr.distinct
+
+
+def test_star_only_for_count():
+    with pytest.raises(QueryError):
+        parse("SELECT sum(*) FROM t")
+
+
+def test_parse_group_order_limit():
+    stmt = parse(
+        "SELECT a, count(*) FROM t GROUP BY a ORDER BY a DESC, count(*) LIMIT 7"
+    )
+    assert len(stmt.group_by) == 1
+    assert stmt.order_by[0][1] is True  # DESC
+    assert stmt.order_by[1][1] is False
+    assert stmt.limit == 7
+
+
+def test_parse_join():
+    stmt = parse(
+        "SELECT a FROM t JOIN u ON t.id = u.tid INNER JOIN v ON u.id = v.uid"
+    )
+    assert len(stmt.joins) == 2
+    assert stmt.joins[0].table.name == "u"
+
+
+def test_parse_between_in_like():
+    stmt = parse(
+        "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3) "
+        "AND c LIKE 'pre%'"
+    )
+    conjuncts = []
+
+    def flatten(e):
+        if isinstance(e, BinOp) and e.op == "and":
+            flatten(e.left)
+            flatten(e.right)
+        else:
+            conjuncts.append(e)
+
+    flatten(stmt.where)
+    assert isinstance(conjuncts[0], Between)
+    assert isinstance(conjuncts[1], InList)
+    assert conjuncts[1].options == (1, 2, 3)
+    assert isinstance(conjuncts[2], Like)
+
+
+def test_parse_arithmetic_precedence():
+    stmt = parse("SELECT a + b * 2 FROM t")
+    expr = stmt.items[0].expr
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_parse_parentheses():
+    stmt = parse("SELECT (a + b) * 2 FROM t")
+    expr = stmt.items[0].expr
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_parse_not_and_or_precedence():
+    stmt = parse("SELECT a FROM t WHERE NOT a = 1 OR b = 2 AND c = 3")
+    # OR is the top: (NOT a=1) OR (b=2 AND c=3)
+    assert stmt.where.op == "or"
+    assert isinstance(stmt.where.left, UnaryOp)
+    assert stmt.where.right.op == "and"
+
+
+def test_parse_negative_literals():
+    stmt = parse("SELECT a FROM t WHERE a > -5")
+    assert isinstance(stmt.where.right, UnaryOp)
+
+
+def test_parse_qualified_columns():
+    stmt = parse("SELECT t.a FROM t WHERE t.a = 1")
+    assert stmt.items[0].expr.table == "t"
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(QueryError, match="trailing"):
+        parse("SELECT a FROM t nonsense extra")
+
+
+def test_missing_from_rejected():
+    with pytest.raises(QueryError):
+        parse("SELECT a WHERE a = 1")
+
+
+def test_limit_requires_integer():
+    with pytest.raises(QueryError):
+        parse("SELECT a FROM t LIMIT 2.5")
+
+
+# ---------------------------------------------------------------------------
+# Parser: DML
+# ---------------------------------------------------------------------------
+
+
+def test_parse_insert():
+    stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+    assert stmt.table == "t"
+    assert stmt.columns == ["a", "b"]
+    assert stmt.rows == [[1, "x"], [2, "y"]]
+
+
+def test_parse_insert_without_columns_and_null():
+    stmt = parse("INSERT INTO t VALUES (1, NULL, -3)")
+    assert stmt.columns is None
+    assert stmt.rows == [[1, None, -3]]
+
+
+def test_parse_update():
+    stmt = parse("UPDATE t SET a = a + 1, b = 'z' WHERE id = 5")
+    assert set(stmt.assignments) == {"a", "b"}
+    assert stmt.where is not None
+
+
+def test_parse_delete():
+    stmt = parse("DELETE FROM t WHERE a < 3")
+    assert stmt.table == "t"
+
+
+def test_parse_statement_with_semicolon():
+    assert isinstance(parse("SELECT a FROM t;"), Select)
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+
+def test_eval_arithmetic_and_comparison():
+    expr = parse("SELECT a FROM t WHERE a * 2 + 1 >= 7").where
+    assert expr.eval({"a": 3}) is True
+    assert expr.eval({"a": 2}) is False
+
+
+def test_eval_null_comparisons_are_false():
+    expr = parse("SELECT a FROM t WHERE a > 5").where
+    assert expr.eval({"a": None}) is False
+
+
+def test_eval_like_variants():
+    row = {"s": "hello world"}
+    assert Like(ColumnRef("s"), "hello%").eval(row)
+    assert Like(ColumnRef("s"), "%world").eval(row)
+    assert Like(ColumnRef("s"), "%lo wo%").eval(row)
+    assert not Like(ColumnRef("s"), "nope%").eval(row)
+    assert Like(ColumnRef("s"), "hello world").eval(row)
+
+
+def test_eval_qualified_fallback():
+    ref = ColumnRef("a")
+    assert ref.eval({"t.a": 42}) == 42
+    with pytest.raises(QueryError, match="not in row"):
+        ref.eval({"t.a": 1, "u.a": 2})  # ambiguous
+
+
+def test_agg_call_eval_outside_aggregate_rejected():
+    with pytest.raises(QueryError):
+        AggCall("sum", ColumnRef("a")).eval({"a": 1})

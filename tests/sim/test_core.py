@@ -1,0 +1,309 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.5)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 2.5
+    assert env.now == 2.5
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(env, name, delay):
+        yield env.timeout(delay)
+        order.append(name)
+
+    env.process(proc(env, "b", 2.0))
+    env.process(proc(env, "a", 1.0))
+    env.process(proc(env, "c", 3.0))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in "abcde":
+        env.process(proc(env, name))
+    env.run()
+    assert order == list("abcde")
+
+
+def test_process_return_value_propagates_through_yield_from():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(1.0)
+        return 42
+
+    def outer(env):
+        value = yield from inner(env)
+        return value + 1
+
+    p = env.process(outer(env))
+    env.run()
+    assert p.value == 43
+
+
+def test_waiting_on_another_process():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(5.0)
+        return "result"
+
+    def waiter(env, worker_proc):
+        value = yield worker_proc
+        return (env.now, value)
+
+    w = env.process(worker(env))
+    p = env.process(waiter(env, w))
+    env.run()
+    assert p.value == (5.0, "result")
+
+
+def test_waiting_on_already_finished_process():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(1.0)
+        return "done"
+
+    w = env.process(worker(env))
+    env.run()
+
+    def waiter(env):
+        value = yield w
+        return value
+
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == "done"
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    def waiter(env, target):
+        try:
+            yield target
+        except ValueError as exc:
+            return "caught %s" % exc
+        return "not caught"
+
+    b = env.process(boom(env))
+    p = env.process(waiter(env, b))
+    env.run()
+    assert p.value == "caught boom"
+
+
+def test_unhandled_process_exception_raises_from_run():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    env.process(boom(env))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_event_succeed_value():
+    env = Environment()
+    evt = env.event()
+
+    def trigger(env):
+        yield env.timeout(3.0)
+        evt.succeed("payload")
+
+    def waiter(env):
+        value = yield evt
+        return (env.now, value)
+
+    env.process(trigger(env))
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == (3.0, "payload")
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    evt = env.event()
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def waiter(env):
+        t1 = env.timeout(1.0, value="x")
+        t2 = env.timeout(4.0, value="y")
+        results = yield AllOf(env, [t1, t2])
+        return (env.now, sorted(results.values()))
+
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == (4.0, ["x", "y"])
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def waiter(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(9.0, value="slow")
+        results = yield AnyOf(env, [t1, t2])
+        return (env.now, list(results.values()))
+
+    p = env.process(waiter(env))
+    env.run(until=20)
+    assert p.value == (1.0, ["fast"])
+
+
+def test_and_or_operators():
+    env = Environment()
+
+    def waiter(env):
+        both = env.timeout(1.0) & env.timeout(2.0)
+        yield both
+        first = env.timeout(1.0) | env.timeout(5.0)
+        yield first
+        return env.now
+
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == 3.0
+
+
+def test_run_until_stops_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(100.0)
+
+    env.process(proc(env))
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_in_past_rejected():
+    env = Environment(initial_time=5.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_interrupt_wakes_sleeping_process():
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+            return "slept"
+        except Interrupt as intr:
+            return ("interrupted", intr.cause, env.now)
+
+    def interrupter(env, target):
+        yield env.timeout(2.0)
+        target.interrupt("wake up")
+
+    s = env.process(sleeper(env))
+    env.process(interrupter(env, s))
+    env.run()
+    assert s.value == ("interrupted", "wake up", 2.0)
+
+
+def test_interrupt_of_dead_process_is_noop():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+        return "done"
+
+    p = env.process(quick(env))
+    env.run()
+    p.interrupt("too late")
+    env.run()
+    assert p.value == "done"
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_empty_all_of_fires_immediately():
+    env = Environment()
+
+    def waiter(env):
+        result = yield AllOf(env, [])
+        return result
+
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == {}
+
+
+def test_nested_yield_from_three_deep():
+    env = Environment()
+
+    def level3(env):
+        yield env.timeout(1.0)
+        return 3
+
+    def level2(env):
+        v = yield from level3(env)
+        yield env.timeout(1.0)
+        return v + 2
+
+    def level1(env):
+        v = yield from level2(env)
+        return v + 1
+
+    p = env.process(level1(env))
+    env.run()
+    assert p.value == 6
+    assert env.now == 2.0

@@ -1,0 +1,90 @@
+"""Edge-case tests for kernel utilities added for the daemon-heavy stack."""
+
+import pytest
+
+from repro.sim.core import AllOf, Environment, Event, SimulationError
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(3.0)
+        return "payload"
+
+    proc = env.process(worker(env))
+
+    def daemon(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(daemon(env))  # would make plain run() never terminate
+    value = env.run_until_event(proc)
+    assert value == "payload"
+    assert env.now == 3.0
+
+
+def test_run_until_event_raises_on_drained_queue():
+    env = Environment()
+    orphan = Event(env)  # never triggered, nothing scheduled
+    with pytest.raises(SimulationError, match="drained"):
+        env.run_until_event(orphan)
+
+
+def test_run_until_event_propagates_failure():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(1.0)
+        raise ValueError("kaboom")
+
+    proc = env.process(boom(env))
+    with pytest.raises(ValueError, match="kaboom"):
+        env.run_until_event(proc)
+
+
+def test_peek_and_step():
+    env = Environment()
+    env.timeout(5.0)
+    assert env.peek() == 5.0
+    env.step()
+    assert env.now == 5.0
+    assert env.peek() == float("inf")
+
+
+def test_all_of_failure_defuses_and_propagates():
+    env = Environment()
+
+    def ok(env):
+        yield env.timeout(1.0)
+
+    def bad(env):
+        yield env.timeout(2.0)
+        raise RuntimeError("part failed")
+
+    both = AllOf(env, [env.process(ok(env)), env.process(bad(env))])
+
+    def waiter(env):
+        try:
+            yield both
+        except RuntimeError as exc:
+            return "caught %s" % exc
+        return "no error"
+
+    proc = env.process(waiter(env))
+    env.run()
+    assert proc.value == "caught part failed"
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    event = Event(env)
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_event_value_before_trigger_rejected():
+    env = Environment()
+    event = Event(env)
+    with pytest.raises(SimulationError):
+        _ = event.value

@@ -1,0 +1,146 @@
+"""Tests for deterministic random streams and metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import Counter, LatencyRecorder, ThroughputMeter, geomean, summarize
+from repro.sim.rand import Rng, SeedSequence, ZipfGenerator, nurand
+
+
+def test_seed_sequence_streams_are_independent_and_reproducible():
+    seeds = SeedSequence(42)
+    a1 = seeds.stream("alpha")
+    a2 = SeedSequence(42).stream("alpha")
+    b = seeds.stream("beta")
+    draws_a1 = [a1.random() for _ in range(5)]
+    draws_a2 = [a2.random() for _ in range(5)]
+    draws_b = [b.random() for _ in range(5)]
+    assert draws_a1 == draws_a2
+    assert draws_a1 != draws_b
+
+
+def test_different_root_seeds_differ():
+    s1 = SeedSequence(1).stream("x")
+    s2 = SeedSequence(2).stream("x")
+    assert [s1.random() for _ in range(3)] != [s2.random() for _ in range(3)]
+
+
+def test_lognormal_around_median():
+    rng = Rng(7)
+    draws = sorted(rng.lognormal_around(10.0, 0.3) for _ in range(4001))
+    median = draws[len(draws) // 2]
+    assert 9.0 < median < 11.0
+    assert all(d > 0 for d in draws)
+
+
+def test_lognormal_rejects_nonpositive_median():
+    with pytest.raises(ValueError):
+        Rng(1).lognormal_around(0.0)
+
+
+def test_zipf_is_skewed():
+    rng = Rng(3)
+    zipf = ZipfGenerator(1000, theta=0.99, rng=rng)
+    draws = [zipf.next() for _ in range(20000)]
+    assert all(0 <= d < 1000 for d in draws)
+    top_share = sum(1 for d in draws if d < 10) / len(draws)
+    assert top_share > 0.25  # heavy head
+
+
+def test_zipf_theta_zero_is_uniformish():
+    rng = Rng(3)
+    zipf = ZipfGenerator(100, theta=0.0, rng=rng)
+    draws = [zipf.next() for _ in range(20000)]
+    top_share = sum(1 for d in draws if d < 10) / len(draws)
+    assert 0.05 < top_share < 0.15
+
+
+def test_nurand_in_range():
+    rng = Rng(11)
+    for _ in range(1000):
+        v = nurand(rng, 255, 1, 3000, 123)
+        assert 1 <= v <= 3000
+
+
+def test_latency_recorder_percentiles():
+    rec = LatencyRecorder()
+    for i in range(1, 101):
+        rec.record(float(i))
+    assert rec.p50 == pytest.approx(50.5)
+    assert rec.p99 == pytest.approx(99.01)
+    assert rec.mean == pytest.approx(50.5)
+    assert rec.maximum == 100.0
+    assert rec.minimum == 1.0
+
+
+def test_latency_recorder_empty():
+    rec = LatencyRecorder()
+    assert rec.p99 == 0.0
+    assert rec.mean == 0.0
+
+
+def test_latency_recorder_rejects_negative():
+    rec = LatencyRecorder()
+    with pytest.raises(ValueError):
+        rec.record(-1.0)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+@settings(max_examples=50)
+def test_percentile_bounds_property(samples):
+    rec = LatencyRecorder()
+    for s in samples:
+        rec.record(s)
+    tol = 1e-9 * max(abs(rec.maximum), 1.0)  # float interpolation slack
+    assert rec.minimum - tol <= rec.p50 <= rec.maximum + tol
+    assert rec.p50 - tol <= rec.p95 <= rec.p99 + tol
+    assert rec.p99 <= rec.maximum + tol
+
+
+def test_throughput_meter():
+    meter = ThroughputMeter()
+    meter.start(0.0)
+    for i in range(1, 11):
+        meter.record(float(i), nbytes=1024 * 1024)
+    assert meter.rate() == pytest.approx(1.0)
+    assert meter.bandwidth_mb_s() == pytest.approx(1.0)
+
+
+def test_throughput_meter_zero_elapsed():
+    meter = ThroughputMeter()
+    assert meter.rate() == 0.0
+    meter.record(5.0)
+    assert meter.rate() == 0.0  # single sample, no elapsed window
+
+
+def test_counter():
+    c = Counter()
+    c.incr("hits")
+    c.incr("hits", 4)
+    assert c.get("hits") == 5
+    assert c.get("misses") == 0
+    assert c.as_dict() == {"hits": 5}
+
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s["count"] == 3.0
+    assert s["mean"] == pytest.approx(2.0)
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([]) == 0.0
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=50))
+@settings(max_examples=50)
+def test_geomean_between_min_and_max(values):
+    g = geomean(values)
+    assert min(values) <= g * (1 + 1e-9)
+    assert g <= max(values) * (1 + 1e-9)

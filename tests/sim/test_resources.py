@@ -1,0 +1,214 @@
+"""Tests for Resource, PriorityResource, Store, CpuPool, Mutex."""
+
+import pytest
+
+from repro.sim.core import Environment
+from repro.sim.resources import CpuPool, Mutex, PriorityResource, Resource, Store
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+    assert res.queue_length == 1
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, name, hold):
+        req = res.request()
+        yield req
+        order.append(("start", name, env.now))
+        yield env.timeout(hold)
+        res.release(req)
+
+    env.process(user(env, "a", 2.0))
+    env.process(user(env, "b", 1.0))
+    env.process(user(env, "c", 1.0))
+    env.run()
+    assert order == [("start", "a", 0.0), ("start", "b", 2.0), ("start", "c", 3.0)]
+
+
+def test_resource_release_unheld_rejected():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    res.release(req)
+    from repro.sim.core import SimulationError
+
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_resource_locked_helper_releases_on_exception():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def inner_fail(env):
+        yield env.timeout(1.0)
+        raise ValueError("inner")
+
+    def proc(env):
+        try:
+            yield from res.locked(inner_fail(env))
+        except ValueError:
+            pass
+        return res.count
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 0
+
+
+def test_cancelled_request_is_skipped():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    r3 = res.request()
+    r2.cancel()
+    res.release(r1)
+    assert r3.triggered
+    assert not r2.triggered
+
+
+def test_priority_resource_serves_lowest_priority_first():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def user(env, name, priority):
+        req = res.request(priority=priority)
+        yield req
+        order.append(name)
+        yield env.timeout(1.0)
+        res.release(req)
+
+    def spawn(env):
+        # Occupy the resource first so later requests queue up.
+        req = res.request(priority=0)
+        yield req
+        env.process(user(env, "low", 5))
+        env.process(user(env, "high", 1))
+        env.process(user(env, "mid", 3))
+        yield env.timeout(1.0)
+        res.release(req)
+
+    env.process(spawn(env))
+    env.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+
+    def getter(env):
+        item = yield store.get()
+        return item
+
+    p = env.process(getter(env))
+    env.run()
+    assert p.value == "x"
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+
+    def getter(env):
+        item = yield store.get()
+        return (env.now, item)
+
+    def putter(env):
+        yield env.timeout(4.0)
+        store.put("late")
+
+    p = env.process(getter(env))
+    env.process(putter(env))
+    env.run()
+    assert p.value == (4.0, "late")
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    for i in range(5):
+        store.put(i)
+    got = []
+
+    def getter(env):
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(getter(env))
+    env.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_get_nowait():
+    env = Environment()
+    store = Store(env)
+    assert store.get_nowait() is None
+    store.put(7)
+    assert store.get_nowait() == 7
+    assert len(store) == 0
+
+
+def test_cpu_pool_serializes_beyond_cores():
+    env = Environment()
+    pool = CpuPool(env, cores=2)
+    finish_times = []
+
+    def job(env):
+        yield from pool.consume(1.0)
+        finish_times.append(env.now)
+
+    for _ in range(4):
+        env.process(job(env))
+    env.run()
+    # 2 cores, 4 unit jobs: finish at 1,1,2,2.
+    assert finish_times == [1.0, 1.0, 2.0, 2.0]
+    assert pool.busy_time == 4.0
+    assert pool.utilization(2.0) == 1.0
+
+
+def test_cpu_pool_rejects_negative_time():
+    env = Environment()
+    pool = CpuPool(env, cores=1)
+
+    def job(env):
+        yield from pool.consume(-1.0)
+
+    env.process(job(env))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_mutex_is_exclusive():
+    env = Environment()
+    mutex = Mutex(env)
+    active = []
+    max_active = []
+
+    def critical(env):
+        req = mutex.request()
+        yield req
+        active.append(1)
+        max_active.append(len(active))
+        yield env.timeout(1.0)
+        active.pop()
+        mutex.release(req)
+
+    for _ in range(5):
+        env.process(critical(env))
+    env.run()
+    assert max(max_active) == 1

@@ -1,0 +1,185 @@
+"""Tests for BlobGroup striping and LogStore latency behaviour."""
+
+import pytest
+
+from repro.common import KB, MB, MS
+from repro.sim.core import Environment
+from repro.sim.devices import SsdDevice
+from repro.sim.metrics import LatencyRecorder
+from repro.sim.rand import SeedSequence
+from repro.storage.blob import Blob, BlobGroup
+from repro.storage.logstore import LogStore
+
+
+def make_group(blobs=4, io_size=8 * KB):
+    env = Environment()
+    seeds = SeedSequence(11)
+    device = SsdDevice(env, seeds.stream("ssd"))
+    group = BlobGroup(env, [device], blobs_per_group=blobs, io_size=io_size)
+    return env, group
+
+
+def run_until(env, gen):
+    proc = env.process(gen)
+    env.run_until_event(proc)
+    return proc.value
+
+
+def test_split_sizes_exact_multiple():
+    env, group = make_group()
+    assert group.split_sizes(16 * KB) == [8 * KB, 8 * KB]
+
+
+def test_split_sizes_with_remainder():
+    env, group = make_group()
+    assert group.split_sizes(20 * KB) == [8 * KB, 8 * KB, 4 * KB]
+
+
+def test_split_sizes_small_write_single_io():
+    env, group = make_group()
+    assert group.split_sizes(100) == [100]
+
+
+def test_split_rejects_nonpositive():
+    env, group = make_group()
+    with pytest.raises(ValueError):
+        group.split_sizes(0)
+
+
+def test_append_round_robin_over_blobs():
+    env, group = make_group(blobs=4)
+
+    def do(env):
+        yield from group.append(32 * KB)  # 4 stripes -> one per blob
+
+    run_until(env, do(env))
+    assert [blob.appends for blob in group.blobs] == [1, 1, 1, 1]
+    assert group.physical_ios == 4
+    assert group.logical_appends == 1
+
+
+def test_append_round_robin_wraps():
+    env, group = make_group(blobs=4)
+
+    def do(env):
+        yield from group.append(48 * KB)  # 6 stripes
+
+    run_until(env, do(env))
+    assert [blob.appends for blob in group.blobs] == [2, 2, 1, 1]
+
+
+def test_group_length_tracks_appends():
+    env, group = make_group()
+
+    def do(env):
+        yield from group.append(20 * KB)
+
+    run_until(env, do(env))
+    assert group.length == 20 * KB
+
+
+def test_blob_capacity_enforced():
+    env = Environment()
+    seeds = SeedSequence(3)
+    device = SsdDevice(env, seeds.stream("ssd"))
+    blob = Blob(env, device, capacity=1 * KB)
+
+    def do(env):
+        yield from blob.append(2 * KB)
+
+    from repro.common import CapacityError
+
+    with pytest.raises(CapacityError):
+        run_until(env, do(env))
+
+
+def test_striped_append_is_parallel():
+    """A large append over 4 blobs should take roughly one stripe's time,
+    not the sum of all stripes."""
+    env, group = make_group(blobs=4)
+
+    def do(env):
+        start = env.now
+        yield from group.append(32 * KB)
+        return env.now - start
+
+    elapsed = run_until(env, do(env))
+    # Sequential execution would be ~4x a single 8 KB write; parallel is ~1x.
+    assert elapsed < 4 * 0.4 * MS
+
+
+# ---------------------------------------------------------------------------
+# LogStore
+# ---------------------------------------------------------------------------
+
+
+def make_logstore():
+    env = Environment()
+    seeds = SeedSequence(17)
+    store = LogStore(env, seeds)
+    return env, store
+
+
+def test_logstore_append_replicates_to_all():
+    env, store = make_logstore()
+
+    def do(env):
+        yield from store.append(4 * KB)
+
+    run_until(env, do(env))
+    assert store.appends == 1
+    for server in store.servers:
+        assert server.blob_group.logical_appends == 1
+
+
+def test_logstore_single_write_latency_calibration():
+    """Table II: single-threaded 4 KB appends average ~0.638 ms."""
+    env, store = make_logstore()
+    rec = LatencyRecorder()
+
+    def do(env):
+        for _ in range(300):
+            latency = yield from store.append(4 * KB)
+            rec.record(latency)
+
+    run_until(env, do(env))
+    assert 0.35 * MS < rec.mean < 1.1 * MS
+
+
+def test_logstore_latency_has_spiky_tail():
+    env, store = make_logstore()
+    rec = LatencyRecorder()
+
+    def do(env):
+        for _ in range(400):
+            latency = yield from store.append(4 * KB)
+            rec.record(latency)
+
+    run_until(env, do(env))
+    assert rec.p99 > 2 * rec.p50  # scheduling + SSD spikes create the tail
+
+
+def test_logstore_submit_path_queues_under_load():
+    """Bottleneck (2): I/O scheduling contention under concurrency."""
+    env, store = make_logstore()
+    rec = LatencyRecorder()
+
+    def client(env):
+        for _ in range(40):
+            latency = yield from store.append(4 * KB)
+            rec.record(latency)
+
+    procs = [env.process(client(env)) for _ in range(32)]
+    from repro.sim.core import AllOf
+
+    env.run_until_event(AllOf(env, procs))
+    env_single, store_single = make_logstore()
+    rec_single = LatencyRecorder()
+
+    def single(env):
+        for _ in range(40):
+            latency = yield from store_single.append(4 * KB)
+            rec_single.record(latency)
+
+    env_single.run_until_event(env_single.process(single(env_single)))
+    assert rec.mean > rec_single.mean  # contention adds latency

@@ -1,0 +1,237 @@
+"""Tests for PageStore: quorum shipping, replay, back-links, gossip."""
+
+import pytest
+
+from repro.common import MS, PageId, StorageError
+from repro.engine.page import PageOp
+from repro.engine.wal import RedoRecord
+from repro.sim.core import Environment
+from repro.sim.rand import SeedSequence
+from repro.storage.pagestore import PageStoreService
+
+
+def make_service(**kwargs):
+    env = Environment()
+    seeds = SeedSequence(31)
+    defaults = dict(num_servers=3, num_segments=4, replication=3, quorum=2)
+    defaults.update(kwargs)
+    service = PageStoreService(env, seeds, **defaults)
+    return env, service
+
+
+def run_until(env, gen):
+    proc = env.process(gen)
+    env.run_until_event(proc)
+    return proc.value
+
+
+def record(lsn, page, kind="insert", slot=0, row=b"row", txn=1):
+    op = PageOp(kind, slot=slot, row=row if kind in ("insert", "update") else None)
+    return RedoRecord(lsn=lsn, txn_id=txn, page_id=page, op=op)
+
+
+def test_ship_then_read_roundtrip():
+    env, service = make_service()
+    page_id = PageId(1, 5)
+
+    def do(env):
+        yield from service.ship_records([record(10, page_id, row=b"hello")])
+        page = yield from service.read_page(page_id, min_lsn=10)
+        return page
+
+    page = run_until(env, do(env))
+    assert page.get(0) == b"hello"
+    assert page.page_lsn == 10
+
+
+def test_read_returns_clone_not_shared_state():
+    env, service = make_service()
+    page_id = PageId(1, 5)
+
+    def do(env):
+        yield from service.ship_records([record(10, page_id, row=b"v1")])
+        first = yield from service.read_page(page_id, min_lsn=10)
+        yield from service.ship_records(
+            [record(20, page_id, kind="update", slot=0, row=b"v2")]
+        )
+        second = yield from service.read_page(page_id, min_lsn=20)
+        return first, second
+
+    first, second = run_until(env, do(env))
+    assert first.get(0) == b"v1"
+    assert second.get(0) == b"v2"
+
+
+def test_replicas_converge():
+    env, service = make_service()
+    page_id = PageId(1, 5)
+
+    def do(env):
+        yield from service.ship_records([record(10, page_id, row=b"x")])
+        yield env.timeout(10 * MS)  # let slow replicas finish
+        segment = service.segment_of(page_id)
+        for server in service.replicas_of(segment):
+            yield from server.catch_up(segment)
+        return segment
+
+    segment = run_until(env, do(env))
+    pages = [
+        server.replica(segment).pages.get(page_id)
+        for server in service.replicas_of(segment)
+    ]
+    assert all(page is not None and page.get(0) == b"x" for page in pages)
+
+
+def test_quorum_tolerates_one_dead_replica():
+    env, service = make_service()
+    page_id = PageId(1, 5)
+    segment = service.segment_of(page_id)
+    service.replicas_of(segment)[0].alive = False
+
+    def do(env):
+        yield from service.ship_records([record(10, page_id, row=b"ok")])
+        page = yield from service.read_page(page_id, min_lsn=10)
+        return page
+
+    page = run_until(env, do(env))
+    assert page.get(0) == b"ok"
+
+
+def test_quorum_fails_with_two_dead_replicas():
+    env, service = make_service()
+    page_id = PageId(1, 5)
+    segment = service.segment_of(page_id)
+    service.replicas_of(segment)[0].alive = False
+    service.replicas_of(segment)[1].alive = False
+
+    def do(env):
+        yield from service.ship_records([record(10, page_id, row=b"?")])
+
+    with pytest.raises(StorageError, match="quorum"):
+        run_until(env, do(env))
+
+
+def test_back_links_are_stamped_per_segment_chain():
+    env, service = make_service(num_segments=1)
+    p1, p2 = PageId(1, 1), PageId(1, 2)
+    r1, r2, r3 = (
+        record(10, p1, row=b"a"),
+        record(20, p2, row=b"b"),
+        record(30, p1, kind="update", slot=0, row=b"c"),
+    )
+
+    def do(env):
+        yield from service.ship_records([r1, r2, r3])
+
+    run_until(env, do(env))
+    assert r1.back_link == -1
+    assert r2.back_link == 10
+    assert r3.back_link == 20
+
+
+def test_gap_detection_and_gossip_fill():
+    """A replica that missed a record detects the gap via back-links and
+    fills it from a peer before serving reads."""
+    env, service = make_service(num_segments=1)
+    page_id = PageId(1, 1)
+    segment = service.segment_of(page_id)
+    replicas = service.replicas_of(segment)
+
+    def do(env):
+        yield from service.ship_records([record(10, page_id, row=b"first")])
+        yield env.timeout(5 * MS)
+        # Partition replica 0, ship another record, then heal.
+        replicas[0].alive = False
+        yield from service.ship_records(
+            [record(20, page_id, kind="update", slot=0, row=b"second")]
+        )
+        yield env.timeout(5 * MS)
+        replicas[0].alive = True
+        # Ship a third record: replica 0 receives it but sees a gap.
+        yield from service.ship_records(
+            [record(30, page_id, kind="update", slot=0, row=b"third")]
+        )
+        yield env.timeout(5 * MS)
+        # Read from replica 0 (the preferred primary): gossip must fill.
+        page = yield from service.read_page(page_id, min_lsn=30)
+        return page
+
+    page = run_until(env, do(env))
+    assert page.get(0) == b"third"
+    assert service.gossip_rounds >= 1
+    replica0 = replicas[0].replica(segment)
+    assert replica0.missing_range() is None  # gap healed
+
+
+def test_duplicate_delivery_is_idempotent():
+    env, service = make_service(num_segments=1)
+    page_id = PageId(1, 1)
+    segment = service.segment_of(page_id)
+    server = service.replicas_of(segment)[0]
+    rec = record(10, page_id, row=b"once")
+
+    def do(env):
+        yield from server.receive_records(segment, [rec])
+        yield from server.receive_records(segment, [rec])  # gossip replay
+        yield from server.catch_up(segment)
+
+    run_until(env, do(env))
+    page = server.replica(segment).pages[page_id]
+    assert page.row_count == 1
+
+
+def test_read_page_latency_around_one_millisecond():
+    """Paper Section V-C: reading from remote PageStore costs ~1 ms."""
+    env, service = make_service()
+    page_id = PageId(1, 5)
+
+    def do(env):
+        yield from service.ship_records([record(10, page_id, row=b"timed")])
+        start = env.now
+        yield from service.read_page(page_id, min_lsn=10)
+        return env.now - start
+
+    latency = run_until(env, do(env))
+    assert 0.3 * MS < latency < 3 * MS
+
+
+def test_unknown_page_raises():
+    env, service = make_service()
+
+    def do(env):
+        yield from service.read_page(PageId(9, 9), min_lsn=0)
+
+    with pytest.raises(StorageError):
+        run_until(env, do(env))
+
+
+def test_apply_daemon_replays_in_background():
+    env, service = make_service()
+    service.start_apply_daemon(interval=1 * MS)
+    page_id = PageId(1, 5)
+    segment = service.segment_of(page_id)
+
+    def do(env):
+        yield from service.ship_records([record(10, page_id, row=b"bg")])
+        yield env.timeout(20 * MS)
+        return service.replicas_of(segment)[0].replica(segment).applied_lsn
+
+    applied = run_until(env, do(env))
+    assert applied == 10
+
+
+def test_segment_mapping_is_stable_and_in_range():
+    env, service = make_service(num_segments=8)
+    for space in range(3):
+        for page in range(50):
+            pid = PageId(space, page)
+            seg = service.segment_of(pid)
+            assert 0 <= seg < 8
+            assert service.segment_of(pid) == seg
+
+
+def test_replication_validation():
+    with pytest.raises(ValueError):
+        make_service(num_servers=2, replication=3)
+    with pytest.raises(ValueError):
+        make_service(quorum=5)

@@ -26,6 +26,24 @@ def print_table(title, headers, rows):
     return text
 
 
+@pytest.fixture
+def make_deployment():
+    """Factory for started deployments via the DeploymentSpec builder API.
+
+    Benchmarks that need a one-off deployment (rather than a canned
+    experiment runner) build it here so construction goes through the
+    validated spec:  ``make_deployment(DeploymentSpec().with_astore())``.
+    """
+    from repro.harness.deployment import DeploymentSpec
+
+    def _make(spec=None):
+        dep = (spec or DeploymentSpec.astore_pq()).build()
+        dep.start()
+        return dep
+
+    return _make
+
+
 @pytest.fixture(scope="session")
 def tpcc_sweep_results():
     """Fig 6 and Fig 7 share one TPC-C client sweep (run once per session)."""

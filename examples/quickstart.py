@@ -3,8 +3,8 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import KB, Deployment, DeploymentConfig
-from repro.engine import DECIMAL, INT, VARCHAR, Column, EngineConfig, Schema
+from repro import KB, DeploymentSpec
+from repro.engine import DECIMAL, INT, VARCHAR, Column, Schema
 from repro.query.plan import explain
 
 
@@ -13,10 +13,13 @@ def main():
     # extended buffer pool) + push-down query support.  The buffer pool is
     # kept tiny so the table spills to the EBP and the analytical query
     # actually exercises storage-side execution.
-    deployment = Deployment(
-        DeploymentConfig.astore_pq(
-            engine=EngineConfig(buffer_pool_bytes=8 * 16 * KB)
-        )
+    deployment = (
+        DeploymentSpec()
+        .with_astore()
+        .with_ebp()
+        .with_pushdown()
+        .with_engine(buffer_pool_bytes=8 * 16 * KB)
+        .build()
     )
     deployment.start()
     engine = deployment.engine

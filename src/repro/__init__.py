@@ -9,9 +9,9 @@ Optane PMem / RDMA / NVMe hardware the paper's testbed used.
 
 Quick start::
 
-    from repro import Deployment, DeploymentConfig
+    from repro import DeploymentSpec
 
-    dep = Deployment(DeploymentConfig.astore_ebp())
+    dep = DeploymentSpec.astore_ebp().build()   # or: DeploymentSpec().with_astore().with_ebp(64 * MB).build()
     dep.start()
     # ... create tables on dep.engine, run workloads, open SQL sessions.
 
@@ -31,12 +31,13 @@ from .common import (
     StorageError,
     TransactionAborted,
 )
-from .harness.deployment import Deployment, DeploymentConfig
+from .harness.deployment import Deployment, DeploymentConfig, DeploymentSpec
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Deployment",
+    "DeploymentSpec",
     "DeploymentConfig",
     "PageId",
     "ReproError",

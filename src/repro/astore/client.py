@@ -25,6 +25,7 @@ from ..common import (
     SegmentFrozenError,
     StorageError,
 )
+from ..obs import obs_of
 from ..sim.core import AllOf, Environment
 from ..sim.network import RpcNetwork
 from ..sim.rand import Rng
@@ -100,6 +101,19 @@ class AStoreClient:
         self.writes = 0
         self.reads = 0
         self.write_failures = 0
+        # Observability: write-chain / read / segment-create latency
+        # recorders live in the environment's shared registry, so the
+        # harness report gets per-client percentiles for free.
+        self.obs = obs_of(env)
+        prefix = "astore.client.%s" % client_id
+        self._lat_write = self.obs.registry.latency("%s.write" % prefix)
+        self._lat_read = self.obs.registry.latency("%s.read" % prefix)
+        self._lat_create = self.obs.registry.latency("%s.segment_create" % prefix)
+        self.obs.registry.gauge("%s.writes" % prefix, lambda: self.writes)
+        self.obs.registry.gauge("%s.reads" % prefix, lambda: self.reads)
+        self.obs.registry.gauge(
+            "%s.write_failures" % prefix, lambda: self.write_failures
+        )
 
     # ------------------------------------------------------------------
     # Lease and route maintenance
@@ -143,15 +157,20 @@ class AStoreClient:
         new segment's id.
         """
         self._require_lease()
-        yield from self.control_net.call(_CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES)
-        route = self.cm.create_segment(self.client_id, size, replication)
-        for server_id in route.replicas:
-            server = self.servers[server_id]
-            yield from self.control_net.call(
-                _CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES, server_cpu=server.cpu
-            )
-            server.allocate_segment(route.segment_id, size, epoch=route.epoch)
+        start = self.env.now
+        with self.obs.tracer.span(
+            "astore.segment.create", tags={"client": self.client_id, "size": size}
+        ):
+            yield from self.control_net.call(_CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES)
+            route = self.cm.create_segment(self.client_id, size, replication)
+            for server_id in route.replicas:
+                server = self.servers[server_id]
+                yield from self.control_net.call(
+                    _CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES, server_cpu=server.cpu
+                )
+                server.allocate_segment(route.segment_id, size, epoch=route.epoch)
         self.open_segments[route.segment_id] = ClientSegmentMeta(route)
+        self._lat_create.record(self.env.now - start)
         return route.segment_id
 
     def open(self, segment_id: int):
@@ -212,35 +231,54 @@ class AStoreClient:
             raise SegmentFrozenError("segment %d frozen" % segment_id)
         if length > meta.free_space:
             raise StorageError("segment %d full" % segment_id)
-        yield self.env.timeout(
-            self.rng.lognormal_around(
-                SDK_WRITE_BASE + SDK_WRITE_PER_BYTE * length, 0.20
+        start = self.env.now
+        tracer = self.obs.tracer
+        span = (
+            tracer.span(
+                "astore.write",
+                tags={
+                    "client": self.client_id,
+                    "segment": segment_id,
+                    "bytes": length,
+                },
             )
+            if tracer.enabled
+            else None
         )
-        offset = meta.written
-        procs = []
-        for server_id in meta.route.replicas:
-            server = self.servers.get(server_id)
-            if server is None:
-                self._freeze(meta)
-                raise SegmentFrozenError("replica %s vanished" % server_id)
-            procs.append(
-                self.env.process(
-                    server.one_sided_write(segment_id, offset, length, payload),
-                    name="write-%d@%s" % (segment_id, server_id),
+        try:
+            yield self.env.timeout(
+                self.rng.lognormal_around(
+                    SDK_WRITE_BASE + SDK_WRITE_PER_BYTE * length, 0.20
                 )
             )
-        try:
-            yield AllOf(self.env, procs)
-        except StorageError:
-            self._freeze(meta)
-            self.write_failures += 1
-            raise SegmentFrozenError(
-                "replica write failed; segment %d frozen at %d"
-                % (segment_id, meta.written)
-            )
+            offset = meta.written
+            procs = []
+            for server_id in meta.route.replicas:
+                server = self.servers.get(server_id)
+                if server is None:
+                    self._freeze(meta)
+                    raise SegmentFrozenError("replica %s vanished" % server_id)
+                procs.append(
+                    self.env.process(
+                        server.one_sided_write(segment_id, offset, length, payload),
+                        name="write-%d@%s" % (segment_id, server_id),
+                    )
+                )
+            try:
+                yield AllOf(self.env, procs)
+            except StorageError:
+                self._freeze(meta)
+                self.write_failures += 1
+                raise SegmentFrozenError(
+                    "replica write failed; segment %d frozen at %d"
+                    % (segment_id, meta.written)
+                )
+        finally:
+            if span is not None:
+                span.finish()
         meta.written = offset + length
         self.writes += 1
+        self._lat_write.record(self.env.now - start)
         return (offset, length)
 
     def _freeze(self, meta: ClientSegmentMeta) -> None:
@@ -262,26 +300,47 @@ class AStoreClient:
         meta = self._meta(segment_id)
         if offset < 0 or length <= 0 or offset + length > meta.route.size:
             raise StorageError("read (%d, %d) out of bounds" % (offset, length))
-        yield self.env.timeout(
-            self.rng.lognormal_around(
-                SDK_READ_BASE + SDK_READ_PER_BYTE * length, 0.20
+        start = self.env.now
+        tracer = self.obs.tracer
+        span = (
+            tracer.span(
+                "astore.read",
+                tags={
+                    "client": self.client_id,
+                    "segment": segment_id,
+                    "bytes": length,
+                },
             )
+            if tracer.enabled
+            else None
         )
-        last_error: Optional[StorageError] = None
-        for server_id in meta.route.replicas:
-            server = self.servers.get(server_id)
-            if server is None or not server.alive:
-                continue
-            try:
-                payload = yield from server.one_sided_read(segment_id, offset, length)
-            except StorageError as exc:
-                last_error = exc
-                continue
-            self.reads += 1
-            return payload
-        raise last_error or StorageError(
-            "no online replica for segment %d" % segment_id
-        )
+        try:
+            yield self.env.timeout(
+                self.rng.lognormal_around(
+                    SDK_READ_BASE + SDK_READ_PER_BYTE * length, 0.20
+                )
+            )
+            last_error: Optional[StorageError] = None
+            for server_id in meta.route.replicas:
+                server = self.servers.get(server_id)
+                if server is None or not server.alive:
+                    continue
+                try:
+                    payload = yield from server.one_sided_read(
+                        segment_id, offset, length
+                    )
+                except StorageError as exc:
+                    last_error = exc
+                    continue
+                self.reads += 1
+                self._lat_read.record(self.env.now - start)
+                return payload
+            raise last_error or StorageError(
+                "no online replica for segment %d" % segment_id
+            )
+        finally:
+            if span is not None:
+                span.finish()
 
     def read_entries(self, segment_id: int):
         """Generator: bulk-read all entries of a segment from one replica.

@@ -32,6 +32,7 @@ from ..common import (
     StaleRouteError,
     StorageError,
 )
+from ..obs import obs_of
 from ..sim.core import Environment
 from ..sim.devices import PMemDevice
 from ..sim.network import RdmaFabric
@@ -128,8 +129,9 @@ class AStoreServer:
         self.server_id = server_id
         self.pmem = PMemDevice(env, rng, name="%s-pmem" % server_id,
                                capacity=pmem_capacity)
-        self.fabric = RdmaFabric(env, rng)
+        self.fabric = RdmaFabric(env, rng, name=server_id)
         self.cpu = CpuPool(env, cores=cpu_cores)
+        self.obs = obs_of(env)
         self.segment_slot_size = segment_slot_size
         self.bitmap = SegmentBitmap(pmem_capacity // segment_slot_size)
         self.cleanup_delay = cleanup_delay
@@ -262,8 +264,17 @@ class AStoreServer:
             )
         if offset + length > segment.size:
             raise CapacityError("segment %d overflow" % segment_id)
-        yield from self.fabric.persistent_write(length)
-        yield from self.pmem.write(length)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "astore.server.%s.write" % self.server_id,
+                tags={"segment": segment_id, "bytes": length},
+            ):
+                yield from self.fabric.persistent_write(length)
+                yield from self.pmem.write(length)
+        else:
+            yield from self.fabric.persistent_write(length)
+            yield from self.pmem.write(length)
         # Re-validate: the segment may have been cleaned while in flight.
         segment = self._segment_for_io(segment_id)
         segment.entries[offset] = _Entry(offset, length, payload)

@@ -6,7 +6,13 @@ Usage::
     python -m repro table2
     python -m repro fig6 --duration 0.3 --clients 16,64,128
     python -m repro fig14 --queries 1,6,13,22
+    python -m repro trace --out trace.json
     python -m repro all
+
+``trace`` runs a short TPC-C smoke workload with span tracing enabled and
+emits Chrome ``trace_event`` JSON (load it at ``chrome://tracing`` or
+https://ui.perfetto.dev).  The export is deterministic: the same seed
+produces byte-identical output.
 
 Each command runs the corresponding experiment from
 :mod:`repro.harness.experiments` and prints the paper-style table.
@@ -163,6 +169,34 @@ def cmd_fig14(args) -> None:
     print("geometric mean: %.2fx (paper: ~2.8x over all 22)" % mean)
 
 
+def cmd_trace(args) -> None:
+    """Run a traced TPC-C smoke workload and dump Chrome trace JSON."""
+    from .harness.deployment import DeploymentSpec
+    from .workloads.tpcc import TpccConfig, run_tpcc
+
+    spec = DeploymentSpec.astore_pq(seed=args.seed).with_tracing()
+    dep = spec.build()
+    dep.start()
+    run_tpcc(dep, TpccConfig(), clients=args.clients, duration=args.duration)
+    payload = dep.tracer.export_chrome_json(indent=2 if args.pretty else None)
+    if args.out:
+        try:
+            with open(args.out, "w") as fh:
+                fh.write(payload)
+                fh.write("\n")
+        except OSError as exc:
+            raise SystemExit("cannot write %s: %s" % (args.out, exc))
+        print(
+            "wrote %d spans to %s (open at chrome://tracing)"
+            % (len(dep.tracer.spans), args.out),
+            file=sys.stderr,
+        )
+    else:
+        print(payload)
+    if args.metrics:
+        print(dep.registry.to_json(indent=2), file=sys.stderr)
+
+
 COMMANDS = {
     "table2": ("Table II log micro-benchmark", cmd_table2),
     "fig6": ("TPC-C throughput sweep (also prints Fig 7 latency)", cmd_fig6),
@@ -184,6 +218,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
     all_parser = sub.add_parser("all", help="run every experiment (slow)")
+    trace_parser = sub.add_parser(
+        "trace", help="emit a Chrome trace of a short TPC-C run"
+    )
+    trace_parser.add_argument("--out", default=None,
+                              help="write trace JSON here (default: stdout)")
+    trace_parser.add_argument("--seed", type=int, default=42)
+    trace_parser.add_argument("--clients", type=int, default=4)
+    trace_parser.add_argument("--duration", type=float, default=0.05,
+                              help="virtual seconds of TPC-C to trace")
+    trace_parser.add_argument("--pretty", action="store_true",
+                              help="indent the JSON output")
+    trace_parser.add_argument("--metrics", action="store_true",
+                              help="also print the metrics snapshot to stderr")
     for name, (help_text, _fn) in COMMANDS.items():
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--duration", type=float, default=0.3,
@@ -212,6 +259,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, (help_text, _fn) in COMMANDS.items():
             print("  %-8s %s" % (name, help_text))
         print("  %-8s %s" % ("all", "run everything (slow)"))
+        print("  %-8s %s" % ("trace", "Chrome trace of a short TPC-C run"))
+        return 0
+    if args.command == "trace":
+        cmd_trace(args)
         return 0
     if args.command == "all":
         for name, (_help, fn) in COMMANDS.items():

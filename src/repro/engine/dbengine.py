@@ -27,6 +27,7 @@ from ..common import (
     StorageError,
     TransactionAborted,
 )
+from ..obs import obs_of
 from ..sim.core import Environment, Event
 from ..sim.rand import SeedSequence
 from ..sim.resources import CpuPool, Store
@@ -121,6 +122,15 @@ class DBEngine:
         self.statements = 0
         self._daemons_started = False
         self.crashed = False
+        # Observability: commit-wait and group-commit-flush latency
+        # percentiles plus page-fetch path counters in the shared registry.
+        self.obs = obs_of(env)
+        self._lat_commit = self.obs.registry.latency("engine.txn.commit_wait")
+        self._lat_log_flush = self.obs.registry.latency("engine.log.flush")
+        registry = self.obs.registry
+        registry.incr("engine.page_fetch.bp_hit", 0)
+        registry.incr("engine.page_fetch.ebp_hit", 0)
+        registry.incr("engine.page_fetch.pagestore_read", 0)
 
     # ------------------------------------------------------------------
     # Daemons
@@ -140,7 +150,22 @@ class DBEngine:
             self.env.process(self._ebp_lsn_flush_loop(), name="ebp-lsn-flush")
 
     def _flush_log(self, records: List[RedoRecord], nbytes: int):
-        yield from self.log_backend.flush(records, nbytes)
+        start = self.env.now
+        tracer = self.obs.tracer
+        span = (
+            tracer.span(
+                "engine.log.flush",
+                tags={"records": len(records), "bytes": nbytes},
+            )
+            if tracer.enabled
+            else None
+        )
+        try:
+            yield from self.log_backend.flush(records, nbytes)
+        finally:
+            if span is not None:
+                span.finish()
+        self._lat_log_flush.record(self.env.now - start)
         # WAL rule satisfied: durable records may now ship to PageStore.
         # Commit/abort markers are log-only; PageStore applies page ops.
         self._ship_queue.extend(r for r in records if not r.is_marker)
@@ -191,14 +216,19 @@ class DBEngine:
         Returns the buffer-pool-resident Page (shared, mutable only while
         holding the relevant row locks).
         """
+        registry = self.obs.registry
         page = self.buffer_pool.get(page_id)
         if page is not None:
+            registry.incr("engine.page_fetch.bp_hit")
             return page
         required_lsn = self.page_versions.get(page_id, 0)
         if self.ebp is not None:
             page = yield from self.ebp.get_page(page_id, required_lsn)
-        if page is None:
+        if page is not None:
+            registry.incr("engine.page_fetch.ebp_hit")
+        else:
             page = yield from self._read_from_pagestore(page_id, required_lsn)
+            registry.incr("engine.page_fetch.pagestore_read")
         # Frame dedup: another process may have installed (and even
         # mutated) this page while our read was in flight.  Two live
         # frames for one page would let a writer update a stale copy and
@@ -483,6 +513,13 @@ class DBEngine:
         than the marker, so waiting on the marker alone is sufficient.
         """
         self._check_active(txn)
+        start = self.env.now
+        tracer = self.obs.tracer
+        span = (
+            tracer.span("engine.txn.commit", tags={"txn": txn.txn_id})
+            if tracer.enabled
+            else None
+        )
         try:
             if txn.records:
                 marker = RedoRecord(
@@ -497,7 +534,10 @@ class DBEngine:
                 yield done
             txn.status = "committed"
             self.committed += 1
+            self._lat_commit.record(self.env.now - start)
         finally:
+            if span is not None:
+                span.finish()
             self.locks.release_all(txn)
 
     def rollback(self, txn: Transaction):
@@ -517,6 +557,12 @@ class DBEngine:
         had_records = bool(txn.records)
         entries = list(txn.undo)
         txn.undo.clear()  # compensations must not generate further undo
+        tracer = self.obs.tracer
+        span = (
+            tracer.span("engine.txn.rollback", tags={"txn": txn.txn_id})
+            if tracer.enabled
+            else None
+        )
         try:
             for undo in reversed(entries):
                 yield from self._compensate(txn, undo)
@@ -532,6 +578,8 @@ class DBEngine:
             txn.status = "aborted"
             self.aborted += 1
         finally:
+            if span is not None:
+                span.finish()
             self.locks.release_all(txn)
 
     def _compensate(self, txn: Transaction, undo: UndoEntry):

@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..common import PAGE_SIZE, US, PageId, StorageError
 from ..astore.client import AStoreClient
+from ..obs import obs_of
 from ..sim.core import Environment
 from ..sim.resources import Mutex
 from .page import Page
@@ -132,6 +133,7 @@ class ExtendedBufferPool:
         self.evictions = 0
         self.compactions = 0
         self.segments_released = 0
+        self.obs = obs_of(env)
 
     # ------------------------------------------------------------------
     # Space accounting
@@ -173,6 +175,20 @@ class ExtendedBufferPool:
         after eviction) drop the page silently - correctness never depends
         on the EBP.
         """
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return (yield from self._cache_page(page))
+        span = tracer.span(
+            "ebp.cache_page", tags={"page": str(page.page_id)}
+        )
+        try:
+            cached = yield from self._cache_page(page)
+            span.set_tag("cached", cached)
+            return cached
+        finally:
+            span.finish()
+
+    def _cache_page(self, page: Page):
         priority = self.priority_of(page.page_id)
         yield from self._index_cs()
         old = self.index.get(page.page_id)
@@ -243,6 +259,18 @@ class ExtendedBufferPool:
         is dropped (its bytes become garbage) and the caller falls through
         to PageStore.
         """
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return (yield from self._get_page(page_id, required_lsn))
+        span = tracer.span("ebp.get_page", tags={"page": str(page_id)})
+        try:
+            page = yield from self._get_page(page_id, required_lsn)
+            span.set_tag("hit", page is not None)
+            return page
+        finally:
+            span.finish()
+
+    def _get_page(self, page_id: PageId, required_lsn: int = 0):
         yield from self._index_cs()
         entry = self.index.get(page_id)
         if entry is None:

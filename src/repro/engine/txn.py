@@ -47,10 +47,16 @@ class UndoEntry:
 class Transaction:
     """Engine-side transaction state."""
 
-    _ids = itertools.count(1)
-
     def __init__(self, env: Environment):
-        self.txn_id = next(Transaction._ids)
+        # Ids are allocated per environment, not process-wide: within one
+        # WAL stream they stay unique (recovery reuses the environment),
+        # and two same-seed deployments number their transactions
+        # identically - required for byte-identical trace exports.
+        ids = getattr(env, "_txn_ids", None)
+        if ids is None:
+            ids = itertools.count(1)
+            env._txn_ids = ids
+        self.txn_id = next(ids)
         self.env = env
         self.start_time = env.now
         self.status = "active"  # active -> committed | aborted

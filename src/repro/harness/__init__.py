@@ -1,10 +1,11 @@
 """Experiment harness: deployments, runners, chaos injection, stats."""
 from .chaos import ChaosEvent, ChaosInjector, ChaosSchedule
-from .deployment import Deployment, DeploymentConfig
+from .deployment import Deployment, DeploymentConfig, DeploymentSpec
 from .stats import collect_stats, format_stats
 
 __all__ = [
     "Deployment",
+    "DeploymentSpec",
     "DeploymentConfig",
     "ChaosEvent",
     "ChaosSchedule",

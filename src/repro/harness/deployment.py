@@ -1,5 +1,14 @@
 """Deployment builder: wire a complete veDB system in one call.
 
+:class:`DeploymentSpec` is the construction API: a dataclass of named,
+validated fields plus chainable builder methods -
+
+    spec = (DeploymentSpec(seed=7)
+            .with_astore(servers=4)
+            .with_ebp(128 * MB)
+            .with_pushdown())
+    deployment = spec.build()
+
 Four deployment shapes cover every experiment in the paper:
 
 ============================  ==========  =====  ===========
@@ -13,10 +22,20 @@ name                          log path    EBP    push-down
 
 (The PQ flag only marks intent; the query layer checks
 ``deployment.config.enable_pushdown``.)
+
+:class:`DeploymentConfig` remains as a thin backward-compatibility shim -
+an alias subclass of the spec - so code written against the original
+constructor keeps running unchanged.
+
+Every deployment owns an :class:`repro.obs.Observability` (exposed as
+``deployment.obs`` / ``.registry`` / ``.tracer``): component counters are
+registered as registry gauges here, which is what makes
+``harness.stats.collect_stats`` a pure ``registry.snapshot()``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -26,23 +45,31 @@ from ..common import GB, MB
 from ..engine.dbengine import DBEngine, EngineConfig
 from ..engine.ebp import ExtendedBufferPool
 from ..engine.logbackends import AStoreLogBackend, SsdLogBackend
+from ..obs import obs_of
 from ..sim.core import Environment
 from ..sim.rand import SeedSequence
 from ..storage.logstore import LogStore
 from ..storage.pagestore import PageStoreService
 
-__all__ = ["Deployment", "DeploymentConfig"]
+__all__ = ["Deployment", "DeploymentSpec", "DeploymentConfig"]
 
 
 @dataclass
-class DeploymentConfig:
-    """Everything needed to stand up one veDB deployment."""
+class DeploymentSpec:
+    """Everything needed to stand up one veDB deployment.
+
+    All fields are named and validated at construction; the ``with_*``
+    builder methods return modified *copies*, so a base spec can be shared
+    and specialised per experiment.
+    """
 
     seed: int = 42
     # Feature switches (the paper's experimental axes).
     use_astore_log: bool = False
     use_ebp: bool = False
     enable_pushdown: bool = False
+    #: Record virtual-time spans (Chrome trace export) for this deployment.
+    trace: bool = False
     # Engine.
     engine: EngineConfig = field(default_factory=EngineConfig)
     # EBP.
@@ -66,31 +93,137 @@ class DeploymentConfig:
     # Baseline LogStore.
     logstore_replicas: int = 3
 
-    @staticmethod
-    def stock(**overrides) -> "DeploymentConfig":
-        return DeploymentConfig(**overrides)
+    def __post_init__(self) -> None:
+        if self.ebp_policy not in ("flat", "priority"):
+            raise ValueError(
+                "ebp_policy must be 'flat' or 'priority', got %r" % self.ebp_policy
+            )
+        positive = (
+            ("ebp_capacity_bytes", self.ebp_capacity_bytes),
+            ("ebp_segment_bytes", self.ebp_segment_bytes),
+            ("astore_servers", self.astore_servers),
+            ("astore_pmem_bytes", self.astore_pmem_bytes),
+            ("astore_segment_slot_bytes", self.astore_segment_slot_bytes),
+            ("astore_server_cores", self.astore_server_cores),
+            ("log_ring_segments", self.log_ring_segments),
+            ("log_segment_bytes", self.log_segment_bytes),
+            ("log_replication", self.log_replication),
+            ("pagestore_servers", self.pagestore_servers),
+            ("pagestore_segments", self.pagestore_segments),
+            ("logstore_replicas", self.logstore_replicas),
+        )
+        for name, value in positive:
+            if value <= 0:
+                raise ValueError("%s must be positive, got %r" % (name, value))
+        if self.use_ebp and self.ebp_capacity_bytes < self.ebp_segment_bytes:
+            raise ValueError(
+                "ebp_capacity_bytes (%d) below one segment (%d)"
+                % (self.ebp_capacity_bytes, self.ebp_segment_bytes)
+            )
+        if self.log_replication > self.astore_servers:
+            raise ValueError(
+                "log_replication (%d) exceeds astore_servers (%d)"
+                % (self.log_replication, self.astore_servers)
+            )
 
-    @staticmethod
-    def astore_log(**overrides) -> "DeploymentConfig":
-        return DeploymentConfig(use_astore_log=True, **overrides)
+    # ------------------------------------------------------------------
+    # Builder methods (each returns a modified copy)
+    # ------------------------------------------------------------------
+    def with_seed(self, seed: int) -> "DeploymentSpec":
+        return dataclasses.replace(self, seed=seed)
 
-    @staticmethod
-    def astore_ebp(**overrides) -> "DeploymentConfig":
-        return DeploymentConfig(use_astore_log=True, use_ebp=True, **overrides)
+    def with_astore(
+        self,
+        servers: Optional[int] = None,
+        pmem_bytes: Optional[int] = None,
+        replication: Optional[int] = None,
+    ) -> "DeploymentSpec":
+        """Route the REDO log through an AStore SegmentRing."""
+        changes: Dict[str, object] = {"use_astore_log": True}
+        if servers is not None:
+            changes["astore_servers"] = servers
+        if pmem_bytes is not None:
+            changes["astore_pmem_bytes"] = pmem_bytes
+        if replication is not None:
+            changes["log_replication"] = replication
+        return dataclasses.replace(self, **changes)
 
-    @staticmethod
-    def astore_pq(**overrides) -> "DeploymentConfig":
-        return DeploymentConfig(
+    def with_ebp(
+        self,
+        size: Optional[int] = None,
+        segment_bytes: Optional[int] = None,
+        policy: Optional[str] = None,
+        space_priorities: Optional[Dict[int, int]] = None,
+    ) -> "DeploymentSpec":
+        """Attach an Extended Buffer Pool of ``size`` bytes."""
+        changes: Dict[str, object] = {"use_ebp": True}
+        if size is not None:
+            changes["ebp_capacity_bytes"] = size
+        if segment_bytes is not None:
+            changes["ebp_segment_bytes"] = segment_bytes
+        if policy is not None:
+            changes["ebp_policy"] = policy
+        if space_priorities is not None:
+            changes["ebp_space_priorities"] = space_priorities
+        return dataclasses.replace(self, **changes)
+
+    def with_pushdown(self) -> "DeploymentSpec":
+        """Enable storage-side push-down query execution."""
+        return dataclasses.replace(self, enable_pushdown=True)
+
+    def with_engine(self, **overrides) -> "DeploymentSpec":
+        """Override EngineConfig fields (e.g. ``buffer_pool_bytes=...``)."""
+        return dataclasses.replace(
+            self, engine=dataclasses.replace(self.engine, **overrides)
+        )
+
+    def with_tracing(self, enabled: bool = True) -> "DeploymentSpec":
+        """Record virtual-time spans for Chrome trace export."""
+        return dataclasses.replace(self, trace=enabled)
+
+    def build(self) -> "Deployment":
+        """Stand the deployment up (construction only; call ``start()``)."""
+        return Deployment(self)
+
+    # ------------------------------------------------------------------
+    # The paper's four canonical shapes
+    # ------------------------------------------------------------------
+    @classmethod
+    def stock(cls, **overrides) -> "DeploymentSpec":
+        return cls(**overrides)
+
+    @classmethod
+    def astore_log(cls, **overrides) -> "DeploymentSpec":
+        return cls(use_astore_log=True, **overrides)
+
+    @classmethod
+    def astore_ebp(cls, **overrides) -> "DeploymentSpec":
+        return cls(use_astore_log=True, use_ebp=True, **overrides)
+
+    @classmethod
+    def astore_pq(cls, **overrides) -> "DeploymentSpec":
+        return cls(
             use_astore_log=True, use_ebp=True, enable_pushdown=True, **overrides
         )
+
+
+class DeploymentConfig(DeploymentSpec):
+    """Backward-compatibility alias for :class:`DeploymentSpec`.
+
+    Kept so pre-redesign call sites (``Deployment(DeploymentConfig.astore_pq())``)
+    run unchanged; new code should use :class:`DeploymentSpec`.
+    """
 
 
 class Deployment:
     """A fully wired veDB system on one simulation environment."""
 
-    def __init__(self, config: Optional[DeploymentConfig] = None):
-        self.config = config or DeploymentConfig()
+    def __init__(self, config: Optional[DeploymentSpec] = None):
+        self.config = config or DeploymentSpec()
         self.env = Environment()
+        self.obs = obs_of(self.env)
+        if self.config.trace:
+            self.obs.enable_tracing(self.env)
         self.seeds = SeedSequence(self.config.seed)
         self.pagestore = PageStoreService(
             self.env,
@@ -153,6 +286,107 @@ class Deployment:
             ebp=self.ebp,
         )
         self._started = False
+        self._register_gauges()
+
+    @property
+    def registry(self):
+        """The deployment-wide :class:`repro.obs.MetricsRegistry`."""
+        return self.obs.registry
+
+    @property
+    def tracer(self):
+        """The deployment-wide span tracer (no-op unless ``trace=True``)."""
+        return self.obs.tracer
+
+    def _register_gauges(self) -> None:
+        """Expose every component counter through the metrics registry.
+
+        This is the single rendering of deployment state:
+        ``harness.stats.collect_stats`` is just ``registry.snapshot()``.
+        """
+        reg = self.obs.registry
+        engine = self.engine
+        reg.gauge("engine.committed", lambda: engine.committed)
+        reg.gauge("engine.aborted", lambda: engine.aborted)
+        reg.gauge("engine.statements", lambda: engine.statements)
+        reg.gauge("engine.shipped_lsn", lambda: engine.shipped_lsn)
+        reg.gauge("engine.persistent_lsn", lambda: engine.log.persistent_lsn)
+        reg.gauge("engine.log_flushes", lambda: engine.log.flushes)
+        reg.gauge("engine.records_flushed", lambda: engine.log.records_flushed)
+        reg.gauge("engine.ebp_writes_dropped", lambda: engine.ebp_writes_dropped)
+        reg.gauge("engine.lock_waits", lambda: engine.locks.waits)
+        reg.gauge("engine.lock_timeouts", lambda: engine.locks.timeouts)
+        reg.gauge("engine.deadlocks", lambda: engine.locks.deadlocks)
+        bp = engine.buffer_pool
+        reg.gauge("buffer_pool.hits", lambda: bp.hits)
+        reg.gauge("buffer_pool.misses", lambda: bp.misses)
+        reg.gauge("buffer_pool.hit_ratio", lambda: round(bp.hit_ratio, 4))
+        reg.gauge("buffer_pool.evictions", lambda: bp.evictions)
+        reg.gauge("buffer_pool.used_pages", lambda: bp.used_pages)
+        reg.gauge("buffer_pool.capacity_pages", lambda: bp.capacity_pages)
+        ps = self.pagestore
+        reg.gauge("pagestore.page_reads", lambda: ps.page_reads)
+        reg.gauge("pagestore.ships", lambda: ps.ships)
+        reg.gauge("pagestore.gossip_rounds", lambda: ps.gossip_rounds)
+        for server in ps.servers:
+            reg.gauge(
+                "pagestore.servers.%s" % server.server_id,
+                lambda s=server: {
+                    "records_received": s.records_received,
+                    "gossip_served": s.gossip_served,
+                    "cpu_busy_s": round(s.cpu.busy_time, 6),
+                },
+            )
+        if self.ebp is not None:
+            ebp = self.ebp
+            reg.gauge("ebp.hits", lambda: ebp.hits)
+            reg.gauge("ebp.misses", lambda: ebp.misses)
+            reg.gauge("ebp.stale_hits", lambda: ebp.stale_hits)
+            reg.gauge("ebp.hit_ratio", lambda: round(ebp.hit_ratio, 4))
+            reg.gauge("ebp.pages_written", lambda: ebp.pages_written)
+            reg.gauge("ebp.evictions", lambda: ebp.evictions)
+            reg.gauge("ebp.compactions", lambda: ebp.compactions)
+            reg.gauge("ebp.segments_released", lambda: ebp.segments_released)
+            reg.gauge("ebp.index_entries", lambda: len(ebp.index))
+            reg.gauge("ebp.live_bytes", lambda: ebp.live_bytes)
+            reg.gauge("ebp.allocated_bytes", lambda: ebp.allocated_bytes)
+        if self.astore is not None:
+            astore = self.astore
+            reg.gauge("astore.rebuilds", lambda: astore.cm.rebuilds)
+            for server in astore.servers.values():
+                reg.gauge(
+                    "astore.servers.%s" % server.server_id,
+                    lambda s=server: dict(
+                        {"alive": s.alive},
+                        **s.capacity_report,
+                        pmem_reads=s.pmem.reads,
+                        pmem_writes=s.pmem.writes,
+                        rdma_verbs=s.fabric.verbs_posted,
+                        cpu_busy_s=round(s.cpu.busy_time, 6),
+                    ),
+                )
+        if self.config.enable_pushdown:
+            # PushdownRuntime increments these; pre-register so the report
+            # shows zeros even before the first PQ session runs.
+            for name in (
+                "fragments",
+                "tasks_dispatched",
+                "pages_via_ebp",
+                "pages_via_pagestore",
+                "pages_local",
+                "fallback_pages",
+                "cost_rejected",
+            ):
+                reg.incr("query.pushdown." + name, 0)
+        if self.ring is not None:
+            ring = self.ring
+            reg.gauge("segment_ring.appends", lambda: ring.appends)
+            reg.gauge("segment_ring.advances", lambda: ring.segment_advances)
+            reg.gauge("segment_ring.segments", lambda: len(ring.segment_ids))
+        if self.logstore is not None:
+            ls = self.logstore
+            reg.gauge("logstore.appends", lambda: ls.appends)
+            reg.gauge("logstore.bytes", lambda: ls.bytes_appended)
 
     def _can_recycle(self, start_lsn: int) -> bool:
         """A FULL log segment is recyclable once its REDO reached PageStore."""

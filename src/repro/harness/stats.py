@@ -1,8 +1,10 @@
 """Deployment-wide statistics report.
 
-Collects the counters every component of a deployment maintains into one
-nested dict (and a printable summary) - the observability surface a
-downstream user pokes first when a run looks off.
+One rendering, one schema: a deployment's report IS its metrics registry.
+Every component registers its counters as gauges (see
+``Deployment._register_gauges`` plus the per-component instrumentation in
+``sim``/``astore``/``engine``/``query``), so :func:`collect_stats` is a
+pure ``registry.snapshot()`` - there is no parallel ad-hoc collection.
 """
 
 from __future__ import annotations
@@ -15,92 +17,13 @@ __all__ = ["collect_stats", "format_stats"]
 
 
 def collect_stats(deployment: Deployment) -> Dict[str, Any]:
-    """Snapshot every interesting counter in the deployment."""
-    engine = deployment.engine
-    stats: Dict[str, Any] = {
-        "engine": {
-            "committed": engine.committed,
-            "aborted": engine.aborted,
-            "statements": engine.statements,
-            "shipped_lsn": engine.shipped_lsn,
-            "persistent_lsn": engine.log.persistent_lsn,
-            "log_flushes": engine.log.flushes,
-            "records_flushed": engine.log.records_flushed,
-            "ebp_writes_dropped": engine.ebp_writes_dropped,
-            "lock_waits": engine.locks.waits,
-            "lock_timeouts": engine.locks.timeouts,
-            "deadlocks": engine.locks.deadlocks,
-        },
-        "buffer_pool": {
-            "hits": engine.buffer_pool.hits,
-            "misses": engine.buffer_pool.misses,
-            "hit_ratio": round(engine.buffer_pool.hit_ratio, 4),
-            "evictions": engine.buffer_pool.evictions,
-            "used_pages": engine.buffer_pool.used_pages,
-            "capacity_pages": engine.buffer_pool.capacity_pages,
-        },
-        "pagestore": {
-            "page_reads": deployment.pagestore.page_reads,
-            "ships": deployment.pagestore.ships,
-            "gossip_rounds": deployment.pagestore.gossip_rounds,
-            "servers": {
-                server.server_id: {
-                    "records_received": server.records_received,
-                    "gossip_served": server.gossip_served,
-                    "cpu_busy_s": round(server.cpu.busy_time, 6),
-                }
-                for server in deployment.pagestore.servers
-            },
-        },
-    }
-    if deployment.ebp is not None:
-        ebp = deployment.ebp
-        stats["ebp"] = {
-            "hits": ebp.hits,
-            "misses": ebp.misses,
-            "stale_hits": ebp.stale_hits,
-            "hit_ratio": round(ebp.hit_ratio, 4),
-            "pages_written": ebp.pages_written,
-            "evictions": ebp.evictions,
-            "compactions": ebp.compactions,
-            "segments_released": ebp.segments_released,
-            "index_entries": len(ebp.index),
-            "live_bytes": ebp.live_bytes,
-            "allocated_bytes": ebp.allocated_bytes,
-        }
-    if deployment.astore is not None:
-        stats["astore"] = {
-            "rebuilds": deployment.astore.cm.rebuilds,
-            "servers": {
-                server.server_id: {
-                    "alive": server.alive,
-                    **server.capacity_report,
-                    "pmem_reads": server.pmem.reads,
-                    "pmem_writes": server.pmem.writes,
-                    "rdma_verbs": server.fabric.verbs_posted,
-                    "cpu_busy_s": round(server.cpu.busy_time, 6),
-                }
-                for server in deployment.astore.servers.values()
-            },
-        }
-        for client in deployment.astore.clients:
-            stats.setdefault("astore_clients", {})[client.client_id] = {
-                "writes": client.writes,
-                "reads": client.reads,
-                "write_failures": client.write_failures,
-            }
-    if deployment.ring is not None:
-        stats["segment_ring"] = {
-            "appends": deployment.ring.appends,
-            "advances": deployment.ring.segment_advances,
-            "segments": len(deployment.ring.segment_ids),
-        }
-    if deployment.logstore is not None:
-        stats["logstore"] = {
-            "appends": deployment.logstore.appends,
-            "bytes": deployment.logstore.bytes_appended,
-        }
-    return stats
+    """Snapshot every registered metric in the deployment.
+
+    Returns the nested dict form of ``deployment.registry.snapshot()``:
+    dotted metric names split into a tree, latency recorders rendered as
+    percentile summaries, gauges sampled at call time.
+    """
+    return deployment.obs.registry.snapshot()
 
 
 def format_stats(deployment: Deployment) -> str:

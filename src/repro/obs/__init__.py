@@ -1,0 +1,69 @@
+"""repro.obs: the unified observability layer.
+
+One :class:`Observability` object per simulation environment bundles
+
+- a :class:`~repro.obs.registry.MetricsRegistry` - the single, hierarchical,
+  dot-namespaced home for every metric the system records or exposes; and
+- a tracer - :data:`~repro.obs.tracer.NULL_TRACER` by default (zero cost),
+  or a recording :class:`~repro.obs.tracer.Tracer` whose virtual-time spans
+  export as Chrome ``trace_event`` JSON (``python -m repro trace``).
+
+Components never construct their own: they call :func:`obs_of(env)
+<obs_of>`, which lazily attaches a shared instance to the environment.
+Everything built on the same :class:`~repro.sim.core.Environment` therefore
+reports into the same namespace, and ``Deployment`` simply exposes the same
+object as ``deployment.obs``.
+
+Metric namespace convention (see README "Observability"):
+
+``<layer>.<component>[.<instance>].<metric>`` - e.g.
+``sim.device.server-0-pmem.queue_wait_s``, ``astore.client.log-client.write``
+(a latency subtree with p50/p95/p99), ``engine.ebp.hit_ratio``,
+``query.pushdown.fragments``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .registry import MetricsRegistry
+from .tracer import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Observability",
+    "obs_of",
+    "MetricsRegistry",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "NULL_TRACER",
+    "NULL_SPAN",
+]
+
+
+class Observability:
+    """A metrics registry plus a (possibly no-op) tracer."""
+
+    __slots__ = ("registry", "tracer")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None, tracer=None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def enable_tracing(self, env) -> Tracer:
+        """Swap the null tracer for a recording one (idempotent)."""
+        if not self.tracer.enabled:
+            self.tracer = Tracer(env)
+        return self.tracer
+
+    def disable_tracing(self) -> None:
+        self.tracer = NULL_TRACER
+
+
+def obs_of(env) -> Observability:
+    """The environment's shared Observability, attached on first use."""
+    obs = getattr(env, "obs", None)
+    if obs is None:
+        obs = Observability()
+        env.obs = obs
+    return obs

@@ -1,0 +1,184 @@
+"""MetricsRegistry: one hierarchical namespace for every metric.
+
+Every number a benchmark or a stats report can emit lives here under a
+dot-separated name (``astore.client.log-client.write.p99``,
+``engine.ebp.hit_ratio``).  Four metric kinds cover the codebase:
+
+- **latency**: a :class:`~repro.sim.metrics.LatencyRecorder`; its snapshot
+  node is the recorder's ``summary()`` dict (count/mean/p50/p95/p99/max) -
+  the one latency schema for the whole repo.
+- **meter**: a :class:`~repro.sim.metrics.ThroughputMeter` (ops + bytes over
+  a virtual-time window).
+- **counter** / **adder**: plain int / float accumulators for hot paths
+  (``incr`` / ``add``).
+- **gauge**: a callable sampled at snapshot time; the idiom for exposing a
+  component's existing attribute counters (``lambda: engine.committed``)
+  without double bookkeeping on the hot path.  A gauge may return a dict,
+  which nests under its name.
+
+``snapshot()`` renders the whole namespace as one nested dict (keys sorted,
+so the export is deterministic), ``flat()`` as ``{dotted-name: leaf}``,
+``diff()`` subtracts two snapshots, and ``to_json()`` serialises - this is
+the single schema behind both ``repro.sim.metrics.summarize`` and the
+``harness.stats`` report.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional
+
+from ..sim.metrics import Counter, LatencyRecorder, ThroughputMeter
+
+__all__ = ["MetricsRegistry"]
+
+
+def _validate_name(name: str) -> None:
+    if not name or not isinstance(name, str):
+        raise ValueError("metric name must be a non-empty string")
+    for part in name.split("."):
+        if not part or part != part.strip():
+            raise ValueError("bad metric name %r (empty/padded component)" % name)
+
+
+class MetricsRegistry:
+    """Hierarchical, dot-namespaced registry over the sim.metrics primitives."""
+
+    def __init__(self):
+        self._latencies: Dict[str, LatencyRecorder] = {}
+        self._meters: Dict[str, ThroughputMeter] = {}
+        self._counters = Counter()
+        self._counter_names: Dict[str, None] = {}
+        self._adders: Dict[str, float] = {}
+        self._gauges: Dict[str, Callable[[], Any]] = {}
+        #: name -> kind, used for collision and prefix validation.
+        self._names: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _register(self, name: str, kind: str) -> None:
+        existing = self._names.get(name)
+        if existing is not None:
+            if existing != kind:
+                raise ValueError(
+                    "metric %r already registered as %s (wanted %s)"
+                    % (name, existing, kind)
+                )
+            return
+        _validate_name(name)
+        prefix = name + "."
+        for other in self._names:
+            if other.startswith(prefix) or name.startswith(other + "."):
+                raise ValueError(
+                    "metric %r collides with existing subtree %r" % (name, other)
+                )
+        self._names[name] = kind
+
+    def latency(self, name: str) -> LatencyRecorder:
+        """Get-or-create the latency recorder at ``name``."""
+        recorder = self._latencies.get(name)
+        if recorder is None:
+            self._register(name, "latency")
+            recorder = LatencyRecorder(name)
+            self._latencies[name] = recorder
+        return recorder
+
+    def meter(self, name: str) -> ThroughputMeter:
+        """Get-or-create the throughput meter at ``name``."""
+        meter = self._meters.get(name)
+        if meter is None:
+            self._register(name, "meter")
+            meter = ThroughputMeter(name)
+            self._meters[name] = meter
+        return meter
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increment the integer counter at ``name`` (creating it at 0)."""
+        if name not in self._counter_names:
+            self._register(name, "counter")
+            self._counter_names[name] = None
+        self._counters.incr(name, amount)
+
+    def add(self, name: str, value: float) -> None:
+        """Add ``value`` to the float accumulator at ``name``."""
+        current = self._adders.get(name)
+        if current is None:
+            self._register(name, "adder")
+            current = 0.0
+        self._adders[name] = current + value
+
+    def gauge(self, name: str, fn: Callable[[], Any]) -> None:
+        """Register (or replace) a gauge sampled at snapshot time."""
+        if name not in self._gauges:
+            self._register(name, "gauge")
+        self._gauges[name] = fn
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def value(self, name: str) -> Any:
+        """The current leaf value of one metric by dotted name."""
+        kind = self._names.get(name)
+        if kind is None:
+            raise KeyError(name)
+        if kind == "latency":
+            return self._latencies[name].summary()
+        if kind == "meter":
+            meter = self._meters[name]
+            return {
+                "count": float(meter.completed),
+                "rate": meter.rate(),
+                "bandwidth_mb_s": meter.bandwidth_mb_s(),
+            }
+        if kind == "counter":
+            return self._counters.get(name)
+        if kind == "adder":
+            return self._adders[name]
+        return self._gauges[name]()
+
+    def flat(self) -> Dict[str, Any]:
+        """``{dotted-name: leaf-value}`` for every registered metric."""
+        return {name: self.value(name) for name in sorted(self._names)}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The whole namespace as one nested dict (deterministic order)."""
+        tree: Dict[str, Any] = {}
+        for name, leaf in self.flat().items():
+            node = tree
+            parts = name.split(".")
+            for part in parts[:-1]:
+                node = node.setdefault(part, {})
+            node[parts[-1]] = leaf
+        return tree
+
+    @staticmethod
+    def diff(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+        """Recursive numeric difference ``after - before`` of two snapshots.
+
+        Non-numeric leaves take the ``after`` value; keys only in one
+        snapshot appear with their sole value (numbers from ``before``
+        alone are negated, as if the metric dropped to absence-as-zero).
+        """
+        out: Dict[str, Any] = {}
+        for key in sorted(set(before) | set(after)):
+            b, a = before.get(key), after.get(key)
+            if isinstance(b, dict) or isinstance(a, dict):
+                out[key] = MetricsRegistry.diff(b or {}, a or {})
+            elif isinstance(b, (int, float)) and isinstance(a, (int, float)):
+                out[key] = a - b
+            elif a is None and isinstance(b, (int, float)):
+                out[key] = -b
+            else:
+                out[key] = a
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Deterministic JSON export of :meth:`snapshot`."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def __len__(self) -> int:
+        return len(self._names)

@@ -1,0 +1,194 @@
+"""Virtual-time span tracer.
+
+``tracer.span("astore.write", tags={...})`` opens a span at ``env.now`` and
+closes it when the ``with`` block exits (or when ``finish()`` is called).
+All timestamps are *virtual* seconds, so a run with a fixed seed produces a
+byte-identical export - the property the determinism tests pin down.
+
+Two implementations share the interface:
+
+- :class:`Tracer` records :class:`Span` objects and exports them as Chrome
+  ``trace_event`` JSON (load the file at ``chrome://tracing`` or
+  https://ui.perfetto.dev).  Track (``tid``) assignment follows the span
+  name's first dot-component in first-seen order, so each subsystem gets
+  its own row.
+- :class:`NullTracer` is the zero-cost disabled path: ``span()`` returns a
+  shared no-op context manager and allocates nothing.  Hot paths may also
+  check ``tracer.enabled`` to skip building tag dicts entirely.
+
+Spans may nest explicitly via ``parent=``; simulation processes interleave
+on one virtual clock, so there is deliberately no implicit thread-local
+parent stack.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "NULL_SPAN"]
+
+
+class Span:
+    """One traced interval of virtual time."""
+
+    __slots__ = ("tracer", "name", "start", "end", "tags", "span_id", "parent_id")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        start: float,
+        span_id: int,
+        parent_id: Optional[int] = None,
+        tags: Optional[Dict[str, Any]] = None,
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.tags = tags
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+    def set_tag(self, key: str, value: Any) -> "Span":
+        if self.tags is None:
+            self.tags = {}
+        self.tags[key] = value
+        return self
+
+    def finish(self) -> None:
+        if self.end is None:
+            self.end = self.tracer.env.now
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
+
+    @property
+    def duration(self) -> float:
+        end = self.end if self.end is not None else self.tracer.env.now
+        return end - self.start
+
+
+class _NullSpan:
+    """Shared do-nothing span; the entire cost of disabled tracing."""
+
+    __slots__ = ()
+
+    def set_tag(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def finish(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every ``span()`` is the shared null span."""
+
+    enabled = False
+
+    def span(self, name: str, parent: Any = None,
+             tags: Optional[Dict[str, Any]] = None) -> _NullSpan:
+        return NULL_SPAN
+
+    def export_chrome(self) -> List[Dict[str, Any]]:
+        return []
+
+    def export_chrome_json(self, indent: Optional[int] = None) -> str:
+        return "[]"
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Recording tracer bound to one simulation environment."""
+
+    enabled = True
+
+    def __init__(self, env):
+        self.env = env
+        self.spans: List[Span] = []
+        self._next_id = 1
+
+    def span(self, name: str, parent: Any = None,
+             tags: Optional[Dict[str, Any]] = None) -> Span:
+        """Open a span at the current virtual time (use as a context manager)."""
+        parent_id = None
+        if isinstance(parent, Span):
+            parent_id = parent.span_id
+        elif isinstance(parent, int):
+            parent_id = parent
+        span = Span(self, name, self.env.now, self._next_id, parent_id, tags)
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def clear(self) -> None:
+        self.spans = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def _tid_of(self, name: str, tids: Dict[str, int]) -> int:
+        track = name.split(".", 1)[0]
+        tid = tids.get(track)
+        if tid is None:
+            tid = len(tids)
+            tids[track] = tid
+        return tid
+
+    def export_chrome(self) -> List[Dict[str, Any]]:
+        """Spans as Chrome ``trace_event`` complete ('X') events.
+
+        Timestamps are virtual microseconds; unfinished spans close at the
+        current virtual time.  The event list is ordered by span creation,
+        which is itself deterministic under a fixed seed.
+        """
+        tids: Dict[str, int] = {}
+        events: List[Dict[str, Any]] = []
+        names = sorted({span.name.split(".", 1)[0] for span in self.spans})
+        for track in names:
+            self._tid_of(track, tids)
+        for span in self.spans:
+            end = span.end if span.end is not None else self.env.now
+            args: Dict[str, Any] = {"span_id": span.span_id}
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            if span.tags:
+                for key in sorted(span.tags):
+                    args[key] = span.tags[key]
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": span.start * 1e6,
+                    "dur": (end - span.start) * 1e6,
+                    "pid": 0,
+                    "tid": self._tid_of(span.name, tids),
+                    "args": args,
+                }
+            )
+        return events
+
+    def export_chrome_json(self, indent: Optional[int] = None) -> str:
+        """Byte-deterministic JSON of :meth:`export_chrome`."""
+        return json.dumps(
+            self.export_chrome(),
+            indent=indent,
+            sort_keys=True,
+            separators=(",", ": ") if indent else (",", ":"),
+        )

@@ -29,6 +29,7 @@ from ..engine.dbengine import DBEngine
 from ..engine.ebp import EBP_PAGE_TAG, ExtendedBufferPool
 from ..engine.page import Page
 from ..engine.table import Table
+from ..obs import obs_of
 from ..sim.core import AllOf, Environment
 from ..sim.network import RpcNetwork
 from ..storage.pagestore import PageStoreService, PageStoreServer
@@ -165,6 +166,20 @@ class PushdownRuntime:
         self.pages_local = 0
         self.fallback_pages = 0
         self.cost_rejected = 0
+        # Counters accumulate in the environment-wide registry so fragment
+        # counts survive across sessions and land in the harness report.
+        self.obs = obs_of(env)
+        registry = self.obs.registry
+        for key in (
+            "query.pushdown.fragments",
+            "query.pushdown.tasks_dispatched",
+            "query.pushdown.pages_via_ebp",
+            "query.pushdown.pages_via_pagestore",
+            "query.pushdown.pages_local",
+            "query.pushdown.fallback_pages",
+            "query.pushdown.cost_rejected",
+        ):
+            registry.incr(key, 0)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -175,6 +190,14 @@ class PushdownRuntime:
         Returns row dicts, or partial-aggregate pairs when the fragment
         carries partial aggregation (the Aggregate node above merges them).
         """
+        self.obs.registry.incr("query.pushdown.fragments")
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return (yield from self._run_scan(scan))
+        with tracer.span("pq.scan", tags={"table": scan.table_name}):
+            return (yield from self._run_scan(scan))
+
+    def _run_scan(self, scan: SeqScan):
         table = self.engine.catalog.table(scan.table_name)
         fragment = PushdownFragment(
             table_name=scan.table_name,
@@ -215,6 +238,7 @@ class PushdownRuntime:
             # Cost model says the engine path is cheaper: run the whole
             # fragment locally through the normal read path.
             self.cost_rejected += 1
+            self.obs.registry.incr("query.pushdown.cost_rejected")
             everything = [(pid, 0) for pid in local_pages]
             for task in all_tasks:
                 for spec in task.pages:
@@ -230,6 +254,9 @@ class PushdownRuntime:
             merged = _Merge(fragment)
             merged.add(result)
             self.pages_local += len(everything)
+            self.obs.registry.incr(
+                "query.pushdown.pages_local", len(everything)
+            )
             return merged.finish()
         procs = [
             self.env.process(self._dispatch(fragment, task)) for task in all_tasks
@@ -239,6 +266,7 @@ class PushdownRuntime:
             fragment, [(pid, 0) for pid in local_pages]
         )
         self.pages_local += len(local_pages)
+        self.obs.registry.incr("query.pushdown.pages_local", len(local_pages))
         merged = _Merge(fragment)
         merged.add(local_result)
         if procs:
@@ -250,6 +278,7 @@ class PushdownRuntime:
         # Fallback: any failed page goes through the normal engine path.
         if failed:
             self.fallback_pages += len(failed)
+            self.obs.registry.incr("query.pushdown.fallback_pages", len(failed))
             fallback_result, still_failed = yield from self._run_local(
                 fragment, failed, via_engine=True
             )
@@ -259,6 +288,9 @@ class PushdownRuntime:
                 )
             merged.add(fallback_result)
         self.tasks_dispatched += len(all_tasks)
+        self.obs.registry.incr(
+            "query.pushdown.tasks_dispatched", len(all_tasks)
+        )
         return merged.finish()
 
     def _push_wins(self, local_pages, astore_tasks, pagestore_tasks) -> bool:
@@ -301,13 +333,30 @@ class PushdownRuntime:
     # ------------------------------------------------------------------
     def _dispatch(self, fragment: PushdownFragment, task: _Task):
         """Generator: RPC a task to its server and execute it there."""
-        request_bytes = FRAGMENT_WIRE_BYTES + 24 * len(task.pages)
-        yield from self.network.send(request_bytes)
-        if task.kind == "astore":
-            result, failed = yield from self._run_on_astore(fragment, task)
-        else:
-            result, failed = yield from self._run_on_pagestore(fragment, task)
-        yield from self.network.send(self._result_bytes(result))
+        tracer = self.obs.tracer
+        span = (
+            tracer.span(
+                "pq.dispatch",
+                tags={
+                    "server": task.server_id,
+                    "kind": task.kind,
+                    "pages": len(task.pages),
+                },
+            )
+            if tracer.enabled
+            else None
+        )
+        try:
+            request_bytes = FRAGMENT_WIRE_BYTES + 24 * len(task.pages)
+            yield from self.network.send(request_bytes)
+            if task.kind == "astore":
+                result, failed = yield from self._run_on_astore(fragment, task)
+            else:
+                result, failed = yield from self._run_on_pagestore(fragment, task)
+            yield from self.network.send(self._result_bytes(result))
+        finally:
+            if span is not None:
+                span.finish()
         return result, failed
 
     @staticmethod
@@ -345,6 +394,7 @@ class PushdownRuntime:
             PAGE_CPU * max(len(pages), 1) + ROW_CPU * scanned
         )
         self.pages_via_ebp += len(pages)
+        self.obs.registry.incr("query.pushdown.pages_via_ebp", len(pages))
         return result, failed
 
     def _run_on_pagestore(self, fragment: PushdownFragment, task: _Task):
@@ -375,6 +425,9 @@ class PushdownRuntime:
             PAGE_CPU * max(len(pages), 1) + ROW_CPU * scanned
         )
         self.pages_via_pagestore += len(pages)
+        self.obs.registry.incr(
+            "query.pushdown.pages_via_pagestore", len(pages)
+        )
         return result, failed
 
     def _run_local(self, fragment: PushdownFragment, page_specs, via_engine=False):

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs import obs_of
 from .core import Environment
 from .rand import Rng
 from .resources import Resource
@@ -62,6 +63,13 @@ class StorageDevice:
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.queue_wait_total = 0.0
+        self.obs = obs_of(env)
+        # Pre-computed metric/span names keep the per-I/O cost to dict ops.
+        self._qw_key = "sim.device.%s.queue_wait_s" % name
+        self._read_span = "device.%s.read" % name
+        self._write_span = "device.%s.write" % name
+        self.obs.registry.add(self._qw_key, 0.0)
 
     # -- service-time model -------------------------------------------------
     def _congestion_factor(self) -> float:
@@ -87,13 +95,25 @@ class StorageDevice:
     def read(self, nbytes: int):
         """Generator: perform a read of ``nbytes``; returns the latency."""
         service = self._service_time(self.read_latency, nbytes, self.read_bandwidth)
+        tracer = self.obs.tracer
+        span = (
+            tracer.span(self._read_span, tags={"bytes": nbytes})
+            if tracer.enabled
+            else None
+        )
         start = self.env.now
         req = self._channels.request()
         yield req
+        wait = self.env.now - start
+        if wait > 0:
+            self.queue_wait_total += wait
+            self.obs.registry.add(self._qw_key, wait)
         try:
             yield self.env.timeout(service)
         finally:
             self._channels.release(req)
+            if span is not None:
+                span.finish()
         self.reads += 1
         self.bytes_read += nbytes
         return self.env.now - start
@@ -101,13 +121,25 @@ class StorageDevice:
     def write(self, nbytes: int):
         """Generator: perform a durable write of ``nbytes``; returns latency."""
         service = self._service_time(self.write_latency, nbytes, self.write_bandwidth)
+        tracer = self.obs.tracer
+        span = (
+            tracer.span(self._write_span, tags={"bytes": nbytes})
+            if tracer.enabled
+            else None
+        )
         start = self.env.now
         req = self._channels.request()
         yield req
+        wait = self.env.now - start
+        if wait > 0:
+            self.queue_wait_total += wait
+            self.obs.registry.add(self._qw_key, wait)
         try:
             yield self.env.timeout(service)
         finally:
             self._channels.release(req)
+            if span is not None:
+                span.finish()
         self.writes += 1
         self.bytes_written += nbytes
         return self.env.now - start

@@ -117,13 +117,18 @@ class ThroughputMeter:
         return self.end_time - self.start_time
 
     def rate(self) -> float:
-        """Operations per second of virtual time."""
-        if self.elapsed <= 0:
+        """Operations per second of virtual time.
+
+        An empty window (no samples recorded) or a zero/negative-length
+        window (all samples at one instant, or a start() after the last
+        record) yields 0.0 - never a ZeroDivisionError or ``inf``.
+        """
+        if self.completed == 0 or self.elapsed <= 0:
             return 0.0
         return self.completed / self.elapsed
 
     def bandwidth_mb_s(self) -> float:
-        if self.elapsed <= 0:
+        if self.bytes_moved == 0 or self.elapsed <= 0:
             return 0.0
         return self.bytes_moved / self.elapsed / (1024.0 * 1024.0)
 
@@ -145,11 +150,20 @@ class Counter:
 
 
 def summarize(samples: Iterable[float]) -> Dict[str, float]:
-    """One-shot summary of a latency sample iterable."""
-    recorder = LatencyRecorder()
+    """One-shot summary of a latency sample iterable.
+
+    Canonical entry point: the summary is produced by a
+    :class:`repro.obs.MetricsRegistry` snapshot, so this function, the
+    tracer-adjacent bench exports, and ``harness.stats`` reports all share
+    exactly one latency schema (count/mean/p50/p95/p99/max).
+    """
+    from ..obs.registry import MetricsRegistry  # local: obs builds on us
+
+    registry = MetricsRegistry()
+    recorder = registry.latency("samples")
     for sample in samples:
         recorder.record(sample)
-    return recorder.summary()
+    return registry.snapshot()["samples"]
 
 
 def geomean(values: Iterable[float]) -> float:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Tuple
 
+from ..obs import obs_of
 from .core import Environment
 from .rand import Rng
 from .resources import CpuPool
@@ -49,9 +50,11 @@ class RpcNetwork:
         jitter_sigma: float = 0.25,
         spike_probability: float = 0.004,
         spike_scale: float = 3.0 * MS,
+        name: str = "",
     ):
         self.env = env
         self.rng = rng
+        self.name = name
         self.base_rtt = base_rtt
         self.bandwidth = bandwidth
         self.kernel_overhead = kernel_overhead
@@ -60,6 +63,17 @@ class RpcNetwork:
         self.spike_scale = spike_scale
         self.messages = 0
         self.bytes_moved = 0
+        self.spikes = 0
+        self.obs = obs_of(env)
+        self._call_span = "net.rpc.call" if not name else "net.%s.call" % name
+        if name:
+            # Named transports surface their counters in the registry.
+            prefix = "sim.network.%s" % name
+            self.obs.registry.gauge("%s.messages" % prefix, lambda: self.messages)
+            self.obs.registry.gauge(
+                "%s.bytes_moved" % prefix, lambda: self.bytes_moved
+            )
+            self.obs.registry.gauge("%s.spikes" % prefix, lambda: self.spikes)
 
     def _one_way(self, nbytes: int) -> float:
         nominal = self.base_rtt / 2.0 + self.kernel_overhead + nbytes / self.bandwidth
@@ -68,6 +82,7 @@ class RpcNetwork:
             # Thread-scheduling / softirq stall: the long-tail driver of
             # the latency fluctuation the paper sets out to remove.
             latency += self.rng.lognormal_around(self.spike_scale, 0.5)
+            self.spikes += 1
         return latency
 
     def send(self, nbytes: int):
@@ -91,11 +106,24 @@ class RpcNetwork:
         dispatch + handler bookkeeping; the actual storage work is done by
         the callee between our two hops and is *not* included here.
         """
+        tracer = self.obs.tracer
+        span = (
+            tracer.span(
+                self._call_span,
+                tags={"req_bytes": request_bytes, "resp_bytes": response_bytes},
+            )
+            if tracer.enabled
+            else None
+        )
         start = self.env.now
-        yield from self.send(request_bytes)
-        if server_cpu is not None and server_cpu_seconds > 0:
-            yield from server_cpu.consume(server_cpu_seconds)
-        yield from self.send(response_bytes)
+        try:
+            yield from self.send(request_bytes)
+            if server_cpu is not None and server_cpu_seconds > 0:
+                yield from server_cpu.consume(server_cpu_seconds)
+            yield from self.send(response_bytes)
+        finally:
+            if span is not None:
+                span.finish()
         return self.env.now - start
 
 
@@ -135,15 +163,28 @@ class RdmaFabric:
         doorbell_cost: float = 1.0 * US,
         bandwidth: float = 25 * GBPS,
         jitter_sigma: float = 0.08,
+        name: str = "",
     ):
         self.env = env
         self.rng = rng
+        self.name = name
         self.verb_latency = verb_latency
         self.doorbell_cost = doorbell_cost
         self.bandwidth = bandwidth
         self.jitter_sigma = jitter_sigma
         self.verbs_posted = 0
         self.bytes_moved = 0
+        self.obs = obs_of(env)
+        self._verb_span = "rdma.verb" if not name else "rdma.%s.verb" % name
+        self._chain_span = "rdma.chain" if not name else "rdma.%s.chain" % name
+        if name:
+            prefix = "sim.rdma.%s" % name
+            self.obs.registry.gauge(
+                "%s.verbs_posted" % prefix, lambda: self.verbs_posted
+            )
+            self.obs.registry.gauge(
+                "%s.bytes_moved" % prefix, lambda: self.bytes_moved
+            )
 
     def _verb_time(self, verb: RdmaVerb) -> float:
         nominal = self.verb_latency + verb.nbytes / self.bandwidth
@@ -152,7 +193,14 @@ class RdmaFabric:
     def post(self, verb: RdmaVerb):
         """Generator: post a single verb (its own doorbell). Returns latency."""
         total = self.doorbell_cost + self._verb_time(verb)
-        yield self.env.timeout(total)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            with tracer.span(
+                self._verb_span, tags={"op": verb.op, "bytes": verb.nbytes}
+            ):
+                yield self.env.timeout(total)
+        else:
+            yield self.env.timeout(total)
         self.verbs_posted += 1
         self.bytes_moved += verb.nbytes
         return total
@@ -168,7 +216,18 @@ class RdmaFabric:
         if not verbs:
             return 0.0
         total = self.doorbell_cost + sum(self._verb_time(v) for v in verbs)
-        yield self.env.timeout(total)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            with tracer.span(
+                self._chain_span,
+                tags={
+                    "verbs": len(verbs),
+                    "bytes": sum(v.nbytes for v in verbs),
+                },
+            ):
+                yield self.env.timeout(total)
+        else:
+            yield self.env.timeout(total)
         self.verbs_posted += len(verbs)
         self.bytes_moved += sum(v.nbytes for v in verbs)
         return total

@@ -1,0 +1,147 @@
+"""MetricsRegistry: namespace rules, snapshots, diff, JSON export."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.sim.metrics import LatencyRecorder, ThroughputMeter, summarize
+
+
+def test_counter_and_adder_basics():
+    reg = MetricsRegistry()
+    reg.incr("astore.writes")
+    reg.incr("astore.writes", 4)
+    reg.add("sim.device.ssd.queue_wait_s", 0.25)
+    reg.add("sim.device.ssd.queue_wait_s", 0.5)
+    assert reg.value("astore.writes") == 5
+    assert reg.value("sim.device.ssd.queue_wait_s") == pytest.approx(0.75)
+    assert "astore.writes" in reg
+    assert len(reg) == 2
+
+
+def test_latency_and_meter_nodes():
+    reg = MetricsRegistry()
+    lat = reg.latency("engine.txn.commit_wait")
+    assert isinstance(lat, LatencyRecorder)
+    # Get-or-create returns the same recorder.
+    assert reg.latency("engine.txn.commit_wait") is lat
+    lat.record(0.010)
+    lat.record(0.030)
+    node = reg.value("engine.txn.commit_wait")
+    assert node["count"] == 2.0
+    assert node["mean"] == pytest.approx(0.020)
+    assert set(node) == {"count", "mean", "p50", "p95", "p99", "max"}
+
+    meter = reg.meter("net.rpc")
+    assert isinstance(meter, ThroughputMeter)
+    meter.record(0.0)
+    meter.record(2.0, nbytes=4 * 1024 * 1024)
+    assert reg.value("net.rpc")["rate"] == pytest.approx(1.0)
+    assert reg.value("net.rpc")["bandwidth_mb_s"] == pytest.approx(2.0)
+
+
+def test_gauges_sample_at_snapshot_time_and_may_nest():
+    reg = MetricsRegistry()
+    state = {"hits": 1}
+    reg.gauge("ebp.hits", lambda: state["hits"])
+    reg.gauge("ebp.capacity", lambda: {"free_slots": 3, "used_slots": 5})
+    state["hits"] = 9
+    snap = reg.snapshot()
+    assert snap["ebp"]["hits"] == 9
+    assert snap["ebp"]["capacity"]["used_slots"] == 5
+
+
+def test_kind_collision_rejected():
+    reg = MetricsRegistry()
+    reg.incr("engine.committed")
+    with pytest.raises(ValueError):
+        reg.latency("engine.committed")
+
+
+def test_leaf_vs_subtree_collision_rejected():
+    reg = MetricsRegistry()
+    reg.incr("astore.server0.writes")
+    # A leaf cannot shadow an existing subtree...
+    with pytest.raises(ValueError):
+        reg.incr("astore.server0")
+    # ...nor may a subtree grow under an existing leaf.
+    reg.incr("query.fragments")
+    with pytest.raises(ValueError):
+        reg.incr("query.fragments.merged")
+
+
+def test_bad_names_rejected():
+    reg = MetricsRegistry()
+    for bad in ("", "a..b", ".a", "a.", "a. b"):
+        with pytest.raises(ValueError):
+            reg.incr(bad)
+
+
+def test_unknown_name_raises_keyerror():
+    reg = MetricsRegistry()
+    with pytest.raises(KeyError):
+        reg.value("no.such.metric")
+
+
+def test_snapshot_nests_by_dots_and_flat_is_sorted():
+    reg = MetricsRegistry()
+    reg.incr("b.y", 2)
+    reg.incr("a.x", 1)
+    reg.incr("b.z.deep", 3)
+    assert list(reg.flat()) == ["a.x", "b.y", "b.z.deep"]
+    snap = reg.snapshot()
+    assert snap == {"a": {"x": 1}, "b": {"y": 2, "z": {"deep": 3}}}
+
+
+def test_diff_subtracts_recursively():
+    reg = MetricsRegistry()
+    reg.incr("engine.committed", 10)
+    reg.add("device.wait", 1.0)
+    before = reg.snapshot()
+    reg.incr("engine.committed", 5)
+    reg.add("device.wait", 0.5)
+    reg.incr("engine.aborted", 2)
+    after = reg.snapshot()
+    delta = MetricsRegistry.diff(before, after)
+    assert delta["engine"]["committed"] == 5
+    assert delta["engine"]["aborted"] == 2
+    assert delta["device"]["wait"] == pytest.approx(0.5)
+
+
+def test_to_json_is_deterministic():
+    def build():
+        reg = MetricsRegistry()
+        reg.incr("z.last")
+        reg.incr("a.first")
+        reg.latency("m.lat").record(0.001)
+        return reg.to_json()
+
+    first, second = build(), build()
+    assert first == second
+    assert json.loads(first)["a"]["first"] == 1
+
+
+def test_summarize_goes_through_registry_snapshot():
+    summary = summarize([0.010, 0.020, 0.030])
+    # Same schema as any registry latency node.
+    reg = MetricsRegistry()
+    rec = reg.latency("samples")
+    for s in (0.010, 0.020, 0.030):
+        rec.record(s)
+    assert summary == reg.snapshot()["samples"]
+    assert summary["p50"] == pytest.approx(0.020)
+
+
+def test_throughput_meter_rate_zero_window():
+    meter = ThroughputMeter("empty")
+    assert meter.rate() == 0.0
+    assert meter.bandwidth_mb_s() == 0.0
+    # All samples at one instant: zero-length window, still 0.0 (not inf).
+    meter.record(1.0, nbytes=100)
+    meter.record(1.0, nbytes=100)
+    assert meter.rate() == 0.0
+    assert meter.bandwidth_mb_s() == 0.0
+    # start() moved past the last record: negative window, still 0.0.
+    meter.start(5.0)
+    assert meter.rate() == 0.0

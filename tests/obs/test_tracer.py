@@ -1,0 +1,182 @@
+"""Span tracer: virtual-time spans, Chrome export, determinism."""
+
+import json
+
+from repro.obs import NULL_SPAN, NULL_TRACER, Observability, Tracer, obs_of
+from repro.sim.core import Environment
+
+
+def test_span_records_virtual_interval():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def work(env):
+        with tracer.span("engine.commit", tags={"txn": 7}) as span:
+            yield env.timeout(0.5)
+        assert span.start == 0.0
+        assert span.end == 0.5
+        assert span.duration == 0.5
+
+    env.process(work(env))
+    env.run(until=1.0)
+    assert len(tracer.spans) == 1
+
+
+def test_span_parent_linking_and_finish_idempotent():
+    env = Environment()
+    tracer = Tracer(env)
+    parent = tracer.span("astore.write")
+    child = tracer.span("rdma.verb", parent=parent)
+    assert child.parent_id == parent.span_id
+    child.finish()
+    first_end = child.end
+    child.finish()
+    assert child.end == first_end
+    events = tracer.export_chrome()
+    assert events[1]["args"]["parent_id"] == parent.span_id
+
+
+def test_export_chrome_event_shape():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def work(env):
+        with tracer.span("device.ssd.read", tags={"bytes": 4096}):
+            yield env.timeout(0.001)
+        with tracer.span("net.rpc.call"):
+            yield env.timeout(0.002)
+
+    env.process(work(env))
+    env.run(until=1.0)
+    events = tracer.export_chrome()
+    assert [e["name"] for e in events] == ["device.ssd.read", "net.rpc.call"]
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["pid"] == 0
+    read = events[0]
+    assert read["ts"] == 0.0
+    assert read["dur"] == 1000.0  # 1 ms in microseconds
+    assert read["args"]["bytes"] == 4096
+    # Distinct subsystems (first dot-component) get distinct tracks.
+    assert events[0]["tid"] != events[1]["tid"]
+    # Round-trips as JSON.
+    assert json.loads(tracer.export_chrome_json()) == events
+
+
+def test_unfinished_span_closes_at_current_time():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def work(env):
+        tracer.span("engine.hung")  # never finished
+        yield env.timeout(0.25)
+
+    env.process(work(env))
+    env.run(until=0.25)
+    (event,) = tracer.export_chrome()
+    assert event["dur"] == 0.25 * 1e6
+
+
+def test_null_tracer_is_free_and_exports_empty():
+    assert NULL_TRACER.enabled is False
+    span = NULL_TRACER.span("anything", tags={"x": 1})
+    assert span is NULL_SPAN
+    assert span.set_tag("k", "v") is NULL_SPAN
+    with NULL_TRACER.span("scoped"):
+        pass
+    assert NULL_TRACER.export_chrome() == []
+    assert NULL_TRACER.export_chrome_json() == "[]"
+
+
+def test_obs_of_attaches_one_shared_instance():
+    env = Environment()
+    obs = obs_of(env)
+    assert obs_of(env) is obs
+    assert obs.tracer is NULL_TRACER
+    tracer = obs.enable_tracing(env)
+    assert obs.tracer is tracer
+    assert obs.enable_tracing(env) is tracer  # idempotent
+    obs.disable_tracing()
+    assert obs.tracer is NULL_TRACER
+
+
+def _run_smoke(seed, trace):
+    """The quickstart example's scenario: DDL, bulk insert, point + PQ reads."""
+    from repro import KB
+    from repro.engine import DECIMAL, INT, VARCHAR, Column, Schema
+    from repro.harness.deployment import DeploymentSpec
+
+    spec = (
+        DeploymentSpec.astore_pq(seed=seed)
+        .with_tracing(trace)
+        .with_engine(buffer_pool_bytes=8 * 16 * KB)
+    )
+    dep = spec.build()
+    dep.start()
+    dep.engine.create_table(
+        "products",
+        Schema(
+            [
+                Column("id", INT()),
+                Column("category", VARCHAR(16)),
+                Column("name", VARCHAR(40)),
+                Column("price", DECIMAL(2)),
+                Column("description", VARCHAR(400)),
+            ]
+        ),
+        ["id"],
+    )
+    session = dep.new_session(pushdown_row_threshold=50)
+
+    def work(env):
+        yield from session.execute(
+            "INSERT INTO products (id, category, name, price, description) "
+            "VALUES "
+            + ", ".join(
+                "(%d, '%s', 'product-%d', %0.2f, '%s')"
+                % (i, ["tools", "toys", "books"][i % 3], i, 1.0 + i % 50,
+                   "d" * 350)
+                for i in range(150)
+            )
+        )
+        yield from session.execute(
+            "SELECT name, price FROM products WHERE id = 42"
+        )
+        yield from session.execute(
+            "SELECT category, count(*) AS n, avg(price) AS avg_price "
+            "FROM products WHERE price > 10 GROUP BY category ORDER BY category"
+        )
+        yield from session.execute(
+            "UPDATE products SET price = price * 2 WHERE id = 42"
+        )
+
+    proc = dep.env.process(work(dep.env))
+    dep.run_until(proc)
+    return dep
+
+
+def test_same_seed_runs_export_identical_bytes():
+    first = _run_smoke(seed=7, trace=True)
+    second = _run_smoke(seed=7, trace=True)
+    payload_a = first.tracer.export_chrome_json()
+    payload_b = second.tracer.export_chrome_json()
+    assert len(first.tracer.spans) > 0
+    assert payload_a == payload_b
+    # And it is valid Chrome trace-event JSON.
+    events = json.loads(payload_a)
+    assert all(e["ph"] == "X" and e["dur"] >= 0 for e in events)
+
+
+def test_noop_tracer_adds_no_metrics_entries():
+    traced = _run_smoke(seed=7, trace=True)
+    plain = _run_smoke(seed=7, trace=False)
+    assert plain.tracer is NULL_TRACER
+    assert plain.tracer.export_chrome_json() == "[]"
+    # Tracing on/off changes the trace, never the metrics namespace.
+    assert set(plain.registry.flat()) == set(traced.registry.flat())
+
+
+def test_observability_defaults():
+    obs = Observability()
+    assert obs.tracer is NULL_TRACER
+    assert len(obs.registry) == 0

@@ -21,12 +21,16 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from ..common import (
+    DeadlineExceededError,
     LeaseExpiredError,
+    RetryPolicy,
     SegmentFrozenError,
+    SegmentNotFoundError,
+    StaleRouteError,
     StorageError,
 )
 from ..obs import obs_of
-from ..sim.core import AllOf, Environment
+from ..sim.core import AllOf, Environment, with_timeout
 from ..sim.network import RpcNetwork
 from ..sim.rand import Rng
 from .cluster_manager import ClusterManager, SegmentRoute
@@ -48,6 +52,10 @@ SDK_WRITE_PER_BYTE = 0.25e-9
 #: reports 10 us small reads / 20 us for a 16 KB page end to end).
 SDK_READ_BASE = 3e-6
 SDK_READ_PER_BYTE = 0.35e-9
+
+
+def _defuse(event) -> None:
+    event._defused = True
 
 
 class ClientSegmentMeta:
@@ -79,6 +87,7 @@ class AStoreClient:
         servers: Dict[str, AStoreServer],
         control_network: Optional[RpcNetwork] = None,
         route_refresh_period: float = 1.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.env = env
         self.rng = rng
@@ -87,6 +96,7 @@ class AStoreClient:
         self.servers = servers
         self.control_net = control_network or RpcNetwork(env, rng)
         self.route_refresh_period = route_refresh_period
+        self.retry_policy = retry_policy or RetryPolicy()
         min_cleanup = min(
             (server.cleanup_delay for server in servers.values()), default=None
         )
@@ -101,6 +111,9 @@ class AStoreClient:
         self.writes = 0
         self.reads = 0
         self.write_failures = 0
+        self.retries = 0
+        self.lease_regrants = 0
+        self.deadlines_exceeded = 0
         # Observability: write-chain / read / segment-create latency
         # recorders live in the environment's shared registry, so the
         # harness report gets per-client percentiles for free.
@@ -114,26 +127,91 @@ class AStoreClient:
         self.obs.registry.gauge(
             "%s.write_failures" % prefix, lambda: self.write_failures
         )
+        self.obs.registry.gauge("%s.retries" % prefix, lambda: self.retries)
+        self.obs.registry.gauge(
+            "%s.lease_regrants" % prefix, lambda: self.lease_regrants
+        )
+        self.obs.registry.gauge(
+            "%s.deadlines_exceeded" % prefix, lambda: self.deadlines_exceeded
+        )
+
+    # ------------------------------------------------------------------
+    # Retry machinery
+    # ------------------------------------------------------------------
+    def _retrying(self, attempt_factory, what: str):
+        """Generator: run ``attempt_factory()`` under the retry policy.
+
+        Each attempt is a fresh generator wrapped in the per-operation
+        timeout; transient :class:`StorageError`\\ s back off (jitter from
+        this client's deterministic stream) and retry until the attempt or
+        deadline budget runs out, then the last error propagates.
+        Protocol-level outcomes (:class:`LeaseExpiredError`,
+        :class:`SegmentFrozenError`) are not retried here - their handling
+        belongs to the caller.
+        """
+        policy = self.retry_policy
+        start = self.env.now
+        last_exc: Optional[StorageError] = None
+        for attempt in range(policy.max_attempts):
+            try:
+                return (yield from with_timeout(
+                    self.env, attempt_factory(), policy.op_timeout, what=what
+                ))
+            except (LeaseExpiredError, SegmentFrozenError,
+                    SegmentNotFoundError):
+                # Protocol outcomes, not transient faults: never retried.
+                raise
+            except DeadlineExceededError as exc:
+                last_exc = exc
+                self.deadlines_exceeded += 1
+            except StorageError as exc:
+                last_exc = exc
+            if (attempt + 1 >= policy.max_attempts
+                    or self.env.now - start >= policy.deadline):
+                break
+            self.retries += 1
+            yield self.env.timeout(policy.backoff(attempt, self.rng))
+        raise last_exc  # type: ignore[misc]
 
     # ------------------------------------------------------------------
     # Lease and route maintenance
     # ------------------------------------------------------------------
     def renew_lease(self):
-        """Generator: heartbeat the CM to extend the ownership lease."""
-        yield from self.control_net.call(_CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES)
-        self.lease = self.cm.renew_lease(self.client_id)
+        """Generator: heartbeat the CM to extend the ownership lease.
+
+        A client whose lease already lapsed (it was considered dead - a
+        "zombie") is re-admitted: the renewal fails with
+        :class:`LeaseExpiredError`, so it re-grants a fresh lease and
+        refreshes every cached route before touching data again - the
+        fleet may have been rebuilt around it in the meantime.
+        """
+        def attempt():
+            yield from self.control_net.call(_CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES)
+            try:
+                self.lease = self.cm.renew_lease(self.client_id)
+            except LeaseExpiredError:
+                self.lease = self.cm.grant_lease(self.client_id)
+                self.lease_regrants += 1
+                yield from self._refresh_routes_once()
+
+        yield from self._retrying(attempt, "lease renewal")
 
     def refresh_routes(self):
         """Generator: re-fetch routes for all open segments from the CM.
 
         Segments the CM no longer knows about (total loss) are dropped from
-        the cache; epoch changes replace the cached replica set.
+        the cache; epoch changes replace the cached replica set.  Retries
+        transient CM unavailability under the retry policy.
         """
+        yield from self._retrying(self._refresh_routes_once, "route refresh")
+
+    def _refresh_routes_once(self):
+        self.cm._check_alive()
         yield from self.control_net.call(_CONTROL_MSG_BYTES, 4096)
         for segment_id in list(self.open_segments):
             try:
                 fresh = self.cm.lookup_route(segment_id)
-            except StorageError:
+            except SegmentNotFoundError:
                 del self.open_segments[segment_id]
                 continue
             cached = self.open_segments[segment_id]
@@ -141,7 +219,14 @@ class AStoreClient:
                 cached.route = fresh
 
     def _require_lease(self) -> None:
-        if not self.cm.check_lease(self.client_id):
+        """Data-plane lease check against the *cached* lease.
+
+        One-sided operations must not RPC the CM (that is the whole point
+        of the two-speed architecture), so the client trusts its local
+        copy of the lease; the CM-side expiry plus deferred cleanup fence
+        a zombie whose cached lease is stale.
+        """
+        if self.lease.expires_at <= self.env.now:
             raise LeaseExpiredError(
                 "client %s lease expired or revoked" % self.client_id
             )
@@ -153,30 +238,59 @@ class AStoreClient:
         """Generator: create a segment (CM RPC + per-replica allocation RPC).
 
         Milliseconds end to end, per the paper - which is why SegmentRing
-        pre-creates its whole ring at initialization time.  Returns the
-        new segment's id.
+        pre-creates its whole ring at initialization time.  Retries
+        transient failures under the retry policy (each attempt undoes its
+        partial allocations, so a retry cannot leak CM routes or PMem
+        slots).  Returns the new segment's id.
         """
         self._require_lease()
         start = self.env.now
         with self.obs.tracer.span(
             "astore.segment.create", tags={"client": self.client_id, "size": size}
         ):
-            yield from self.control_net.call(_CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES)
-            route = self.cm.create_segment(self.client_id, size, replication)
-            for server_id in route.replicas:
-                server = self.servers[server_id]
-                yield from self.control_net.call(
-                    _CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES, server_cpu=server.cpu
-                )
-                server.allocate_segment(route.segment_id, size, epoch=route.epoch)
+            route = yield from self._retrying(
+                lambda: self._create_attempt(size, replication), "segment create"
+            )
         self.open_segments[route.segment_id] = ClientSegmentMeta(route)
         self._lat_create.record(self.env.now - start)
         return route.segment_id
 
+    def _create_attempt(self, size: int, replication: int):
+        yield from self.control_net.call(_CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES)
+        route = self.cm.create_segment(self.client_id, size, replication)
+        allocated = []
+        try:
+            for server_id in route.replicas:
+                server = self.servers[server_id]
+                if not server.reachable_from(self.client_id):
+                    raise StorageError("replica %s unreachable" % server_id)
+                yield from self.control_net.call(
+                    _CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES, server_cpu=server.cpu
+                )
+                server.allocate_segment(route.segment_id, size, epoch=route.epoch)
+                allocated.append(server)
+        except BaseException:
+            # Undo (synchronously, best effort) so a retry or an abandoned
+            # timed-out attempt does not leak the half-created segment.
+            try:
+                self.cm.delete_segment(self.client_id, route.segment_id)
+            except StorageError:
+                pass
+            for server in allocated:
+                try:
+                    server.release_segment(route.segment_id)
+                except StorageError:
+                    pass
+            raise
+        return route
+
     def open(self, segment_id: int):
         """Generator: fetch the route for an existing segment and cache it."""
-        yield from self.control_net.call(_CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES)
-        route = self.cm.lookup_route(segment_id)
+        def attempt():
+            yield from self.control_net.call(_CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES)
+            return self.cm.lookup_route(segment_id)
+
+        route = yield from self._retrying(attempt, "segment open")
         meta = ClientSegmentMeta(route)
         # Effective length is known from the replicas' write offsets.
         lengths = []
@@ -194,7 +308,7 @@ class AStoreClient:
         route = self.cm.delete_segment(self.client_id, segment_id)
         for server_id in route.replicas:
             server = self.servers.get(server_id)
-            if server is None or not server.alive:
+            if server is None or not server.reachable_from(self.client_id):
                 continue
             yield from self.control_net.call(
                 _CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES, server_cpu=server.cpu
@@ -218,17 +332,18 @@ class AStoreClient:
         """Generator: append ``payload`` to the segment on every replica.
 
         Replica writes are issued in parallel (the client posts to each
-        server's NIC).  Success on all replicas advances the client-side
-        written length; any failure freezes the segment with its current
-        effective length and raises :class:`SegmentFrozenError` - the
-        caller reacts by opening a fresh segment (paper Section IV-B).
+        server's NIC) and carry the cached route epoch, so replicas fence
+        writes from a client acting on a pre-rebuild route.  A fenced
+        write refreshes routes and retries under the retry policy; an
+        unreachable replica or per-operation timeout freezes the segment
+        with its current effective length and raises
+        :class:`SegmentFrozenError` - the caller reacts by opening a
+        fresh segment (paper Section IV-B).
 
         Returns (offset, length).
         """
         self._require_lease()
         meta = self._meta(segment_id)
-        if meta.frozen:
-            raise SegmentFrozenError("segment %d frozen" % segment_id)
         if length > meta.free_space:
             raise StorageError("segment %d full" % segment_id)
         start = self.env.now
@@ -245,41 +360,96 @@ class AStoreClient:
             if tracer.enabled
             else None
         )
+        policy = self.retry_policy
         try:
             yield self.env.timeout(
                 self.rng.lognormal_around(
                     SDK_WRITE_BASE + SDK_WRITE_PER_BYTE * length, 0.20
                 )
             )
-            offset = meta.written
-            procs = []
-            for server_id in meta.route.replicas:
-                server = self.servers.get(server_id)
-                if server is None:
-                    self._freeze(meta)
-                    raise SegmentFrozenError("replica %s vanished" % server_id)
-                procs.append(
-                    self.env.process(
-                        server.one_sided_write(segment_id, offset, length, payload),
-                        name="write-%d@%s" % (segment_id, server_id),
+            for attempt in range(policy.max_attempts):
+                if meta.frozen:
+                    raise SegmentFrozenError("segment %d frozen" % segment_id)
+                offset = meta.written
+                for server_id in meta.route.replicas:
+                    server = self.servers.get(server_id)
+                    if server is None or not server.reachable_from(self.client_id):
+                        self._freeze(meta)
+                        self.write_failures += 1
+                        raise SegmentFrozenError(
+                            "replica %s unreachable; segment %d frozen at %d"
+                            % (server_id, segment_id, meta.written)
+                        )
+                try:
+                    yield from self._replica_fanout_write(
+                        meta, segment_id, offset, length, payload
                     )
-                )
-            try:
-                yield AllOf(self.env, procs)
-            except StorageError:
-                self._freeze(meta)
-                self.write_failures += 1
-                raise SegmentFrozenError(
-                    "replica write failed; segment %d frozen at %d"
-                    % (segment_id, meta.written)
-                )
+                except StaleRouteError:
+                    # Fenced: the CM rebuilt this segment since we cached
+                    # the route.  Refresh and retry the append.
+                    if attempt + 1 >= policy.max_attempts:
+                        self._freeze(meta)
+                        self.write_failures += 1
+                        raise SegmentFrozenError(
+                            "stale route persisted; segment %d frozen at %d"
+                            % (segment_id, meta.written)
+                        )
+                    self.retries += 1
+                    yield self.env.timeout(policy.backoff(attempt, self.rng))
+                    try:
+                        yield from self._refresh_routes_once()
+                    except StorageError:
+                        pass  # CM unreachable: retry on the cached route
+                    continue
+                except DeadlineExceededError:
+                    self.deadlines_exceeded += 1
+                    self._freeze(meta)
+                    self.write_failures += 1
+                    raise SegmentFrozenError(
+                        "replica write timed out; segment %d frozen at %d"
+                        % (segment_id, meta.written)
+                    )
+                except StorageError:
+                    self._freeze(meta)
+                    self.write_failures += 1
+                    raise SegmentFrozenError(
+                        "replica write failed; segment %d frozen at %d"
+                        % (segment_id, meta.written)
+                    )
+                meta.written = offset + length
+                self.writes += 1
+                self._lat_write.record(self.env.now - start)
+                return (offset, length)
         finally:
             if span is not None:
                 span.finish()
-        meta.written = offset + length
-        self.writes += 1
-        self._lat_write.record(self.env.now - start)
-        return (offset, length)
+
+    def _replica_fanout_write(self, meta: ClientSegmentMeta, segment_id: int,
+                              offset: int, length: int, payload: Any):
+        """Generator: one parallel replica fan-out, per-op deadline applied."""
+        procs = []
+        for server_id in meta.route.replicas:
+            proc = self.env.process(
+                self.servers[server_id].one_sided_write(
+                    segment_id, offset, length, payload, epoch=meta.route.epoch
+                ),
+                name="write-%d@%s" % (segment_id, server_id),
+            )
+            # A sibling may fail after the AllOf has already failed (or
+            # after a timeout abandoned it); defuse so the orphaned
+            # failure cannot crash the event loop.
+            proc.callbacks.append(_defuse)
+            procs.append(proc)
+        condition = AllOf(self.env, procs)
+        condition.callbacks.append(_defuse)
+
+        def waiter():
+            return (yield condition)
+
+        return (yield from with_timeout(
+            self.env, waiter(), self.retry_policy.op_timeout,
+            what="replica write fan-out",
+        ))
 
     def _freeze(self, meta: ClientSegmentMeta) -> None:
         meta.frozen = True
@@ -295,7 +465,10 @@ class AStoreClient:
         """Generator: one-sided READ from one online replica.
 
         The client validates parameters then picks a healthy replica
-        (paper: "selects an online copy").  Returns the payload.
+        (paper: "selects an online copy").  When every replica fails, the
+        retry policy kicks in: refresh routes (the CM may have rebuilt
+        the segment onto new nodes), back off, and try again until the
+        attempt budget runs out.  Returns the payload.
         """
         meta = self._meta(segment_id)
         if offset < 0 or length <= 0 or offset + length > meta.route.size:
@@ -314,6 +487,7 @@ class AStoreClient:
             if tracer.enabled
             else None
         )
+        policy = self.retry_policy
         try:
             yield self.env.timeout(
                 self.rng.lognormal_around(
@@ -321,26 +495,55 @@ class AStoreClient:
                 )
             )
             last_error: Optional[StorageError] = None
-            for server_id in meta.route.replicas:
-                server = self.servers.get(server_id)
-                if server is None or not server.alive:
-                    continue
+            for attempt in range(policy.max_attempts):
                 try:
-                    payload = yield from server.one_sided_read(
-                        segment_id, offset, length
+                    payload = yield from with_timeout(
+                        self.env,
+                        self._read_attempt(meta, segment_id, offset, length),
+                        policy.op_timeout,
+                        what="segment read",
                     )
+                except DeadlineExceededError as exc:
+                    last_error = exc
+                    self.deadlines_exceeded += 1
                 except StorageError as exc:
                     last_error = exc
-                    continue
-                self.reads += 1
-                self._lat_read.record(self.env.now - start)
-                return payload
-            raise last_error or StorageError(
-                "no online replica for segment %d" % segment_id
-            )
+                else:
+                    self.reads += 1
+                    self._lat_read.record(self.env.now - start)
+                    return payload
+                if (attempt + 1 >= policy.max_attempts
+                        or self.env.now - start >= policy.deadline):
+                    break
+                self.retries += 1
+                yield self.env.timeout(policy.backoff(attempt, self.rng))
+                try:
+                    yield from self._refresh_routes_once()
+                except StorageError:
+                    pass  # CM unreachable: retry on the cached route
+                # The refresh may have dropped the segment entirely.
+                meta = self._meta(segment_id)
+            raise last_error  # type: ignore[misc]
         finally:
             if span is not None:
                 span.finish()
+
+    def _read_attempt(self, meta: ClientSegmentMeta, segment_id: int,
+                      offset: int, length: int):
+        last_error: Optional[StorageError] = None
+        for server_id in meta.route.replicas:
+            server = self.servers.get(server_id)
+            if server is None or not server.reachable_from(self.client_id):
+                continue
+            try:
+                return (yield from server.one_sided_read(
+                    segment_id, offset, length
+                ))
+            except StorageError as exc:
+                last_error = exc
+        raise last_error or StorageError(
+            "no online replica for segment %d" % segment_id
+        )
 
     def read_entries(self, segment_id: int):
         """Generator: bulk-read all entries of a segment from one replica.
@@ -352,7 +555,7 @@ class AStoreClient:
         last_error: Optional[StorageError] = None
         for server_id in meta.route.replicas:
             server = self.servers.get(server_id)
-            if server is None or not server.alive:
+            if server is None or not server.reachable_from(self.client_id):
                 continue
             try:
                 return (yield from server.scan_entries(segment_id))
@@ -368,7 +571,7 @@ class AStoreClient:
         meta = self._meta(segment_id)
         for server_id in meta.route.replicas:
             server = self.servers.get(server_id)
-            if server is None or not server.alive:
+            if server is None or not server.reachable_from(self.client_id):
                 raise SegmentFrozenError("replica %s down during reset" % server_id)
             yield from self.control_net.call(
                 _CONTROL_MSG_BYTES, _CONTROL_MSG_BYTES, server_cpu=server.cpu
@@ -381,13 +584,15 @@ class AStoreClient:
         """Generator: in-place header rewrite on all replicas (SegmentRing)."""
         self._require_lease()
         meta = self._meta(segment_id)
-        procs = [
-            self.env.process(
+        procs = []
+        for server_id in meta.route.replicas:
+            if server_id not in self.servers:
+                continue
+            proc = self.env.process(
                 self.servers[server_id].overwrite_header(segment_id, length, payload)
             )
-            for server_id in meta.route.replicas
-            if server_id in self.servers
-        ]
+            proc.callbacks.append(_defuse)
+            procs.append(proc)
         try:
             yield AllOf(self.env, procs)
         except StorageError:

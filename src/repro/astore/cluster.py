@@ -13,12 +13,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..common import MB
+from ..common import MB, RetryPolicy
 from ..sim.core import Environment
 from ..sim.network import RpcNetwork
 from ..sim.rand import SeedSequence
 from .client import AStoreClient
 from .cluster_manager import ClusterManager
+from .failure_detector import FailureDetector
 from .server import AStoreServer
 
 __all__ = ["AStoreCluster"]
@@ -38,16 +39,22 @@ class AStoreCluster:
         cleanup_delay: float = 30.0,
         lease_duration: float = 10.0,
         route_refresh_period: float = 1.0,
+        heartbeat_interval: float = 1.0,
+        failure_timeout: float = 3.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if num_servers < 1:
             raise ValueError("need at least one server")
         self.env = env
         self.seeds = seeds
         self.route_refresh_period = route_refresh_period
+        self.retry_policy = retry_policy
         self.cm = ClusterManager(
             env,
             seeds.stream("astore-cm"),
             lease_duration=lease_duration,
+            heartbeat_interval=heartbeat_interval,
+            failure_timeout=failure_timeout,
         )
         self.servers: Dict[str, AStoreServer] = {}
         for index in range(num_servers):
@@ -64,7 +71,7 @@ class AStoreCluster:
             self.cm.register_server(server)
             self.servers[server_id] = server
         self.clients: List[AStoreClient] = []
-        self._maintenance_started = False
+        self.detector: Optional[FailureDetector] = None
 
     def new_client(self, client_id: str) -> AStoreClient:
         """Create a client with its own control-network stream."""
@@ -78,6 +85,7 @@ class AStoreCluster:
                 self.env, self.seeds.stream("astore-ctlnet-%s" % client_id)
             ),
             route_refresh_period=self.route_refresh_period,
+            retry_policy=self.retry_policy,
         )
         self.clients.append(client)
         return client
@@ -85,33 +93,15 @@ class AStoreCluster:
     # ------------------------------------------------------------------
     # Background maintenance (daemon processes)
     # ------------------------------------------------------------------
-    def start_maintenance(self, cleanup_period: float = 5.0) -> None:
-        """Start heartbeat, cleanup, lease and route-refresh daemons."""
-        if self._maintenance_started:
-            return
-        self._maintenance_started = True
-        self.env.process(self._heartbeat_loop(), name="cm-heartbeats")
-        self.env.process(self._cleanup_loop(cleanup_period), name="astore-cleanup")
-        for client in self.clients:
-            self.env.process(self._client_loop(client), name="client-maint")
+    def start_maintenance(self, cleanup_period: float = 5.0, ebp=None) -> None:
+        """Start the failure detector's daemon loops (idempotent).
 
-    def _heartbeat_loop(self):
-        while True:
-            yield self.env.timeout(self.cm.heartbeat_interval)
-            self.cm.heartbeat_sweep()
-
-    def _cleanup_loop(self, period: float):
-        while True:
-            yield self.env.timeout(period)
-            for server in self.servers.values():
-                if server.alive:
-                    server.run_cleanup_cycle()
-
-    def _client_loop(self, client: AStoreClient):
-        """Lease renewal + route refresh on the client's short period."""
-        while True:
-            yield self.env.timeout(client.route_refresh_period)
-            if not client.cm.check_lease(client.client_id):
-                continue  # expired: the client must re-open explicitly
-            yield from client.renew_lease()
-            yield from client.refresh_routes()
+        ``ebp`` optionally wires an extended buffer pool into the detector
+        so server churn triggers automatic purge/reclaim; the harness
+        passes its EBP here, bare AStore tests leave it None.
+        """
+        if self.detector is None:
+            self.detector = FailureDetector(
+                self.env, self, ebp=ebp, cleanup_period=cleanup_period
+            )
+        self.detector.start()

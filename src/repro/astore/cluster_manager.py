@@ -79,6 +79,26 @@ class ClusterManager:
         self._last_heartbeat: Dict[str, float] = {}
         self.failed_servers: Set[str] = set()
         self.rebuilds = 0
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Take the CM down: control RPCs fail until :meth:`restart`.
+
+        The data plane is unaffected (one-sided verbs never touch the CM),
+        but leases cannot be renewed, segments cannot be created, and
+        failure detection pauses - exactly the paper's control/data split.
+        """
+        self.alive = False
+
+    def restart(self) -> None:
+        self.alive = True
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise StorageError("cluster manager is down")
 
     # ------------------------------------------------------------------
     # Node management
@@ -93,12 +113,16 @@ class ClusterManager:
         """One heartbeat round: poll servers, detect failures, rebuild.
 
         Returns the ids of servers newly declared failed.  Called by the
-        cluster's background maintenance process.
+        failure detector's background process.  A dead CM detects nothing.
+        A server that is powered on but partitioned from the CM misses its
+        heartbeats and is declared failed just like a crashed one.
         """
+        if not self.alive:
+            return []
         newly_failed: List[str] = []
         now = self.env.now
         for server_id, server in self.servers.items():
-            if server.alive:
+            if server.reachable_from("cm"):
                 self._last_heartbeat[server_id] = now
                 if server_id in self.failed_servers:
                     # Node returned: its local segments are stale copies.
@@ -153,16 +177,28 @@ class ClusterManager:
                 # All replicas lost (replication factor 1): drop the route.
                 del self.routes[route.segment_id]
                 continue
+            # Exactly ONE epoch bump per rebuild, shared by the stored
+            # route, the replacement replica, and the survivors' local
+            # copies - so a client still holding the pre-rebuild route is
+            # fenced (StaleRouteError) on every replica, not just the new
+            # one.
+            new_epoch = route.epoch + 1
             try:
                 replacement = self._placement(1, exclude=set(route.replicas))[0]
             except StorageError:
                 # No spare node: degrade to the surviving replicas.
                 route.replicas = survivors
-                route.epoch += 1
+                route.epoch = new_epoch
+                self._fence_survivors(route, new_epoch)
                 continue
             source = self.servers[survivors[0]]
+            if route.segment_id in replacement.segments:
+                # The candidate still holds a stale copy from an earlier
+                # membership (deferred cleanup has not fired yet): reclaim
+                # it now instead of refusing the allocation.
+                replacement.release_segment(route.segment_id)
             replacement.allocate_segment(
-                route.segment_id, route.size, epoch=route.epoch + 1
+                route.segment_id, route.size, epoch=new_epoch
             )
             # Copy the surviving replica's contents (background traffic;
             # not on any client's critical path, so not timed here).
@@ -173,21 +209,46 @@ class ClusterManager:
                 dst_segment.write_offset = src_segment.write_offset
                 dst_segment.frozen = src_segment.frozen
             route.replicas = survivors + [replacement.server_id]
-            route.epoch += 1
+            route.epoch = new_epoch
+            self._fence_survivors(route, new_epoch)
             self.rebuilds += 1
+
+    def _fence_survivors(self, route: SegmentRoute, new_epoch: int) -> None:
+        for server_id in route.replicas:
+            server = self.servers.get(server_id)
+            if server is None:
+                continue
+            segment = server.segments.get(route.segment_id)
+            if segment is not None and segment.epoch < new_epoch:
+                segment.epoch = new_epoch
 
     # ------------------------------------------------------------------
     # Leases
     # ------------------------------------------------------------------
     def grant_lease(self, client_id: str) -> Lease:
+        self._check_alive()
         lease = Lease(client_id, self.env.now + self.lease_duration)
         self.leases[client_id] = lease
         return lease
 
     def renew_lease(self, client_id: str) -> Lease:
+        """Extend a *live* lease.  An expired lease cannot be renewed -
+        the client must re-grant (and refresh its routes, since the fleet
+        may have been rebuilt around it while it was considered dead).
+
+        The boundary is ``now >= expires_at``: a lease renewed exactly at
+        its expiry instant is already dead, matching :meth:`check_lease`
+        which treats ``expires_at == now`` as not live.
+        """
+        self._check_alive()
         lease = self.leases.get(client_id)
         if lease is None:
             raise LeaseExpiredError("client %s holds no lease" % client_id)
+        if self.env.now >= lease.expires_at:
+            raise LeaseExpiredError(
+                "client %s lease expired at %.3f (now %.3f)"
+                % (client_id, lease.expires_at, self.env.now)
+            )
         lease.expires_at = self.env.now + self.lease_duration
         return lease
 
@@ -197,6 +258,7 @@ class ClusterManager:
 
     def transfer_ownership(self, segment_id: int, new_owner: str) -> None:
         """Reassign a segment to a new client (takeover after client death)."""
+        self._check_alive()
         route = self.routes.get(segment_id)
         if route is None:
             raise SegmentNotFoundError("segment %d unknown" % segment_id)
@@ -211,6 +273,7 @@ class ClusterManager:
     ) -> SegmentRoute:
         """Choose placement and record the route.  The client then RPCs the
         chosen servers to actually allocate PMem."""
+        self._check_alive()
         if replication < 1:
             raise ValueError("replication must be >= 1")
         if not self.check_lease(client_id):
@@ -237,6 +300,7 @@ class ClusterManager:
         re-adopted after the server returns, instead of being rebuilt from
         PageStore traffic.  Fails if the id is routed again already.
         """
+        self._check_alive()
         if segment_id in self.routes:
             raise StorageError("segment %d already routed" % segment_id)
         server = self.servers.get(server_id)
@@ -258,6 +322,7 @@ class ClusterManager:
         return route.copy()
 
     def lookup_route(self, segment_id: int) -> SegmentRoute:
+        self._check_alive()
         route = self.routes.get(segment_id)
         if route is None:
             raise SegmentNotFoundError("segment %d unknown" % segment_id)
@@ -265,6 +330,7 @@ class ClusterManager:
 
     def delete_segment(self, client_id: str, segment_id: int) -> SegmentRoute:
         """Remove the segment from routing; caller releases server space."""
+        self._check_alive()
         route = self.routes.pop(segment_id, None)
         if route is None:
             raise SegmentNotFoundError("segment %d unknown" % segment_id)

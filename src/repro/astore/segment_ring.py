@@ -19,7 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
-from ..common import MB, RecoveryError, SegmentFrozenError, StorageError
+from ..common import (
+    MB,
+    RecoveryError,
+    RingExhaustedError,
+    SegmentFrozenError,
+    StorageError,
+)
 from .client import AStoreClient
 
 __all__ = ["SegmentRing", "SegmentHeader", "RingRecoveryResult", "SegmentStatus"]
@@ -116,7 +122,16 @@ class SegmentRing:
     # Append path
     # ------------------------------------------------------------------
     def _free_space(self) -> int:
-        meta = self.client.open_segments[self.segment_ids[self.current_index]]
+        segment_id = self.segment_ids[self.current_index]
+        meta = self.client.open_segments.get(segment_id)
+        if meta is None:
+            # The CM dropped the route (every replica died) and a route
+            # refresh evicted the segment from the client cache.  Treat
+            # the slot like a frozen segment so the append loop advances
+            # past it instead of crashing the group-commit daemon.
+            raise SegmentFrozenError(
+                "segment %d no longer routed" % segment_id
+            )
         return meta.free_space
 
     def append(self, lsn: int, length: int, payload: Any):
@@ -138,7 +153,14 @@ class SegmentRing:
         attempts = 0
         while attempts < 2 * self.ring_size + 2:
             segment_id = self.segment_ids[self.current_index]
-            if self._free_space() < length:
+            try:
+                free = self._free_space()
+            except SegmentFrozenError:
+                self.headers[self.current_index].status = SegmentStatus.ERROR
+                yield from self._guarded_advance(lsn, full=False)
+                attempts += 1
+                continue
+            if free < length:
                 yield from self._guarded_advance(lsn, full=True)
                 attempts += 1
                 continue
@@ -155,15 +177,21 @@ class SegmentRing:
                 continue
             self.appends += 1
             return (segment_id, offset)
-        raise StorageError("log space exhausted: no recyclable segment")
+        raise RingExhaustedError(
+            "log space exhausted: no recyclable segment"
+        )
 
     def _guarded_advance(self, lsn: int, full: bool):
-        """Generator: advance; if even the next segment's header write
-        fails (its replicas are down too), mark it ERROR and let the append
-        loop keep walking the ring."""
+        """Generator: advance; if even the next segment cannot be brought
+        into use (its replicas are down too, or no healthy server remains
+        for a replacement), mark the slot ERROR and let the append loop
+        keep walking the ring.  :class:`RingExhaustedError` (the ring
+        wrapped onto un-applied log) is a stop signal, never swallowed."""
         try:
             yield from self._advance(lsn, full=full)
-        except SegmentFrozenError:
+        except RingExhaustedError:
+            raise
+        except StorageError:
             self.headers[self.current_index].status = SegmentStatus.ERROR
 
     def _advance(self, next_lsn: int, full: bool):
@@ -189,7 +217,7 @@ class SegmentRing:
                 next_header.status == SegmentStatus.FULL
                 and not self.can_recycle(next_header.start_lsn)
             ):
-                raise StorageError(
+                raise RingExhaustedError(
                     "ring wrapped onto un-applied segment (start_lsn=%d)"
                     % next_header.start_lsn
                 )

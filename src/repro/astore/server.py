@@ -136,6 +136,11 @@ class AStoreServer:
         self.bitmap = SegmentBitmap(pmem_capacity // segment_slot_size)
         self.cleanup_delay = cleanup_delay
         self.alive = True
+        #: Peer endpoint names this node is partitioned from ("*" = all).
+        #: A partitioned node is powered on (PMem intact) but its NIC is
+        #: unreachable from those peers - heartbeats and one-sided verbs
+        #: from them fail alike.
+        self.partitioned_from: set = set()
         self.segments: Dict[int, ServerSegment] = {}
         # EBP support: latest-LSN map pushed by DBEngine, used to prune
         # stale pages when rebuilding the EBP index after an engine crash.
@@ -154,6 +159,29 @@ class AStoreServer:
         the CM considers them stale and will have them cleaned up
         (paper Section IV-C); local EBP re-use is explicitly future work."""
         self.alive = True
+
+    def partition(self, peer: str = "*") -> None:
+        """Cut the network between this node and ``peer`` ("*" = everyone).
+
+        Unlike :meth:`crash` the node keeps running: segments stay warm
+        and no recovery is needed once :meth:`heal` reconnects it - but
+        from the affected peers' point of view it is indistinguishable
+        from a dead node.
+        """
+        self.partitioned_from.add(peer)
+
+    def heal(self, peer: Optional[str] = None) -> None:
+        """Reconnect ``peer`` (or everyone, when ``peer`` is None)."""
+        if peer is None:
+            self.partitioned_from.clear()
+        else:
+            self.partitioned_from.discard(peer)
+
+    def reachable_from(self, peer: str) -> bool:
+        """True when ``peer`` can currently reach this node's NIC."""
+        return self.alive and not (
+            "*" in self.partitioned_from or peer in self.partitioned_from
+        )
 
     def _check_alive(self) -> None:
         if not self.alive:
@@ -249,13 +277,23 @@ class AStoreServer:
         return segment
 
     def one_sided_write(self, segment_id: int, offset: int, length: int,
-                        payload: Any):
+                        payload: Any, epoch: Optional[int] = None):
         """Generator: client-driven persistent append via chained verbs.
 
         Charges RDMA chain latency plus PMem media time; consumes zero
         server CPU.  Returns the (offset, length) the data landed at.
+
+        ``epoch`` is the route epoch the client acted on; a write carrying
+        an epoch older than the replica's is fenced with
+        :class:`StaleRouteError` (the CM rebuilt the segment since the
+        client cached its route).
         """
         segment = self._segment_for_io(segment_id)
+        if epoch is not None and epoch < segment.epoch:
+            raise StaleRouteError(
+                "segment %d write fenced: route epoch %d < replica epoch %d"
+                % (segment_id, epoch, segment.epoch)
+            )
         if segment.frozen:
             raise StorageError("segment %d is frozen" % segment_id)
         if offset != segment.write_offset:

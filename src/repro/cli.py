@@ -7,7 +7,14 @@ Usage::
     python -m repro fig6 --duration 0.3 --clients 16,64,128
     python -m repro fig14 --queries 1,6,13,22
     python -m repro trace --out trace.json
+    python -m repro chaos --seed 7 --short
     python -m repro all
+
+``chaos`` runs the seeded chaos soak (:mod:`repro.harness.soak`): TPC-C
+terminals under randomized server crashes, a CM outage, and a partial
+partition, followed by an engine crash/recovery and a durability audit.
+It prints a deterministic JSON report (same seed, byte-identical) and
+exits non-zero if any invariant was violated.
 
 ``trace`` runs a short TPC-C smoke workload with span tracing enabled and
 emits Chrome ``trace_event`` JSON (load it at ``chrome://tracing`` or
@@ -169,6 +176,21 @@ def cmd_fig14(args) -> None:
     print("geometric mean: %.2fx (paper: ~2.8x over all 22)" % mean)
 
 
+def cmd_chaos(args) -> int:
+    """Run the seeded chaos soak and print its deterministic report."""
+    import json
+
+    from .harness.soak import run_chaos_soak
+
+    report = run_chaos_soak(seed=args.seed, short=args.short)
+    print(json.dumps(report, sort_keys=True, indent=2))
+    if not report["ok"]:
+        print("chaos soak FAILED: %d invariant violation(s)"
+              % len(report["violations"]), file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_trace(args) -> None:
     """Run a traced TPC-C smoke workload and dump Chrome trace JSON."""
     from .harness.deployment import DeploymentSpec
@@ -218,6 +240,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
     all_parser = sub.add_parser("all", help="run every experiment (slow)")
+    chaos_parser = sub.add_parser(
+        "chaos", help="seeded chaos soak: TPC-C under failures + audit"
+    )
+    chaos_parser.add_argument("--seed", type=int, default=7)
+    chaos_parser.add_argument(
+        "--short", action="store_true",
+        help="smaller horizon/terminal count (CI smoke mode)"
+    )
     trace_parser = sub.add_parser(
         "trace", help="emit a Chrome trace of a short TPC-C run"
     )
@@ -260,7 +290,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("  %-8s %s" % (name, help_text))
         print("  %-8s %s" % ("all", "run everything (slow)"))
         print("  %-8s %s" % ("trace", "Chrome trace of a short TPC-C run"))
+        print("  %-8s %s" % ("chaos", "seeded chaos soak with invariant audit"))
         return 0
+    if args.command == "chaos":
+        return cmd_chaos(args)
     if args.command == "trace":
         cmd_trace(args)
         return 0

@@ -1,4 +1,4 @@
-"""Shared identifiers, sizes, and error types for the veDB reproduction."""
+"""Shared identifiers, sizes, error types, and the retry policy."""
 
 from __future__ import annotations
 
@@ -12,6 +12,7 @@ __all__ = [
     "MS",
     "PAGE_SIZE",
     "PageId",
+    "RetryPolicy",
     "ReproError",
     "StorageError",
     "SegmentFrozenError",
@@ -19,6 +20,8 @@ __all__ = [
     "StaleRouteError",
     "LeaseExpiredError",
     "CapacityError",
+    "DeadlineExceededError",
+    "RingExhaustedError",
     "RecoveryError",
     "QueryError",
     "TransactionAborted",
@@ -76,6 +79,15 @@ class CapacityError(StorageError):
     """Allocation failed: the device or quota is full."""
 
 
+class DeadlineExceededError(StorageError):
+    """An operation's per-call deadline elapsed before it completed."""
+
+
+class RingExhaustedError(StorageError):
+    """A SegmentRing walked its whole ring without finding writable space
+    (every segment frozen/unrecyclable - typically a total replica outage)."""
+
+
 class RecoveryError(ReproError):
     """Crash recovery could not complete."""
 
@@ -86,3 +98,57 @@ class QueryError(ReproError):
 
 class TransactionAborted(ReproError):
     """The transaction was rolled back (deadlock victim or explicit)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline + bounded exponential backoff with deterministic jitter.
+
+    The policy itself is pure state: callers combine it with their own
+    :class:`repro.sim.rand.Rng` stream (``backoff(attempt, rng)``), so a
+    retried operation draws jitter from the component's named substream and
+    whole experiments stay bit-identical across runs.
+
+    ``op_timeout`` is the per-attempt deadline: an attempt still in flight
+    when it elapses is abandoned with :class:`DeadlineExceededError` instead
+    of hanging its sim process forever.  ``deadline`` bounds the *total*
+    time an operation (attempts + backoffs) may take.
+    """
+
+    max_attempts: int = 4
+    initial_backoff: float = 1e-3
+    max_backoff: float = 50e-3
+    multiplier: float = 2.0
+    jitter: float = 0.2
+    #: Total budget across attempts and backoffs (seconds).
+    deadline: float = 2.0
+    #: Per-attempt timeout (seconds); None disables attempt deadlines.
+    op_timeout: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.initial_backoff <= 0 or self.max_backoff < self.initial_backoff:
+            raise ValueError("backoff bounds must satisfy 0 < initial <= max")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.op_timeout is not None and self.op_timeout <= 0:
+            raise ValueError("op_timeout must be positive (or None)")
+
+    def backoff(self, attempt: int, rng) -> float:
+        """Backoff before retry number ``attempt`` (0-based), jittered.
+
+        Jitter is symmetric (+/- ``jitter`` fraction) and drawn from the
+        caller's deterministic stream.
+        """
+        base = min(
+            self.initial_backoff * self.multiplier ** max(attempt, 0),
+            self.max_backoff,
+        )
+        if self.jitter:
+            base *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return base

@@ -24,6 +24,7 @@ from ..common import (
     US,
     PageId,
     QueryError,
+    RetryPolicy,
     StorageError,
     TransactionAborted,
 )
@@ -65,6 +66,13 @@ class EngineConfig:
     ebp_writer_threads: int = 8
     ebp_write_queue_limit: int = 512
     lock_wait_timeout: float = 2.0
+    #: Degraded-mode policy for group-commit flushes: when the log backend
+    #: fails (all log replicas unreachable), commits are parked behind this
+    #: policy instead of killing the log-writer daemon.  The deadline
+    #: bounds how long an outage the engine rides through; a genuinely
+    #: stuck log (e.g. the ring wrapped onto un-applied REDO forever)
+    #: still surfaces as an error once the deadline elapses.
+    flush_retry_policy: Optional[RetryPolicy] = None
 
 
 class LogBackend:
@@ -122,6 +130,19 @@ class DBEngine:
         self.statements = 0
         self._daemons_started = False
         self.crashed = False
+        #: Degraded mode: set while group commit is parked behind flush
+        #: retries because the log backend is failing (all replicas down).
+        self.degraded = False
+        self.flush_retries = 0
+        self.degraded_episodes = 0
+        self.flush_retry_policy = config.flush_retry_policy or RetryPolicy(
+            max_attempts=256,
+            initial_backoff=5 * MS,
+            max_backoff=1.0,
+            deadline=30.0,
+            op_timeout=None,
+        )
+        self._flush_rng = seeds.stream("engine.log-flush-retry")
         # Observability: commit-wait and group-commit-flush latency
         # percentiles plus page-fetch path counters in the shared registry.
         self.obs = obs_of(env)
@@ -160,11 +181,33 @@ class DBEngine:
             if tracer.enabled
             else None
         )
+        policy = self.flush_retry_policy
         try:
-            yield from self.log_backend.flush(records, nbytes)
+            for attempt in range(policy.max_attempts):
+                try:
+                    yield from self.log_backend.flush(records, nbytes)
+                    break
+                except StorageError:
+                    # Log replicas unreachable: park group commit behind
+                    # the retry policy.  Commit waiters stay blocked (no
+                    # ack can be given without durability) and the engine
+                    # surfaces a degraded-mode gauge; the log-writer
+                    # daemon survives to try again.
+                    self.flush_retries += 1
+                    if not self.degraded:
+                        self.degraded = True
+                        self.degraded_episodes += 1
+                    if (attempt + 1 >= policy.max_attempts
+                            or self.env.now - start >= policy.deadline):
+                        raise
+                    yield self.env.timeout(
+                        policy.backoff(attempt, self._flush_rng)
+                    )
         finally:
             if span is not None:
                 span.finish()
+        if self.degraded:
+            self.degraded = False
         self._lat_log_flush.record(self.env.now - start)
         # WAL rule satisfied: durable records may now ship to PageStore.
         # Commit/abort markers are log-only; PageStore applies page ops.

@@ -133,6 +133,8 @@ class ExtendedBufferPool:
         self.evictions = 0
         self.compactions = 0
         self.segments_released = 0
+        self.pages_purged = 0
+        self.pages_reclaimed = 0
         self.obs = obs_of(env)
 
     # ------------------------------------------------------------------
@@ -317,7 +319,7 @@ class ExtendedBufferPool:
         batch = dict(self._dirty_lsns)
         self._dirty_lsns.clear()
         for server in self.client.servers.values():
-            if not server.alive:
+            if not server.reachable_from(self.client.client_id):
                 continue
             yield from self.client.control_net.call(
                 64 + 16 * len(batch), 64, server_cpu=server.cpu
@@ -477,6 +479,7 @@ class ExtendedBufferPool:
             for priority, active in list(self._active.items()):
                 if active.segment_id == segment_id:
                     del self._active[priority]
+        self.pages_purged += purged
         return purged
 
     def reclaim_server(self, server_id: str):
@@ -528,6 +531,7 @@ class ExtendedBufferPool:
                 state.live_bytes += length
                 self._lru_of(page_id)[page_id] = None
                 reclaimed += 1
+        self.pages_reclaimed += reclaimed
         return reclaimed
 
     def rebuild_index_after_crash(self):

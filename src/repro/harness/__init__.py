@@ -1,6 +1,7 @@
 """Experiment harness: deployments, runners, chaos injection, stats."""
-from .chaos import ChaosEvent, ChaosInjector, ChaosSchedule
+from .chaos import ChaosEvent, ChaosInjector, ChaosMonkey, ChaosSchedule
 from .deployment import Deployment, DeploymentConfig, DeploymentSpec
+from .soak import run_chaos_soak
 from .stats import collect_stats, format_stats
 
 __all__ = [
@@ -10,6 +11,8 @@ __all__ = [
     "ChaosEvent",
     "ChaosSchedule",
     "ChaosInjector",
+    "ChaosMonkey",
+    "run_chaos_soak",
     "collect_stats",
     "format_stats",
 ]

@@ -1,20 +1,32 @@
-"""Failure-injection harness: scheduled chaos against a deployment.
+"""Failure-injection harness: scheduled and randomized chaos.
 
 Drives the failure modes the paper's design must survive (Sections IV-C
-and V-E): AStore server crashes and restarts, PageStore replica outages,
-and network degradation windows.  Used by the chaos integration tests and
-available to users who want to script their own outage drills.
+and V-E): AStore server crashes and restarts, CM outages, partial
+network partitions, PageStore replica outages, and network degradation
+windows.  Recovery is the deployment's own job - the failure detector
+notices crashes, rebuilds routes, and re-adopts returning servers - so
+the injector only breaks things; it never repairs state by hand.
+
+:class:`ChaosSchedule` scripts outages explicitly; :class:`ChaosMonkey`
+generates a randomized schedule from a seeded RNG stream so whole chaos
+soaks replay bit-identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Sequence
 
 from ..sim.core import Environment
+from ..sim.rand import Rng
 from .deployment import Deployment
 
-__all__ = ["ChaosEvent", "ChaosSchedule", "ChaosInjector"]
+__all__ = ["ChaosEvent", "ChaosSchedule", "ChaosInjector", "ChaosMonkey"]
+
+#: Kinds that hold for ``duration`` and then revert; the injector runs
+#: them as child processes so later events stay on schedule and windows
+#: may overlap.
+WINDOWED_KINDS = ("network_spike", "partition")
 
 
 @dataclass(frozen=True)
@@ -26,7 +38,12 @@ class ChaosEvent:
     - ``astore_crash`` / ``astore_restart`` - power-fail / revive the
       AStore server named by ``target`` (PMem contents persist);
     - ``astore_reclaim`` - after a restart, re-adopt the server's surviving
-      EBP pages (future-work path);
+      EBP pages (the failure detector also does this automatically);
+    - ``cm_crash`` / ``cm_restart`` - take the cluster manager down / up
+      (control plane only: one-sided reads and writes keep flowing);
+    - ``partition`` - for ``duration`` seconds, cut the AStore server
+      ``target`` off from the named endpoint ``peer`` ("cm", a client id,
+      or "*" for everyone), then heal;
     - ``pagestore_crash`` / ``pagestore_restart`` - same for a PageStore
       data server (quorum replication absorbs one loss);
     - ``network_spike`` - for ``duration`` seconds, multiply the RPC
@@ -38,11 +55,15 @@ class ChaosEvent:
     target: str = ""
     duration: float = 0.0
     factor: float = 10.0
+    peer: str = "*"
 
     VALID = (
         "astore_crash",
         "astore_restart",
         "astore_reclaim",
+        "cm_crash",
+        "cm_restart",
+        "partition",
         "pagestore_crash",
         "pagestore_restart",
         "network_spike",
@@ -53,6 +74,10 @@ class ChaosEvent:
             raise ValueError("unknown chaos kind %r" % self.kind)
         if self.at < 0:
             raise ValueError("negative schedule time")
+        if self.kind in WINDOWED_KINDS and self.duration <= 0:
+            raise ValueError(
+                "%s needs a positive duration, got %r" % (self.kind, self.duration)
+            )
 
 
 @dataclass
@@ -62,8 +87,8 @@ class ChaosSchedule:
     events: List[ChaosEvent] = field(default_factory=list)
 
     def add(self, at: float, kind: str, target: str = "", duration: float = 0.0,
-            factor: float = 10.0) -> "ChaosSchedule":
-        self.events.append(ChaosEvent(at, kind, target, duration, factor))
+            factor: float = 10.0, peer: str = "*") -> "ChaosSchedule":
+        self.events.append(ChaosEvent(at, kind, target, duration, factor, peer))
         return self
 
     def sorted_events(self) -> List[ChaosEvent]:
@@ -78,6 +103,8 @@ class ChaosInjector:
         self.schedule = schedule
         self.log: List[str] = []
         self._started = False
+        self._spike_factors: List[float] = []
+        self._spike_baseline = 0.0
 
     def start(self) -> None:
         """Arm the injector (events fire at their virtual times)."""
@@ -93,19 +120,21 @@ class ChaosInjector:
             delay = start + event.at - env.now
             if delay > 0:
                 yield env.timeout(delay)
-            yield from self._execute(event)
+            if event.kind in WINDOWED_KINDS:
+                # Windowed events run as children so the schedule is not
+                # delayed by their duration and windows may overlap.
+                env.process(self._execute(event), name="chaos-%s" % event.kind)
+            else:
+                yield from self._execute(event)
 
     def _execute(self, event: ChaosEvent):
         dep = self.deployment
         env = dep.env
         if event.kind == "astore_crash":
-            server = dep.astore.servers[event.target]
-            server.crash()
+            dep.astore.servers[event.target].crash()
             self._note(env, "crashed AStore %s" % event.target)
         elif event.kind == "astore_restart":
-            server = dep.astore.servers[event.target]
-            server.restart()
-            dep.astore.cm.heartbeat_sweep()
+            dep.astore.servers[event.target].restart()
             self._note(env, "restarted AStore %s" % event.target)
         elif event.kind == "astore_reclaim":
             if dep.ebp is not None:
@@ -114,6 +143,24 @@ class ChaosInjector:
                     env, "reclaimed %d EBP pages from %s"
                     % (reclaimed, event.target)
                 )
+        elif event.kind == "cm_crash":
+            dep.astore.cm.crash()
+            self._note(env, "crashed cluster manager")
+        elif event.kind == "cm_restart":
+            dep.astore.cm.restart()
+            self._note(env, "restarted cluster manager")
+        elif event.kind == "partition":
+            server = dep.astore.servers[event.target]
+            server.partition(event.peer)
+            self._note(
+                env, "partitioned %s from %s for %.3fs"
+                % (event.target, event.peer, event.duration)
+            )
+            try:
+                yield env.timeout(event.duration)
+            finally:
+                server.heal(event.peer)
+                self._note(env, "healed %s from %s" % (event.target, event.peer))
         elif event.kind == "pagestore_crash":
             server = self._pagestore_server(event.target)
             server.alive = False
@@ -124,14 +171,28 @@ class ChaosInjector:
             self._note(env, "restarted PageStore %s" % event.target)
         elif event.kind == "network_spike":
             network = dep.pagestore.network
-            original = network.spike_probability
-            network.spike_probability = min(1.0, original * event.factor)
+            if not self._spike_factors:
+                self._spike_baseline = network.spike_probability
+            self._spike_factors.append(event.factor)
+            self._apply_spikes(network)
             self._note(env, "network spike x%.0f for %.3fs"
                        % (event.factor, event.duration))
-            yield env.timeout(max(event.duration, 0.0))
-            network.spike_probability = original
-            self._note(env, "network spike ended")
+            try:
+                yield env.timeout(event.duration)
+            finally:
+                # Restore through the factor stack so overlapping windows
+                # (or an interrupted injector) never leave the network
+                # permanently degraded.
+                self._spike_factors.remove(event.factor)
+                self._apply_spikes(network)
+                self._note(env, "network spike ended")
         return None
+
+    def _apply_spikes(self, network) -> None:
+        probability = self._spike_baseline
+        for factor in self._spike_factors:
+            probability *= factor
+        network.spike_probability = min(1.0, probability)
 
     def _pagestore_server(self, server_id: str):
         for server in self.deployment.pagestore.servers:
@@ -141,3 +202,85 @@ class ChaosInjector:
 
     def _note(self, env: Environment, message: str) -> None:
         self.log.append("t=%.4f %s" % (env.now, message))
+
+
+class ChaosMonkey:
+    """Seeded random outage-schedule generator.
+
+    Divides ``horizon`` into exclusive disruption slots - ``cycles``
+    AStore crash/restart cycles plus (optionally) one CM outage and one
+    partial partition window - shuffled into random order.  One slot
+    holds at most one disruption, so the replica set never loses more
+    than one member at a time and every outage has head-room to be
+    detected and repaired before the next begins.  A network spike may
+    overlap anything (it only slows RPCs down).
+
+    All draws come from the caller's :class:`Rng` stream, so the same
+    seed always produces the same schedule.
+    """
+
+    def __init__(
+        self,
+        rng: Rng,
+        servers: Sequence[str],
+        horizon: float,
+        cycles: int = 3,
+        cm_outage: bool = True,
+        partition: bool = True,
+        partition_peer: str = "cm",
+        spike_factor: float = 20.0,
+    ):
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if cycles < 1:
+            raise ValueError("need at least one crash/restart cycle")
+        if not servers:
+            raise ValueError("need at least one server id")
+        self.rng = rng
+        self.servers = list(servers)
+        self.horizon = horizon
+        self.cycles = cycles
+        self.cm_outage = cm_outage
+        self.partition = partition
+        self.partition_peer = partition_peer
+        self.spike_factor = spike_factor
+
+    def build(self) -> ChaosSchedule:
+        slots = ["cycle"] * self.cycles
+        if self.cm_outage:
+            slots.append("cm")
+        if self.partition:
+            slots.append("partition")
+        self.rng.shuffle(slots)
+        schedule = ChaosSchedule()
+        span = self.horizon / len(slots)
+        # Crash cycles walk a shuffled server pool, so ``cycles >= len``
+        # guarantees every server (including whichever one happens to
+        # host the EBP's segments) takes a hit.
+        pool = list(self.servers)
+        self.rng.shuffle(pool)
+        victims = iter(pool * (len(slots) // len(pool) + 1))
+        for index, slot_kind in enumerate(slots):
+            start = span * (index + self.rng.uniform(0.05, 0.20))
+            length = span * self.rng.uniform(0.45, 0.70)
+            if slot_kind == "cycle":
+                server = next(victims)
+                schedule.add(start, "astore_crash", server)
+                schedule.add(start + length, "astore_restart", server)
+            elif slot_kind == "cm":
+                schedule.add(start, "cm_crash")
+                schedule.add(start + length, "cm_restart")
+            else:
+                server = self.rng.choice(self.servers)
+                schedule.add(
+                    start, "partition", server,
+                    duration=length, peer=self.partition_peer,
+                )
+        if self.spike_factor:
+            schedule.add(
+                self.horizon * self.rng.uniform(0.1, 0.8),
+                "network_spike",
+                duration=self.horizon * 0.1,
+                factor=self.spike_factor,
+            )
+        return schedule

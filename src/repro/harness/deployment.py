@@ -40,8 +40,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..astore.cluster import AStoreCluster
+from ..astore.failure_detector import FailureDetector
 from ..astore.segment_ring import SegmentRing
-from ..common import GB, MB
+from ..common import GB, MB, RetryPolicy
 from ..engine.dbengine import DBEngine, EngineConfig
 from ..engine.ebp import ExtendedBufferPool
 from ..engine.logbackends import AStoreLogBackend, SsdLogBackend
@@ -83,6 +84,13 @@ class DeploymentSpec:
     astore_pmem_bytes: int = 1 * GB
     astore_segment_slot_bytes: int = 4 * MB
     astore_server_cores: int = 8
+    # Fault tolerance: failure-detector cadence and client retry policy.
+    astore_heartbeat_interval: float = 1.0
+    astore_failure_timeout: float = 3.0
+    astore_cleanup_period: float = 5.0
+    astore_lease_duration: float = 10.0
+    astore_route_refresh_period: float = 1.0
+    retry_policy: Optional[RetryPolicy] = None
     # SegmentRing for the log.
     log_ring_segments: int = 8
     log_segment_bytes: int = 4 * MB
@@ -111,6 +119,11 @@ class DeploymentSpec:
             ("pagestore_servers", self.pagestore_servers),
             ("pagestore_segments", self.pagestore_segments),
             ("logstore_replicas", self.logstore_replicas),
+            ("astore_heartbeat_interval", self.astore_heartbeat_interval),
+            ("astore_failure_timeout", self.astore_failure_timeout),
+            ("astore_cleanup_period", self.astore_cleanup_period),
+            ("astore_lease_duration", self.astore_lease_duration),
+            ("astore_route_refresh_period", self.astore_route_refresh_period),
         )
         for name, value in positive:
             if value <= 0:
@@ -181,6 +194,25 @@ class DeploymentSpec:
         """Record virtual-time spans for Chrome trace export."""
         return dataclasses.replace(self, trace=enabled)
 
+    def with_fault_tolerance(
+        self,
+        heartbeat_interval: Optional[float] = None,
+        failure_timeout: Optional[float] = None,
+        lease_duration: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> "DeploymentSpec":
+        """Tune failure-detector cadence and the client retry policy."""
+        changes: Dict[str, object] = {}
+        if heartbeat_interval is not None:
+            changes["astore_heartbeat_interval"] = heartbeat_interval
+        if failure_timeout is not None:
+            changes["astore_failure_timeout"] = failure_timeout
+        if lease_duration is not None:
+            changes["astore_lease_duration"] = lease_duration
+        if retry_policy is not None:
+            changes["retry_policy"] = retry_policy
+        return dataclasses.replace(self, **changes)
+
     def build(self) -> "Deployment":
         """Stand the deployment up (construction only; call ``start()``)."""
         return Deployment(self)
@@ -249,6 +281,11 @@ class Deployment:
                     self.config.ebp_segment_bytes,
                 ),
                 server_cpu_cores=self.config.astore_server_cores,
+                lease_duration=self.config.astore_lease_duration,
+                route_refresh_period=self.config.astore_route_refresh_period,
+                heartbeat_interval=self.config.astore_heartbeat_interval,
+                failure_timeout=self.config.astore_failure_timeout,
+                retry_policy=self.config.retry_policy,
             )
         if self.config.use_astore_log:
             client = self.astore.new_client("log-client")
@@ -285,6 +322,7 @@ class Deployment:
             self.pagestore,
             ebp=self.ebp,
         )
+        self.detector: Optional[FailureDetector] = None
         self._started = False
         self._register_gauges()
 
@@ -317,6 +355,9 @@ class Deployment:
         reg.gauge("engine.lock_waits", lambda: engine.locks.waits)
         reg.gauge("engine.lock_timeouts", lambda: engine.locks.timeouts)
         reg.gauge("engine.deadlocks", lambda: engine.locks.deadlocks)
+        reg.gauge("engine.degraded", lambda: engine.degraded)
+        reg.gauge("engine.flush_retries", lambda: engine.flush_retries)
+        reg.gauge("engine.degraded_episodes", lambda: engine.degraded_episodes)
         bp = engine.buffer_pool
         reg.gauge("buffer_pool.hits", lambda: bp.hits)
         reg.gauge("buffer_pool.misses", lambda: bp.misses)
@@ -350,6 +391,8 @@ class Deployment:
             reg.gauge("ebp.index_entries", lambda: len(ebp.index))
             reg.gauge("ebp.live_bytes", lambda: ebp.live_bytes)
             reg.gauge("ebp.allocated_bytes", lambda: ebp.allocated_bytes)
+            reg.gauge("ebp.pages_purged", lambda: ebp.pages_purged)
+            reg.gauge("ebp.pages_reclaimed", lambda: ebp.pages_reclaimed)
         if self.astore is not None:
             astore = self.astore
             reg.gauge("astore.rebuilds", lambda: astore.cm.rebuilds)
@@ -410,7 +453,10 @@ class Deployment:
         self.engine.start()
         self.pagestore.start_apply_daemon()
         if self.astore is not None:
-            self.astore.start_maintenance()
+            self.astore.start_maintenance(
+                cleanup_period=self.config.astore_cleanup_period, ebp=self.ebp
+            )
+            self.detector = self.astore.detector
 
     def run_until(self, event) -> None:
         self.env.run_until_event(event)

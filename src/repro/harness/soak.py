@@ -1,0 +1,190 @@
+"""Seeded chaos soak: TPC-C under randomized failures, then an audit.
+
+The soak is the fault-tolerance layer's acceptance test (and the
+``python -m repro chaos`` CLI verb): it drives TPC-C terminals while a
+seeded :class:`ChaosMonkey` crashes AStore servers, takes the cluster
+manager down, and partitions a server from the CM - then crashes the
+DBEngine itself, recovers from the log, and checks invariants:
+
+- **durability**: every payment and new-order the clients saw commit is
+  present after recovery (client-side ledgers vs database state);
+- **no lost updates**: ``d_next_o_id - 1`` equals the committed
+  new-order count per district, and W_YTD equals the committed payment
+  sum per warehouse (the TPC-C hot-row consistency conditions);
+- **internal consistency**: W_YTD == sum(D_YTD) per warehouse.
+
+Everything runs on the virtual clock from named seed streams, so two
+runs with the same seed produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from ..common import KB
+from ..sim.core import AllOf
+from ..workloads.tpcc import TpccClient, TpccConfig, TpccDatabase
+from .chaos import ChaosInjector, ChaosMonkey
+from .deployment import DeploymentSpec
+from .stats import collect_stats
+
+__all__ = ["run_chaos_soak"]
+
+#: Float tolerance for YTD sums (amounts are rounded to cents on both
+#: sides; anything above this is a real lost or phantom update).
+CENTS = 0.01
+
+
+def run_chaos_soak(
+    seed: int = 7,
+    short: bool = False,
+    horizon: float = None,
+    terminals: int = None,
+) -> Dict:
+    """Run one seeded chaos soak; returns a deterministic report dict.
+
+    ``report["ok"]`` is True iff every invariant held;
+    ``report["violations"]`` lists each failure in a stable order.
+    ``horizon``/``terminals`` override the presets (used by fast tests).
+    """
+    horizon = (3.5 if short else 10.0) if horizon is None else horizon
+    terminals_n = (2 if short else 4) if terminals is None else terminals
+    tpcc = TpccConfig(
+        warehouses=2, districts_per_warehouse=3,
+        customers_per_district=8, items=40,
+    )
+    # A deliberately tiny buffer pool: evictions populate the EBP, so a
+    # purge after a server crash actually exercises the transparent
+    # EBP-miss -> PageStore fallback on the read path.
+    spec = DeploymentSpec.astore_ebp(
+        seed=seed, astore_servers=4
+    ).with_engine(
+        buffer_pool_bytes=24 * 16 * KB
+    ).with_fault_tolerance(
+        heartbeat_interval=0.05, failure_timeout=0.15, lease_duration=2.0
+    )
+    spec = dataclasses.replace(
+        spec, astore_route_refresh_period=0.2, astore_cleanup_period=1.0
+    )
+    dep = spec.build()
+    dep.start()
+    env = dep.env
+
+    database = TpccDatabase(dep.engine, tpcc, dep.seeds.stream("soak-load"))
+    load = env.process(database.load())
+    env.run_until_event(load)
+
+    monkey = ChaosMonkey(
+        dep.seeds.stream("chaos-monkey"),
+        servers=sorted(dep.astore.servers),
+        horizon=horizon * 0.85,  # leave tail head-room for repairs
+        cycles=len(dep.astore.servers),  # every server takes one hit
+    )
+    injector = ChaosInjector(dep, monkey.build())
+    injector.start()
+
+    terminals = [
+        TpccClient(database, dep.seeds.stream("soak-client-%d" % index))
+        for index in range(terminals_n)
+    ]
+    procs = [env.process(t.run_for(horizon)) for t in terminals]
+    env.run_until_event(AllOf(env, procs))
+
+    # Settle: let the detector finish purges/reclaims and the ring heal.
+    env.run(until=env.now + 3.0)
+
+    # The final blow: crash the engine itself and recover from the log.
+    dep.engine.crash()
+    recovery = env.process(dep.engine.recover())
+    env.run_until_event(recovery)
+
+    violations = _audit(dep, tpcc, terminals)
+    stats = collect_stats(dep)
+    detector = dep.detector
+    report = {
+        "seed": seed,
+        "short": short,
+        "horizon": horizon,
+        "virtual_end": round(env.now, 6),
+        "committed": sum(t.committed for t in terminals),
+        "aborted": sum(t.aborted for t in terminals),
+        "chaos_log": list(injector.log),
+        "counters": {
+            "detector_sweeps": detector.sweeps,
+            "failures_detected": detector.failures_detected,
+            "recoveries": detector.recoveries,
+            "route_rebuilds": dep.astore.cm.rebuilds,
+            "ebp_pages_purged": dep.ebp.pages_purged,
+            "ebp_pages_reclaimed": dep.ebp.pages_reclaimed,
+            "engine_degraded_episodes": dep.engine.degraded_episodes,
+            "engine_flush_retries": dep.engine.flush_retries,
+            "client_retries": sum(
+                c.retries for c in dep.astore.clients
+            ),
+            "client_lease_regrants": sum(
+                c.lease_regrants for c in dep.astore.clients
+            ),
+            "client_deadlines_exceeded": sum(
+                c.deadlines_exceeded for c in dep.astore.clients
+            ),
+            "ebp_hits": stats["ebp"]["hits"],
+            "pagestore_page_reads": stats["pagestore"]["page_reads"],
+        },
+        "violations": violations,
+        "ok": not violations,
+    }
+    return report
+
+
+def _audit(dep, tpcc: TpccConfig, terminals: List[TpccClient]) -> List[str]:
+    """Check the durability/lost-update invariants; returns violations."""
+    payments: Dict[Tuple[int, int], float] = {}
+    new_orders: Dict[Tuple[int, int], int] = {}
+    for terminal in terminals:
+        for key, amount in terminal.committed_payments.items():
+            payments[key] = round(payments.get(key, 0.0) + amount, 2)
+        for key, count in terminal.committed_new_orders.items():
+            new_orders[key] = new_orders.get(key, 0) + count
+
+    violations: List[str] = []
+
+    def check(env):
+        for w_id in range(1, tpcc.warehouses + 1):
+            warehouse = yield from dep.engine.read_row(None, "warehouse", (w_id,))
+            district_total = 0.0
+            committed_total = 0.0
+            for d_id in range(1, tpcc.districts_per_warehouse + 1):
+                district = yield from dep.engine.read_row(
+                    None, "district", (w_id, d_id)
+                )
+                district_total += district[6]
+                expect_ytd = payments.get((w_id, d_id), 0.0)
+                committed_total += expect_ytd
+                if abs(district[6] - expect_ytd) > CENTS:
+                    violations.append(
+                        "district (%d,%d): D_YTD %.2f != committed "
+                        "payments %.2f" % (w_id, d_id, district[6], expect_ytd)
+                    )
+                expect_orders = new_orders.get((w_id, d_id), 0)
+                if district[7] - 1 != expect_orders:
+                    violations.append(
+                        "district (%d,%d): d_next_o_id-1 = %d != committed "
+                        "new-orders %d"
+                        % (w_id, d_id, district[7] - 1, expect_orders)
+                    )
+            if abs(warehouse[7] - district_total) > CENTS:
+                violations.append(
+                    "warehouse %d: W_YTD %.2f != sum(D_YTD) %.2f"
+                    % (w_id, warehouse[7], district_total)
+                )
+            if abs(warehouse[7] - committed_total) > CENTS:
+                violations.append(
+                    "warehouse %d: W_YTD %.2f != committed payments %.2f"
+                    % (w_id, warehouse[7], committed_total)
+                )
+        return None
+
+    proc = dep.env.process(check(dep.env))
+    dep.env.run_until_event(proc)
+    return violations

@@ -39,6 +39,7 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "with_timeout",
 ]
 
 
@@ -274,6 +275,41 @@ class AnyOf(_Condition):
             self.fail(event._value)
             return
         self.succeed(self._collect())
+
+
+def _defuse(event: Event) -> None:
+    event._defused = True
+
+
+def with_timeout(env: "Environment", target, seconds: Optional[float],
+                 what: str = "operation"):
+    """Generator: wait for ``target``, but at most ``seconds`` virtual seconds.
+
+    ``target`` is a :class:`Process` or a plain generator (spawned here).
+    On timeout the in-flight process is interrupted and its eventual
+    failure defused (a failed event with no live waiter would otherwise
+    crash :meth:`Environment.step`), and ``DeadlineExceededError`` is
+    raised in the caller.  ``seconds=None`` waits without a deadline.
+    """
+    from ..common import DeadlineExceededError
+
+    proc = target if isinstance(target, Process) else env.process(target)
+    if seconds is None:
+        return (yield proc)
+    # Defuse up front: the process may fail in the same tick the timeout
+    # wins, before this generator gets a chance to resume.
+    if proc.callbacks is not None:
+        proc.callbacks.append(_defuse)
+    deadline = Timeout(env, seconds)
+    yield AnyOf(env, [proc, deadline])
+    if proc.triggered:
+        if not proc._ok:
+            raise proc._value
+        return proc._value
+    proc.interrupt("deadline exceeded")
+    raise DeadlineExceededError(
+        "%s exceeded %.6fs deadline" % (what, seconds)
+    )
 
 
 class Environment:

@@ -357,6 +357,12 @@ class TpccClient:
         }
         self.committed = 0
         self.aborted = 0
+        # Client-side ledger of *committed* effects, used by the chaos
+        # soak to audit durability: sums/counts move from the pending
+        # slot into these dicts only after commit() returns.
+        self.committed_payments: Dict[Tuple[int, int], float] = {}
+        self.committed_new_orders: Dict[Tuple[int, int], int] = {}
+        self._pending_effect: Optional[Tuple] = None
 
     # -- key pickers ---------------------------------------------------------
     def _warehouse(self) -> int:
@@ -392,6 +398,7 @@ class TpccClient:
         kind = self._pick_type()
         start = self.engine.env.now
         txn = self.engine.begin()
+        self._pending_effect = None
         try:
             yield from getattr(self, "txn_" + kind)(txn)
             yield from self.engine.commit(txn)
@@ -400,12 +407,32 @@ class TpccClient:
             # Delivery transactions picking the same oldest new-order).
             yield from self.engine.rollback(txn)
             self.aborted += 1
+            self._pending_effect = None
             return (kind, None)
+        self._apply_committed_effect()
         latency = self.engine.env.now - start
         self.latencies.record(latency)
         self.per_type[kind].record(latency)
         self.committed += 1
         return (kind, latency)
+
+    def _apply_committed_effect(self) -> None:
+        effect = self._pending_effect
+        self._pending_effect = None
+        if effect is None:
+            return
+        if effect[0] == "payment":
+            _, w_id, d_id, amount = effect
+            key = (w_id, d_id)
+            self.committed_payments[key] = round(
+                self.committed_payments.get(key, 0.0) + amount, 2
+            )
+        elif effect[0] == "new_order":
+            _, w_id, d_id = effect
+            key = (w_id, d_id)
+            self.committed_new_orders[key] = (
+                self.committed_new_orders.get(key, 0) + 1
+            )
 
     def run_for(self, duration: float, meter: Optional[ThroughputMeter] = None):
         """Generator: issue transactions back to back until the deadline."""
@@ -472,6 +499,7 @@ class TpccClient:
                     amount, None, self.config.filler(24),
                 ],
             )
+        self._pending_effect = ("new_order", w_id, d_id)
 
     def txn_payment(self, txn):
         engine, rng = self.engine, self.rng
@@ -508,6 +536,7 @@ class TpccClient:
             [self.db.next_history_id() * 10000 + w_id, w_id, d_id, c_id,
              amount, self.config.filler(24)],
         )
+        self._pending_effect = ("payment", w_id, d_id, amount)
 
     def txn_order_status(self, txn):
         engine = self.engine

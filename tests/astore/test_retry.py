@@ -1,0 +1,143 @@
+"""Unit tests for RetryPolicy and the with_timeout kernel helper."""
+
+import pytest
+
+from repro.common import DeadlineExceededError, RetryPolicy, StorageError
+from repro.sim.core import Environment, with_timeout
+from repro.sim.rand import SeedSequence
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(initial_backoff=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(initial_backoff=0.2, max_backoff=0.1)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(deadline=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(op_timeout=0.0)
+    RetryPolicy(op_timeout=None)  # None disables per-attempt deadlines
+
+
+def test_backoff_grows_and_is_bounded():
+    policy = RetryPolicy(
+        initial_backoff=1e-3, max_backoff=8e-3, multiplier=2.0, jitter=0.0
+    )
+    rng = SeedSequence(3).stream("backoff")
+    delays = [policy.backoff(attempt, rng) for attempt in range(6)]
+    assert delays[:4] == [1e-3, 2e-3, 4e-3, 8e-3]
+    assert delays[4] == delays[5] == 8e-3  # capped
+
+
+def test_backoff_jitter_is_bounded_and_deterministic():
+    policy = RetryPolicy(initial_backoff=1e-3, jitter=0.2)
+    a = [policy.backoff(i, SeedSequence(9).stream("j")) for i in range(20)]
+    b = [policy.backoff(i, SeedSequence(9).stream("j")) for i in range(20)]
+    assert a == b  # same seed stream, same jitter
+    for attempt, delay in enumerate(a):
+        base = min(1e-3 * 2.0 ** attempt, policy.max_backoff)
+        assert base * 0.8 <= delay <= base * 1.2
+
+
+# ---------------------------------------------------------------------------
+# with_timeout
+# ---------------------------------------------------------------------------
+
+
+def _drive(env, gen):
+    proc = env.process(gen)
+    env.run_until_event(proc)
+    return proc.value
+
+
+def test_with_timeout_returns_value_when_fast_enough():
+    env = Environment()
+
+    def slowish(env):
+        yield env.timeout(0.1)
+        return "done"
+
+    def outer(env):
+        return (yield from with_timeout(env, slowish(env), 1.0))
+
+    assert _drive(env, outer(env)) == "done"
+
+
+def test_with_timeout_raises_typed_error_on_deadline():
+    env = Environment()
+
+    def hang(env):
+        yield env.timeout(60.0)
+
+    def outer(env):
+        try:
+            yield from with_timeout(env, hang(env), 0.05, what="hang test")
+        except DeadlineExceededError as exc:
+            return str(exc)
+        return None
+
+    message = _drive(env, outer(env))
+    assert "hang test" in message
+    assert env.now == pytest.approx(0.05)  # no waiting out the slow path
+
+
+def test_with_timeout_propagates_inner_failure():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(0.01)
+        raise StorageError("inner failure")
+
+    def outer(env):
+        try:
+            yield from with_timeout(env, boom(env), 1.0)
+        except StorageError as exc:
+            return str(exc)
+        return None
+
+    assert _drive(env, outer(env)) == "inner failure"
+
+
+def test_with_timeout_none_disables_deadline():
+    env = Environment()
+
+    def slow(env):
+        yield env.timeout(5.0)
+        return 42
+
+    def outer(env):
+        return (yield from with_timeout(env, slow(env), None))
+
+    assert _drive(env, outer(env)) == 42
+    assert env.now == pytest.approx(5.0)
+
+
+def test_with_timeout_same_tick_failure_does_not_crash_kernel():
+    # A process that fails in the exact tick the deadline fires used to
+    # leave an un-defused failed event behind, crashing env.step() later.
+    env = Environment()
+
+    def fail_at(env, when):
+        yield env.timeout(when)
+        raise StorageError("same-tick loser")
+
+    def outer(env):
+        try:
+            yield from with_timeout(env, fail_at(env, 0.05), 0.05)
+        except (DeadlineExceededError, StorageError):
+            pass
+        yield env.timeout(1.0)  # keep stepping past the loser's failure
+        return "survived"
+
+    assert _drive(env, outer(env)) == "survived"

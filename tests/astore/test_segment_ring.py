@@ -212,3 +212,103 @@ def test_ring_size_validation():
     env, cluster, client, _ = make_ring()
     with pytest.raises(ValueError):
         SegmentRing(client, ring_size=1)
+
+
+# ---------------------------------------------------------------------------
+# Total-replica outage: typed failure, then recovery after restart
+# ---------------------------------------------------------------------------
+
+
+def test_total_outage_fails_typed_and_ring_recovers_after_restart():
+    from repro.common import RingExhaustedError
+
+    env, cluster, client, ring = make_ring(ring_size=4)
+
+    def do(env):
+        yield from ring.initialize(first_lsn=0)
+        yield from ring.append(1, 256, "before-outage")
+        # Power-fail EVERY server: no replica set can host the log.
+        for server in cluster.servers.values():
+            server.crash()
+        try:
+            yield from ring.append(2, 256, "during-outage")
+            outcome = "wrote"
+        except RingExhaustedError:
+            outcome = "exhausted"
+        except StorageError:
+            outcome = "untyped"
+        # Power restored (PMem contents survive).
+        for server in cluster.servers.values():
+            server.restart()
+        yield from ring.append(3, 256, "after-restart")
+        return outcome
+
+    outcome = run(env, do(env))
+    # The append failed with the *typed* ring error (callers can park
+    # behind a retry policy instead of guessing from message text)...
+    assert outcome == "exhausted"
+    # ...and the ring kept serving appends once the fleet returned.
+    assert ring.appends == 2
+    assert ring.segment_advances >= 1  # walked off the frozen segment
+    # The episode shows up in the client's failure counters.
+    assert client.write_failures >= 1
+
+
+def test_total_outage_append_does_not_wall_clock_hang():
+    from repro.common import RingExhaustedError
+
+    env, cluster, client, ring = make_ring(ring_size=4)
+
+    def do(env):
+        yield from ring.initialize(first_lsn=0)
+        start = env.now
+        for server in cluster.servers.values():
+            server.crash()
+        try:
+            yield from ring.append(1, 256, "doomed")
+        except (RingExhaustedError, StorageError):
+            pass
+        return env.now - start
+
+    elapsed = run(env, do(env))
+    # Reachability pre-checks fail fast: the walk around the ring must not
+    # burn a full op_timeout per slot.
+    assert elapsed < client.retry_policy.op_timeout
+
+
+def test_dropped_route_is_typed_not_keyerror():
+    # During a total outage the CM drops a segment's route once every
+    # replica is lost; a route refresh then evicts it from the client's
+    # open-segment cache.  The ring used to crash the group-commit daemon
+    # with a raw KeyError on the next append; it must instead walk past
+    # the slot and fail with the typed ring error.
+    from repro.common import RingExhaustedError
+
+    env, cluster, client, ring = make_ring(ring_size=4)
+
+    def do(env):
+        yield from ring.initialize(first_lsn=0)
+        yield from ring.append(1, 256, "before")
+        for server in cluster.servers.values():
+            server.crash()
+        # Simulate the detector-driven refresh after the CM dropped every
+        # route: the client cache no longer knows any ring segment.
+        for segment_id in list(ring.segment_ids):
+            client.open_segments.pop(segment_id, None)
+            cluster.cm.routes.pop(segment_id, None)
+        try:
+            yield from ring.append(2, 256, "during")
+            outcome = "wrote"
+        except RingExhaustedError:
+            outcome = "exhausted"
+        except StorageError:
+            outcome = "untyped"
+        # Power restored: the next append re-creates fresh segments.
+        for server in cluster.servers.values():
+            server.restart()
+        yield from ring.append(3, 256, "after")
+        return outcome
+
+    outcome = run(env, do(env))
+    assert outcome == "exhausted"
+    assert ring.appends == 2

@@ -47,3 +47,42 @@ def test_fig12_command_runs(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["not-a-figure"])
+
+
+def test_chaos_parser_wiring():
+    parser = build_parser()
+    args = parser.parse_args(["chaos", "--seed", "11", "--short"])
+    assert args.command == "chaos"
+    assert args.seed == 11
+    assert args.short is True
+    args = parser.parse_args(["chaos"])
+    assert args.seed == 7
+    assert args.short is False
+
+
+def test_chaos_command_prints_report_and_exit_codes(capsys, monkeypatch):
+    import json
+
+    from repro.harness import soak
+
+    calls = []
+
+    def fake_soak(seed, short):
+        calls.append((seed, short))
+        ok = seed != 99
+        return {
+            "seed": seed, "short": short, "ok": ok,
+            "violations": [] if ok else ["district (1,1): lost update"],
+        }
+
+    monkeypatch.setattr(soak, "run_chaos_soak", fake_soak)
+    assert main(["chaos", "--seed", "5", "--short"]) == 0
+    out = capsys.readouterr().out
+    report = json.loads(out)
+    assert report["seed"] == 5 and report["short"] is True
+    assert calls == [(5, True)]
+
+    assert main(["chaos", "--seed", "99"]) == 1
+    captured = capsys.readouterr()
+    assert json.loads(captured.out)["ok"] is False
+    assert "invariant violation" in captured.err

@@ -131,3 +131,154 @@ def test_stats_on_stock_deployment():
     assert "logstore" in stats
     assert "ebp" not in stats
     assert "astore" not in stats
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerance layer: new chaos kinds, the seeded monkey, degraded mode
+# ---------------------------------------------------------------------------
+
+
+def test_windowed_chaos_kinds_require_positive_duration():
+    with pytest.raises(ValueError):
+        ChaosEvent(0.1, "network_spike")  # duration defaults to 0
+    with pytest.raises(ValueError):
+        ChaosEvent(0.1, "partition", "astore-0", duration=0.0)
+    ChaosEvent(0.1, "astore_crash", "astore-0")  # instantaneous kinds: fine
+
+
+def test_overlapping_spikes_restore_baseline():
+    dep = Deployment(DeploymentConfig.astore_ebp(seed=9, astore_servers=4))
+    dep.start()
+    network = dep.pagestore.network
+    baseline = network.spike_probability
+    schedule = (
+        ChaosSchedule()
+        .add(0.01, "network_spike", duration=0.10, factor=10.0)
+        .add(0.05, "network_spike", duration=0.10, factor=5.0)
+    )
+    injector = ChaosInjector(dep, schedule)
+    injector.start()
+    probes = {}
+
+    def probe(env):
+        yield env.timeout(0.08)  # both windows active
+        probes["overlap"] = network.spike_probability
+        yield env.timeout(0.04)  # first ended, second still active
+        probes["tail"] = network.spike_probability
+        yield env.timeout(0.20)
+
+    proc = dep.env.process(probe(dep.env))
+    dep.env.run_until_event(proc)
+    assert probes["overlap"] == pytest.approx(min(1.0, baseline * 50.0))
+    assert probes["tail"] == pytest.approx(min(1.0, baseline * 5.0))
+    # After both windows close, the baseline is restored exactly.
+    assert network.spike_probability == pytest.approx(baseline)
+
+
+def test_chaos_monkey_schedule_is_seed_deterministic():
+    from repro.harness.chaos import ChaosMonkey
+    from repro.sim.rand import SeedSequence
+
+    def build(seed):
+        rng = SeedSequence(seed).stream("monkey")
+        return ChaosMonkey(
+            rng, ["astore-%d" % i for i in range(4)], horizon=5.0, cycles=4
+        ).build()
+
+    a, b = build(13), build(13)
+    assert a.sorted_events() == b.sorted_events()
+    kinds = [e.kind for e in a.sorted_events()]
+    assert kinds.count("astore_crash") == 4
+    assert kinds.count("astore_restart") == 4
+    assert "cm_crash" in kinds and "cm_restart" in kinds
+    assert "partition" in kinds
+    # Every server takes a hit when cycles == len(servers).
+    crashed = {e.target for e in a.events if e.kind == "astore_crash"}
+    assert len(crashed) == 4
+    # A different seed gives a different schedule.
+    assert build(14).sorted_events() != a.sorted_events()
+
+
+def test_tpcc_survives_cm_outage_window():
+    dep, database = build()
+    schedule = (
+        ChaosSchedule()
+        .add(0.05, "cm_crash")
+        .add(0.20, "cm_restart")
+    )
+    injector = ChaosInjector(dep, schedule)
+    injector.start()
+    terminals = drive(dep, database, clients=6, duration=0.35)
+    # The CM is control-plane only: one-sided commits keep flowing.
+    assert sum(t.committed for t in terminals) > 50
+    assert check_ytd(dep)
+    assert any("crashed cluster manager" in line for line in injector.log)
+    assert dep.astore.cm.alive
+
+
+def test_tpcc_survives_partition_window():
+    dep, database = build()
+    victim = "astore-0"
+    schedule = ChaosSchedule().add(
+        0.05, "partition", victim, duration=4.0, peer="cm"
+    )
+    injector = ChaosInjector(dep, schedule)
+    injector.start()
+    terminals = drive(dep, database, clients=4, duration=0.3)
+    assert sum(t.committed for t in terminals) > 30
+    # Long past the failure timeout: the detector declared the
+    # partitioned server failed and rebuilt its routes...
+    dep.run_for(5.0)
+    assert dep.astore.cm.rebuilds >= 1
+    # ...and after the window healed, it rejoined the fleet.
+    dep.run_for(2.0)
+    assert victim not in dep.astore.cm.failed_servers
+    assert dep.astore.servers[victim].reachable_from("cm")
+    assert check_ytd(dep)
+
+
+def test_total_log_outage_parks_commits_in_degraded_mode():
+    dep, database = build()
+    engine = dep.engine
+    observed = {}
+
+    def chaos(env):
+        yield env.timeout(0.05)
+        for server in dep.astore.servers.values():
+            server.crash()
+        yield env.timeout(1.0)  # well past several flush attempts
+        observed["degraded_during"] = engine.degraded
+        for server in dep.astore.servers.values():
+            server.restart()
+
+    def late_commit(env):
+        # Submitted mid-outage: group commit must park, not error.
+        yield env.timeout(0.1)
+        client = TpccClient(database, dep.seeds.stream("late-client"))
+        txn = engine.begin()
+        yield from client.txn_payment(txn)
+        yield from engine.commit(txn)
+        return True
+
+    dep.env.process(chaos(dep.env))
+    proc = dep.env.process(late_commit(dep.env))
+    dep.env.run_until_event(proc)
+    dep.run_for(2.0)
+    # The outage parked group commit (bounded retries), never killed it:
+    # once the fleet returned, the commit landed and degraded mode ended.
+    assert proc.value is True
+    assert observed["degraded_during"] is True
+    assert engine.flush_retries >= 1
+    assert engine.degraded_episodes >= 1
+    assert engine.degraded is False
+
+
+def test_chaos_soak_smoke_holds_invariants():
+    from repro.harness.soak import run_chaos_soak
+
+    report = run_chaos_soak(seed=3, short=True, horizon=0.9, terminals=2)
+    assert report["ok"], report["violations"]
+    assert report["committed"] > 200
+    assert len([l for l in report["chaos_log"] if "crashed AStore" in l]) >= 3
+    assert any("cluster manager" in l for l in report["chaos_log"])
+    assert any("partitioned" in l for l in report["chaos_log"])

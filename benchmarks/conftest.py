@@ -8,9 +8,24 @@ reports, and records headline numbers in ``benchmark.extra_info``.
 Run:  pytest benchmarks/ --benchmark-only
 """
 
+import json
+import os
 import sys
 
 import pytest
+
+
+def emit_bench_json(name, payload):
+    """Write ``benchmarks/BENCH_<name>.json`` (stable key order).
+
+    Machine-readable companion to the printed tables: CI and scripts can
+    diff or trend the headline numbers without scraping stdout.
+    """
+    path = os.path.join(os.path.dirname(__file__), "BENCH_%s.json" % name)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def print_table(title, headers, rows):

@@ -1,0 +1,153 @@
+"""Serving-layer scale-out: read QPS vs replica count, policy shoot-out.
+
+The paper's future-work standby instances exist to scale reads off the
+primary.  This benchmark shows the serving layer delivering that:
+
+- closed-loop read QPS grows with the replica fleet size (replicas are
+  CPU-bound at 2 cores, so added replicas are added capacity);
+- the lag-aware ``least-lag`` policy beats lag-blind ``round-robin`` on
+  read P95 when one replica applies REDO slowly, because sessions
+  carrying fresh commit tokens do not park on the laggard;
+- admission control sheds (bounded queue, nonzero rejects) instead of
+  queueing unboundedly when the read class is oversubscribed.
+
+Emits ``benchmarks/BENCH_serving.json`` with the headline numbers.
+"""
+
+import pytest
+from conftest import emit_bench_json, print_table
+
+from repro.common import MS
+from repro.frontend.serve import run_serving
+
+RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_json():
+    yield
+    if RESULTS:
+        emit_bench_json("serving", RESULTS)
+
+
+def test_read_qps_scales_with_replicas(benchmark):
+    def sweep():
+        points = {}
+        for replicas in (1, 2, 4):
+            report = run_serving(
+                seed=11, replicas=replicas, policy="round-robin",
+                duration=0.15, write_terminals=0, mixed_sessions=0,
+                read_sessions=10, chaos=False, replica_cores=2,
+            )
+            points[replicas] = report
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    qps = {n: p["reads"]["read_qps"] for n, p in points.items()}
+    print_table(
+        "Serving scale-out - closed-loop read QPS vs replicas "
+        "(10 sessions, 2-core replicas)",
+        ["replicas", "read QPS", "read P95 (ms)", "primary reads"],
+        [
+            (n, "%.0f" % qps[n],
+             "%.4f" % points[n]["reads"]["read_p95_ms"],
+             points[n]["reads"]["primary"])
+            for n in sorted(points)
+        ],
+    )
+    RESULTS["scale"] = {
+        "read_qps": qps,
+        "read_p95_ms": {
+            n: points[n]["reads"]["read_p95_ms"] for n in points
+        },
+    }
+    benchmark.extra_info.update(
+        {"qps_x1": round(qps[1]), "qps_x4": round(qps[4])}
+    )
+    # Every replica count stays correct...
+    assert all(p["ok"] for p in points.values())
+    # ...reads actually spread over the fleet...
+    assert all(v > 0 for v in points[4]["reads"]["per_replica"].values())
+    # ...and capacity scales: 4 replicas clearly beat 1 (and 2 sits
+    # between, monotone fleet scaling).
+    assert qps[4] > qps[2] > qps[1]
+    assert qps[4] > 1.5 * qps[1]
+
+
+def test_least_lag_beats_round_robin_on_read_p95(benchmark):
+    # One fresh replica (1 ms apply polls) and one laggard (12 ms):
+    # every read carries a just-committed token, so a lag-blind router
+    # keeps parking reads on the laggard's apply cadence.
+    def shootout():
+        reports = {}
+        for policy in ("round-robin", "least-lag"):
+            reports[policy] = run_serving(
+                seed=13, replicas=2, policy=policy, duration=0.15,
+                write_terminals=1, mixed_sessions=4, read_sessions=0,
+                chaos=False, apply_intervals=(1 * MS, 12 * MS),
+            )
+        return reports
+
+    reports = benchmark.pedantic(shootout, rounds=1, iterations=1)
+    rr, ll = reports["round-robin"], reports["least-lag"]
+    print_table(
+        "Routing policy shoot-out - uneven fleet (1 ms vs 12 ms apply)",
+        ["policy", "read P95 (ms)", "LSN waits", "wait P95 (ms)",
+         "lag bounces"],
+        [
+            (name,
+             "%.4f" % r["reads"]["read_p95_ms"],
+             r["consistency"]["lsn_waits"],
+             "%.4f" % r["consistency"]["lsn_wait_p95_ms"],
+             r["reads"]["bounces"]["lag_timeout"])
+            for name, r in (("round-robin", rr), ("least-lag", ll))
+        ],
+    )
+    RESULTS["policies"] = {
+        name: {
+            "read_p95_ms": r["reads"]["read_p95_ms"],
+            "lsn_waits": r["consistency"]["lsn_waits"],
+            "lsn_wait_p95_ms": r["consistency"]["lsn_wait_p95_ms"],
+        }
+        for name, r in reports.items()
+    }
+    benchmark.extra_info.update({
+        "round_robin_p95_ms": rr["reads"]["read_p95_ms"],
+        "least_lag_p95_ms": ll["reads"]["read_p95_ms"],
+    })
+    assert rr["ok"] and ll["ok"]
+    # The acceptance bar: lag-aware routing wins the read tail.
+    assert ll["reads"]["read_p95_ms"] < rr["reads"]["read_p95_ms"]
+    # And it wins by waiting on the fresh replica's cadence instead of
+    # the laggard's (not by bouncing everything to the primary).
+    assert ll["consistency"]["lsn_wait_p95_ms"] < \
+        rr["consistency"]["lsn_wait_p95_ms"]
+
+
+def test_admission_control_sheds_under_overload(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_serving(
+            seed=17, duration=0.15, write_terminals=1, mixed_sessions=1,
+            read_sessions=6, chaos=False, replica_cores=1,
+            read_limit=1, queue_limit=2, queue_timeout=2 * MS,
+        ),
+        rounds=1, iterations=1,
+    )
+    admission = report["admission"]
+    print_table(
+        "Admission control under read overload (limit=1, queue=2)",
+        ["admitted reads", "shed reads", "queue-full", "deadline",
+         "wait P95 (ms)"],
+        [(admission["admitted"]["read"], admission["shed"]["read"],
+          admission["queue_full"], admission["deadline"],
+          "%.4f" % admission["wait_p95_ms"])],
+    )
+    RESULTS["overload"] = {
+        "admitted_reads": admission["admitted"]["read"],
+        "rejects": admission["rejects"],
+        "queue_full": admission["queue_full"],
+        "deadline": admission["deadline"],
+    }
+    benchmark.extra_info["rejects"] = admission["rejects"]
+    assert admission["rejects"] > 0
+    assert report["ok"]  # shedding never breaks session consistency

@@ -25,6 +25,7 @@ from .common import (
     MS,
     PAGE_SIZE,
     US,
+    OverloadError,
     PageId,
     QueryError,
     ReproError,
@@ -44,6 +45,7 @@ __all__ = [
     "StorageError",
     "QueryError",
     "TransactionAborted",
+    "OverloadError",
     "KB",
     "MB",
     "GB",

@@ -8,6 +8,7 @@ Usage::
     python -m repro fig14 --queries 1,6,13,22
     python -m repro trace --out trace.json
     python -m repro chaos --seed 7 --short
+    python -m repro serve --seed 7 --replicas 2 --policy least-lag
     python -m repro all
 
 ``chaos`` runs the seeded chaos soak (:mod:`repro.harness.soak`): TPC-C
@@ -15,6 +16,13 @@ terminals under randomized server crashes, a CM outage, and a partial
 partition, followed by an engine crash/recovery and a durability audit.
 It prints a deterministic JSON report (same seed, byte-identical) and
 exits non-zero if any invariant was violated.
+
+``serve`` drives mixed TPC-C write + sysbench-style read traffic through
+the serving frontend (:mod:`repro.frontend`): a SQL proxy routes reads
+across a standby-replica fleet with read-your-writes session tokens
+while a chaos schedule kills and restarts a replica.  It prints a
+deterministic routing/lag/shed report and exits non-zero if any session
+observed a read older than its own commit token.
 
 ``trace`` runs a short TPC-C smoke workload with span tracing enabled and
 emits Chrome ``trace_event`` JSON (load it at ``chrome://tracing`` or
@@ -191,6 +199,33 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the serving-layer scenario and print its deterministic report."""
+    import json
+
+    from .frontend.serve import run_serving
+
+    report = run_serving(
+        seed=args.seed,
+        replicas=args.replicas,
+        policy=args.policy,
+        duration=args.duration,
+        chaos=not args.no_chaos,
+        read_limit=args.read_limit,
+        queue_limit=args.queue_limit,
+    )
+    print(json.dumps(report, sort_keys=True, indent=2))
+    if not report["ok"]:
+        print(
+            "serve FAILED: %d stale read(s), %d missing row(s)"
+            % (report["consistency"]["stale_reads"],
+               report["consistency"]["missing_rows"]),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_trace(args) -> None:
     """Run a traced TPC-C smoke workload and dump Chrome trace JSON."""
     from .harness.deployment import DeploymentSpec
@@ -248,6 +283,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--short", action="store_true",
         help="smaller horizon/terminal count (CI smoke mode)"
     )
+    serve_parser = sub.add_parser(
+        "serve", help="serving layer: proxied reads over a replica fleet"
+    )
+    serve_parser.add_argument("--seed", type=int, default=7)
+    serve_parser.add_argument("--replicas", type=int, default=2)
+    serve_parser.add_argument(
+        "--policy", default="least-lag",
+        choices=("round-robin", "least-lag", "p2c"),
+    )
+    serve_parser.add_argument("--duration", type=float, default=1.5,
+                              help="virtual seconds of mixed traffic")
+    serve_parser.add_argument("--no-chaos", action="store_true",
+                              help="skip the replica crash/restart schedule")
+    serve_parser.add_argument("--read-limit", type=int, default=None,
+                              help="admission concurrency cap for reads")
+    serve_parser.add_argument("--queue-limit", type=int, default=None,
+                              help="admission queue bound before shedding")
     trace_parser = sub.add_parser(
         "trace", help="emit a Chrome trace of a short TPC-C run"
     )
@@ -291,9 +343,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("  %-8s %s" % ("all", "run everything (slow)"))
         print("  %-8s %s" % ("trace", "Chrome trace of a short TPC-C run"))
         print("  %-8s %s" % ("chaos", "seeded chaos soak with invariant audit"))
+        print("  %-8s %s" % ("serve", "serving layer over a replica fleet"))
         return 0
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "trace":
         cmd_trace(args)
         return 0

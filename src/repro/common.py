@@ -25,6 +25,7 @@ __all__ = [
     "RecoveryError",
     "QueryError",
     "TransactionAborted",
+    "OverloadError",
 ]
 
 KB = 1024
@@ -98,6 +99,14 @@ class QueryError(ReproError):
 
 class TransactionAborted(ReproError):
     """The transaction was rolled back (deadlock victim or explicit)."""
+
+
+class OverloadError(ReproError):
+    """The serving frontend shed this request instead of queueing it.
+
+    Raised by admission control when a class's admission queue is full or
+    the request waited past its admission deadline.  Clients are expected
+    to back off and retry; the request never reached the engine."""
 
 
 @dataclass(frozen=True)

@@ -10,13 +10,19 @@ queries."  This module implements that standby:
   information (op row + logged before image) to keep secondary indexes
   correct without re-scanning;
 - reads go through its own small DRAM buffer pool, then the *shared* EBP
-  (read-only - the standby never writes pages back), then PageStore;
+  (read-only - the standby never writes pages back), then PageStore via
+  the primary's graceful-degradation read path (so an AStore outage
+  degrades the standby the same way it degrades the primary);
 - replication lag is explicit: the standby exposes ``applied_lsn`` and
-  reads are snapshot-consistent to that LSN.
+  reads are snapshot-consistent to that LSN;
+- it can *crash* (lose all volatile state) and *recover* by scanning
+  PageStore at the primary's durable tail, then rejoin the REDO feed -
+  the serving layer's replica fleet drives this cycle under chaos.
 
 The standby deliberately reuses the primary's catalog *schemas* but keeps
 fully independent indexes and page bookkeeping, so a primary crash never
-corrupts it.
+corrupts it.  ``sync_catalog`` mirrors lazily, so a standby built before
+the workload's tables exist picks them up on first touch.
 """
 
 from __future__ import annotations
@@ -55,14 +61,6 @@ class StandbyReplica:
         )
         self.cpu = CpuPool(env, cores=cores)
         self.catalog = Catalog()
-        # Mirror the primary's table definitions (schemas are immutable
-        # metadata; indexes and page bookkeeping stay independent).
-        for table in primary.catalog.tables():
-            mirrored = self.catalog.create_table(
-                table.name, table.schema, table.key_columns, table.priority
-            )
-            for name, index in table.secondary.items():
-                mirrored.add_secondary_index(name, list(index.columns))
         # Standby-local page images, applied from the REDO stream.
         self.pages: Dict[PageId, Page] = {}
         self.applied_lsn = 0
@@ -70,6 +68,39 @@ class StandbyReplica:
         self.buffer_pool = BufferPool(buffer_pool_bytes,
                                       page_size=primary.config.page_size)
         self._subscribed = False
+        #: False after :meth:`crash` until :meth:`recover` completes.
+        self.alive = True
+        #: Bumped by every crash; readers snapshot it to detect that a
+        #: result straddled a crash and must be discarded/rerouted.
+        self.epoch = 0
+        self.crashes = 0
+        self.recoveries = 0
+        self.sync_catalog()
+
+    def sync_catalog(self) -> None:
+        """Mirror primary table definitions created since the last sync.
+
+        Schemas are immutable metadata; indexes and page bookkeeping stay
+        independent.  Mirroring in creation order keeps tablespace numbers
+        aligned, which the REDO feed relies on (records address pages by
+        ``space_no``).
+        """
+        if len(self.catalog) == len(self.primary.catalog):
+            return
+        for table in self.primary.catalog.tables():
+            if table.name in self.catalog:
+                continue
+            mirrored = self.catalog.create_table(
+                table.name, table.schema, table.key_columns, table.priority
+            )
+            if mirrored.space_no != table.space_no:
+                raise QueryError(
+                    "standby tablespace drift: %s is space %d on the primary "
+                    "but %d here" % (table.name, table.space_no,
+                                     mirrored.space_no)
+                )
+            for name, index in table.secondary.items():
+                mirrored.add_secondary_index(name, list(index.columns))
 
     # ------------------------------------------------------------------
     # REDO subscription
@@ -93,10 +124,18 @@ class StandbyReplica:
         """
         while True:
             yield self.env.timeout(poll_interval)
+            if not self.alive:
+                continue
             batch = self.primary_records_after(self.applied_lsn)
             if not batch:
                 continue
+            epoch = self.epoch
             yield from self.cpu.consume(3 * US * len(batch))
+            if not self.alive or self.epoch != epoch:
+                # A crash landed while we were charging CPU for the batch:
+                # the volatile state it targeted is gone, so drop it -
+                # recovery re-reads everything from PageStore anyway.
+                continue
             for record in batch:
                 self._apply_record(record)
 
@@ -149,6 +188,11 @@ class StandbyReplica:
         if page is None:
             page = Page(record.page_id, size=self.primary.config.page_size)
             self.pages[record.page_id] = page
+        elif page.page_lsn >= record.lsn:
+            # ARIES-style redo check: the page image already reflects this
+            # record (a post-recovery PageStore scan included it), so the
+            # indexes rebuilt from that image do too - skip maintenance.
+            return
         table = self._table_for(record.page_id)
         op = record.op
         # Index maintenance BEFORE mutating the page (we may need the
@@ -186,10 +230,18 @@ class StandbyReplica:
                     if table.lookup(table.key_of(old_values)) is not None:
                         table.index_delete(old_values)
         apply_op(page, op, record.lsn)
+        if table is not None:
+            # Keep page bookkeeping live so standby SQL sequential scans
+            # see the same page set the primary does.
+            table.note_page(record.page_id.page_no, page.free_bytes)
         # Our page image supersedes any buffer-pool copy.
         self.buffer_pool.drop(record.page_id)
 
     def _table_for(self, page_id: PageId) -> Optional[Table]:
+        try:
+            return self.catalog.by_space(page_id.space_no)
+        except QueryError:
+            self.sync_catalog()
         try:
             return self.catalog.by_space(page_id.space_no)
         except QueryError:
@@ -199,7 +251,14 @@ class StandbyReplica:
     # Read path (the DBEngine read subset, standby-flavoured)
     # ------------------------------------------------------------------
     def fetch_page(self, page_id: PageId):
-        """Generator: local image -> BP -> shared EBP -> PageStore."""
+        """Generator: local image -> BP -> shared EBP -> PageStore.
+
+        The PageStore leg reuses the primary's graceful-degradation read
+        (``DBEngine._read_from_pagestore``): when an EBP miss is caused by
+        an AStore server death, the force-ship + retry loop there rides
+        out REDO apply lag exactly as it does for the primary, instead of
+        failing the standby read.
+        """
         local = self.pages.get(page_id)
         if local is not None:
             yield from self.cpu.consume(1 * US)
@@ -210,12 +269,13 @@ class StandbyReplica:
         if self.ebp is not None:
             page = yield from self.ebp.get_page(page_id, 0)
         if page is None:
-            page = yield from self.pagestore.read_page(page_id, min_lsn=0)
+            page = yield from self.primary._read_from_pagestore(page_id, 0)
         self.buffer_pool.put(page)
         return page
 
     def read_row(self, table_name: str, key: Tuple[Any, ...]):
         """Generator: snapshot point read at the standby's applied LSN."""
+        self.sync_catalog()
         table = self.catalog.table(table_name)
         yield from self.cpu.consume(self.primary.config.stmt_cpu)
         locator = table.lookup(key)
@@ -227,6 +287,63 @@ class StandbyReplica:
             return table.schema.decode(page.get(slot))
         except KeyError:
             return None
+
+    # ------------------------------------------------------------------
+    # Crash / recovery lifecycle (driven by the serving-layer fleet)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Power-fail the standby: all volatile state is lost.
+
+        The apply loop keeps running but idles until :meth:`recover`
+        flips ``alive`` back on; readers that were mid-flight observe the
+        epoch bump and discard their results.
+        """
+        self.alive = False
+        self.epoch += 1
+        self.crashes += 1
+        self.applied_lsn = 0
+        self.pages.clear()
+        self.buffer_pool.clear()
+        for table in self.catalog.tables():
+            table.clear_indexes()
+            table.free_hints.clear()
+            table.page_nos = []
+
+    def recover(self):
+        """Generator: rebuild from PageStore, then rejoin the REDO feed.
+
+        Scans every primary page through the primary's degraded-read path
+        at that page's authoritative version, rebuilds indexes from the
+        images, and resumes applying at the durable tail captured on
+        entry.  Soundness: a record with LSN <= that tail was applied to
+        the primary's page image before it became durable, so the
+        ``min_lsn``-forced scan reflects it; younger records re-apply
+        through the normal feed, where the page-LSN redo check skips any
+        already present in a scanned image.  Returns pages scanned.
+        """
+        recover_lsn = self.primary.log.persistent_lsn
+        self.sync_catalog()
+        pages_scanned = 0
+        for table in self.catalog.tables():
+            primary_table = self.primary.catalog.table(table.name)
+            for page_no in sorted(primary_table.page_nos):
+                page_id = PageId(table.space_no, page_no)
+                required = self.primary.page_versions.get(page_id, 0)
+                page = yield from self.primary._read_from_pagestore(
+                    page_id, required
+                )
+                self.pages[page_id] = page
+                table.note_page(page_no, page.free_bytes)
+                pages_scanned += 1
+                yield from self.cpu.consume(3 * US * max(1, page.row_count))
+                for slot, raw in page.slots():
+                    values = table.schema.decode(raw)
+                    if table.lookup(table.key_of(values)) is None:
+                        table.index_insert(values, (page_no, slot))
+        self.applied_lsn = recover_lsn
+        self.recoveries += 1
+        self.alive = True
+        return pages_scanned
 
     @property
     def lag_lsn(self) -> int:

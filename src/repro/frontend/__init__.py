@@ -1,0 +1,45 @@
+"""Serving frontend: SQL proxy, replica fleet, and admission control.
+
+The paper stops at the storage/engine boundary; this package adds the
+serving path its future-work section gestures at ("stand-by instances
+that serve read-only queries" from the shared EBP):
+
+- :mod:`repro.frontend.fleet` - a :class:`ReplicaFleet` of
+  :class:`repro.engine.standby.StandbyReplica` instances with health
+  sweeps, crash/restart cycling, and wait-for-LSN gating;
+- :mod:`repro.frontend.policies` - lag-aware balancing policies
+  (round-robin, least-lag, bounded-staleness power-of-two-choices);
+- :mod:`repro.frontend.admission` - per-class concurrency limits with a
+  deadline-bounded admission queue that sheds load via
+  :class:`repro.common.OverloadError`;
+- :mod:`repro.frontend.proxy` - the SQL-aware :class:`SqlProxy` that
+  owns client sessions, classifies statements, and enforces
+  read-your-writes session consistency with wait-for-LSN tokens;
+- :mod:`repro.frontend.serve` - the ``python -m repro serve`` scenario:
+  mixed write/read traffic through the proxy under replica chaos, with a
+  deterministic routing/lag/shed report.
+"""
+
+from .admission import AdmissionController
+from .fleet import ReplicaFleet, ReplicaHandle
+from .policies import (
+    LeastLagPolicy,
+    PowerOfTwoChoicesPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    make_policy,
+)
+from .proxy import ProxySession, SqlProxy
+
+__all__ = [
+    "AdmissionController",
+    "ReplicaFleet",
+    "ReplicaHandle",
+    "RoutingPolicy",
+    "RoundRobinPolicy",
+    "LeastLagPolicy",
+    "PowerOfTwoChoicesPolicy",
+    "make_policy",
+    "SqlProxy",
+    "ProxySession",
+]

@@ -1,0 +1,135 @@
+"""Admission control: per-class concurrency limits with load shedding.
+
+The proxy admits each request into a class ("read", "write", ...) whose
+concurrency is capped by a FIFO semaphore.  Requests beyond the cap wait
+in a *bounded* admission queue with a deadline; a request is shed with
+:class:`repro.common.OverloadError` - never queued unboundedly - when
+
+- the class's queue already holds ``queue_limit`` waiters, or
+- the request has waited ``queue_timeout`` without being granted a slot.
+
+Shedding is visible through the ``frontend.shedding`` gauge (the paper's
+serving tier must degrade predictably, not collapse), and admission wait
+time is recorded at ``frontend.admission_wait``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..common import OverloadError
+from ..obs import obs_of
+from ..sim.core import AnyOf, Environment, Timeout
+from ..sim.resources import Resource
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Deadline-bounded admission queues, one per request class."""
+
+    def __init__(
+        self,
+        env: Environment,
+        limits: Dict[str, int],
+        queue_limit: int = 64,
+        queue_timeout: float = 0.02,
+    ):
+        if not limits:
+            raise ValueError("need at least one admission class")
+        for cls, limit in limits.items():
+            if limit < 1:
+                raise ValueError(
+                    "admission limit for %r must be >= 1, got %r" % (cls, limit)
+                )
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        if queue_timeout <= 0:
+            raise ValueError("queue_timeout must be positive")
+        self.env = env
+        self.limits = dict(limits)
+        self.queue_limit = queue_limit
+        self.queue_timeout = queue_timeout
+        self._slots = {
+            cls: Resource(env, capacity=limit) for cls, limit in limits.items()
+        }
+        self.admitted = {cls: 0 for cls in limits}
+        self.shed = {cls: 0 for cls in limits}
+        self.shed_queue_full = 0
+        self.shed_deadline = 0
+        registry = obs_of(env).registry
+        self._wait = registry.latency("frontend.admission_wait")
+        registry.gauge("frontend.shedding", lambda: {
+            "active": int(self.is_shedding),
+            "rejects": self.rejects,
+            "queue_full": self.shed_queue_full,
+            "deadline": self.shed_deadline,
+        })
+        registry.gauge("frontend.admission", lambda: {
+            cls: {
+                "limit": self.limits[cls],
+                "in_flight": self._slots[cls].count,
+                "queued": self._slots[cls].queue_length,
+                "admitted": self.admitted[cls],
+                "shed": self.shed[cls],
+            }
+            for cls in sorted(self.limits)
+        })
+
+    @property
+    def rejects(self) -> int:
+        """Total requests shed across all classes."""
+        return sum(self.shed.values())
+
+    @property
+    def is_shedding(self) -> bool:
+        """True while any class's admission queue is at its bound."""
+        return any(
+            slot.queue_length >= self.queue_limit
+            for slot in self._slots.values()
+        )
+
+    def queue_length(self, cls: str) -> int:
+        return self._slots[cls].queue_length
+
+    def admit(self, cls: str):
+        """Generator: returns an admission ticket or raises OverloadError.
+
+        Pass the ticket back to :meth:`release` when the request leaves.
+        """
+        try:
+            slots = self._slots[cls]
+        except KeyError:
+            raise ValueError("unknown admission class %r" % cls)
+        if slots.queue_length >= self.queue_limit:
+            self.shed[cls] += 1
+            self.shed_queue_full += 1
+            raise OverloadError(
+                "admission queue for %r full (%d waiting)"
+                % (cls, slots.queue_length)
+            )
+        start = self.env.now
+        ticket = slots.request()
+        if not ticket.triggered:
+            deadline = Timeout(self.env, self.queue_timeout)
+            yield AnyOf(self.env, [ticket, deadline])
+            if not ticket.triggered:
+                # Never granted: leave the queue for good.  (A grant that
+                # raced the deadline leaves ``ticket.triggered`` set, and
+                # we take the admitted path above.)
+                ticket.cancel()
+                self.shed[cls] += 1
+                self.shed_deadline += 1
+                raise OverloadError(
+                    "admission wait for %r exceeded %.3fs"
+                    % (cls, self.queue_timeout)
+                )
+        else:
+            yield ticket
+        self._wait.record(self.env.now - start)
+        self.admitted[cls] += 1
+        return ticket
+
+    def release(self, cls: str, ticket) -> None:
+        """Return the concurrency slot held by ``ticket``."""
+        self._slots[cls].release(ticket)

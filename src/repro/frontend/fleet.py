@@ -1,0 +1,220 @@
+"""ReplicaFleet: N standby replicas with health sweeps and LSN gating.
+
+The fleet owns the :class:`repro.engine.standby.StandbyReplica` pool the
+proxy routes reads to.  Each replica is wrapped in a
+:class:`ReplicaHandle` carrying its admission state: a replica that
+crashes keeps its handle, but :meth:`health_sweep` (called by the AStore
+:class:`repro.astore.failure_detector.FailureDetector` each heartbeat
+round, or by the fleet's own sweep loop on stock deployments) *drains*
+it - no new reads are routed there until :meth:`restart` has replayed
+PageStore and the replica rejoins.
+
+Read-your-writes gating lives here too: :meth:`wait_for_lsn` parks a
+read on the virtual clock until the chosen replica's ``applied_lsn``
+reaches the session's commit token, giving up after a bounded wait so
+the proxy can bounce the read to the primary instead of stalling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..common import MS, StorageError
+from ..engine.standby import StandbyReplica
+from ..obs import obs_of
+from ..sim.core import Environment
+from .policies import RoutingPolicy
+
+__all__ = ["ReplicaHandle", "ReplicaFleet"]
+
+
+class ReplicaHandle:
+    """One fleet slot: the replica plus its routing/admission state."""
+
+    def __init__(self, index: int, replica: StandbyReplica):
+        self.index = index
+        self.replica_id = "replica-%d" % index
+        self.replica = replica
+        #: False while drained (crashed and not yet recovered).
+        self.admitted = True
+        self.inflight = 0
+        self.reads_served = 0
+
+    @property
+    def routable(self) -> bool:
+        return self.admitted and self.replica.alive
+
+    def __repr__(self) -> str:
+        return "<ReplicaHandle %s admitted=%s lag=%d>" % (
+            self.replica_id, self.admitted, self.replica.lag_lsn
+        )
+
+
+class ReplicaFleet:
+    """The standby pool behind the proxy's read path."""
+
+    def __init__(
+        self,
+        env: Environment,
+        primary,
+        count: int,
+        policy: RoutingPolicy,
+        use_ebp: bool = True,
+        buffer_pool_bytes: int = 16 * 1024 * 1024,
+        cores: int = 8,
+        apply_intervals: Optional[Sequence[float]] = None,
+        wait_poll: float = 0.5 * MS,
+    ):
+        if count < 1:
+            raise ValueError("a replica fleet needs at least one replica")
+        if apply_intervals is None:
+            apply_intervals = [2 * MS] * count
+        apply_intervals = list(apply_intervals)
+        if len(apply_intervals) != count:
+            raise ValueError(
+                "need one apply interval per replica (%d != %d)"
+                % (len(apply_intervals), count)
+            )
+        if any(interval <= 0 for interval in apply_intervals):
+            raise ValueError("apply intervals must be positive")
+        if wait_poll <= 0:
+            raise ValueError("wait_poll must be positive")
+        self.env = env
+        self.primary = primary
+        self.policy = policy
+        self.wait_poll = wait_poll
+        self.apply_intervals = apply_intervals
+        self.handles: List[ReplicaHandle] = [
+            ReplicaHandle(
+                index,
+                StandbyReplica(
+                    env, primary,
+                    buffer_pool_bytes=buffer_pool_bytes,
+                    cores=cores,
+                    use_ebp=use_ebp,
+                ),
+            )
+            for index in range(count)
+        ]
+        self._by_id: Dict[str, ReplicaHandle] = {
+            handle.replica_id: handle for handle in self.handles
+        }
+        self.drains = 0
+        self.rejoins = 0
+        self.failed_restarts = 0
+        self.lsn_waits = 0
+        self.lsn_wait_timeouts = 0
+        self._started = False
+        self._wait_latency = obs_of(env).registry.latency(
+            "frontend.fleet_lsn_wait"
+        )
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+    def __iter__(self):
+        return iter(self.handles)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, self_sweep_interval: Optional[float] = None) -> None:
+        """Subscribe every replica to the REDO feed.
+
+        Pass ``self_sweep_interval`` on deployments without a
+        FailureDetector; otherwise the detector calls
+        :meth:`health_sweep` on its own heartbeat cadence.
+        """
+        if self._started:
+            return
+        self._started = True
+        for handle, interval in zip(self.handles, self.apply_intervals):
+            handle.replica.start(poll_interval=interval)
+        if self_sweep_interval is not None:
+            self.env.process(
+                self._sweep_loop(self_sweep_interval), name="fleet-health"
+            )
+
+    def _sweep_loop(self, interval: float):
+        while True:
+            yield self.env.timeout(interval)
+            self.health_sweep()
+
+    def health_sweep(self) -> int:
+        """Drain handles whose replica died; returns how many."""
+        drained = 0
+        for handle in self.handles:
+            if handle.admitted and not handle.replica.alive:
+                handle.admitted = False
+                self.drains += 1
+                drained += 1
+        return drained
+
+    # ------------------------------------------------------------------
+    # Chaos entry points
+    # ------------------------------------------------------------------
+    def handle_of(self, replica_id: str) -> ReplicaHandle:
+        try:
+            return self._by_id[replica_id]
+        except KeyError:
+            raise KeyError(
+                "no replica %r (have %s)"
+                % (replica_id, ", ".join(sorted(self._by_id)))
+            )
+
+    def crash(self, replica_id: str) -> None:
+        """Power-fail one replica (the next health sweep drains it)."""
+        self.handle_of(replica_id).replica.crash()
+
+    def restart(self, replica_id: str) -> None:
+        """Kick off background recovery; the replica rejoins when done."""
+        handle = self.handle_of(replica_id)
+        self.env.process(
+            self._restart(handle), name="%s-recover" % replica_id
+        )
+
+    def _restart(self, handle: ReplicaHandle):
+        try:
+            yield from handle.replica.recover()
+        except StorageError:
+            # PageStore could not serve the rebuild (e.g. total outage
+            # mid-recovery): stay drained rather than rejoin half-built.
+            self.failed_restarts += 1
+            return
+        handle.admitted = True
+        self.rejoins += 1
+
+    # ------------------------------------------------------------------
+    # Routing support
+    # ------------------------------------------------------------------
+    def routable_handles(self) -> List[ReplicaHandle]:
+        return [handle for handle in self.handles if handle.routable]
+
+    def choose(self, session=None) -> Optional[ReplicaHandle]:
+        """Policy pick among routable replicas (None -> use the primary)."""
+        return self.policy.choose(self.routable_handles(), session)
+
+    def wait_for_lsn(self, handle: ReplicaHandle, lsn: int, max_wait: float):
+        """Generator: True once ``applied_lsn >= lsn``; False on timeout.
+
+        Also returns False if the replica dies or is drained while we
+        wait, so the caller reroutes instead of stalling on a corpse.
+        """
+        if handle.replica.applied_lsn >= lsn:
+            return True
+        self.lsn_waits += 1
+        start = self.env.now
+        deadline = start + max_wait
+        while handle.replica.applied_lsn < lsn:
+            if not handle.routable or self.env.now >= deadline:
+                self.lsn_wait_timeouts += 1
+                self._wait_latency.record(self.env.now - start)
+                return False
+            yield self.env.timeout(self.wait_poll)
+        self._wait_latency.record(self.env.now - start)
+        return True
+
+    def sync_catalogs(self) -> None:
+        """Mirror tables created on the primary after fleet construction."""
+        for handle in self.handles:
+            handle.replica.sync_catalog()

@@ -1,0 +1,296 @@
+"""SQL-aware serving proxy: session ownership and statement routing.
+
+:class:`SqlProxy` sits between clients and the deployment:
+
+- **classification**: SELECTs go to the replica fleet, everything else
+  (DML, explicit transactions) goes to the primary;
+- **session consistency**: every :class:`ProxySession` carries its last
+  commit LSN as a *wait-for-LSN token*.  A routed read first parks on
+  the chosen replica until ``applied_lsn`` catches the token
+  (``ReplicaFleet.wait_for_lsn``); if the replica cannot catch up within
+  the bounded wait - or dies mid-read (epoch bump) - the read is
+  rerouted, ultimately bouncing to the primary, so a session can never
+  observe a version older than its own writes;
+- **admission control**: reads and writes are admitted through the
+  :class:`repro.frontend.admission.AdmissionController` per-class
+  queues; shed requests surface as :class:`repro.common.OverloadError`
+  without touching the engine.
+
+Routing decisions, bounces, and per-replica serve counts are exposed via
+the ``frontend.proxy`` gauge; reads/writes record latency at
+``frontend.proxy_read`` / ``frontend.proxy_write``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..common import QueryError, StorageError
+from ..obs import obs_of
+from ..query.ast import Select
+from ..query.executor import QuerySession
+from ..query.parser import parse
+from ..query.planner import PlannerConfig
+from .admission import AdmissionController
+from .fleet import ReplicaFleet, ReplicaHandle
+
+__all__ = ["SqlProxy", "ProxySession"]
+
+#: Why a read landed on the primary instead of a replica.
+BOUNCE_REASONS = ("no_replica", "lag_timeout", "rerouted")
+
+
+class ProxySession:
+    """One client's session: its consistency token and route history."""
+
+    def __init__(self, proxy: "SqlProxy", name: str):
+        self.proxy = proxy
+        self.name = name
+        #: Wait-for-LSN token: the durable LSN of this session's last
+        #: commit.  Routed reads must not observe anything older.
+        self.last_commit_lsn = 0
+        #: Where the last read landed ("primary" or a replica id).
+        self.last_route: Optional[str] = None
+        self.reads = 0
+        self.writes = 0
+
+    def note_commit_lsn(self, lsn: int) -> None:
+        self.last_commit_lsn = max(self.last_commit_lsn, lsn)
+
+    # -- read path -----------------------------------------------------
+    def read_row(self, table: str, key):
+        """Generator: routed point read honouring the session token."""
+        return (
+            yield from self.proxy.routed_read(
+                self,
+                lambda handle: handle.replica.read_row(table, key),
+                lambda: self.proxy.engine.read_row(None, table, key),
+            )
+        )
+
+    def execute(self, sql: str):
+        """Generator: classify one SQL statement and route it."""
+        if isinstance(parse(sql), Select):
+            return (
+                yield from self.proxy.routed_read(
+                    self,
+                    lambda handle: self.proxy.replica_session(handle)
+                    .execute(sql),
+                    lambda: self.proxy.primary_session.execute(sql),
+                )
+            )
+        return (yield from self.run_write(self._primary_execute(sql)))
+
+    def _primary_execute(self, sql: str):
+        return (yield from self.proxy.primary_session.execute(sql))
+
+    # -- write path ----------------------------------------------------
+    def write(self, work):
+        """Generator: run ``work(txn)`` in a primary transaction.
+
+        Commits on success (advancing the session token to the commit
+        record's LSN), rolls back and re-raises on failure.
+        """
+        ticket = yield from self.proxy._admit(SqlProxy.WRITE_CLASS)
+        engine = self.proxy.engine
+        start = self.proxy.env.now
+        try:
+            txn = engine.begin()
+            try:
+                result = yield from work(txn)
+            except Exception:
+                yield from engine.rollback(txn)
+                raise
+            yield from engine.commit(txn)
+            self.note_commit_lsn(
+                max((record.lsn for record in txn.records),
+                    default=engine.log.persistent_lsn)
+            )
+            self.writes += 1
+            self.proxy.writes += 1
+            return result
+        finally:
+            self.proxy._write_latency.record(self.proxy.env.now - start)
+            self.proxy._release(SqlProxy.WRITE_CLASS, ticket)
+
+    def run_write(self, gen):
+        """Generator: admit an opaque write generator (e.g. a TPC-C
+        transaction that begins/commits internally) as this session's
+        write; the token advances to the durable tail afterwards."""
+        ticket = yield from self.proxy._admit(SqlProxy.WRITE_CLASS)
+        start = self.proxy.env.now
+        try:
+            result = yield from gen
+            self.note_commit_lsn(self.proxy.engine.log.persistent_lsn)
+            self.writes += 1
+            self.proxy.writes += 1
+            return result
+        finally:
+            self.proxy._write_latency.record(self.proxy.env.now - start)
+            self.proxy._release(SqlProxy.WRITE_CLASS, ticket)
+
+
+class SqlProxy:
+    """The serving frontend over one deployment."""
+
+    READ_CLASS = "read"
+    WRITE_CLASS = "write"
+
+    def __init__(
+        self,
+        env,
+        engine,
+        fleet: Optional[ReplicaFleet],
+        admission: Optional[AdmissionController] = None,
+        wait_timeout: float = 0.02,
+    ):
+        if wait_timeout <= 0:
+            raise ValueError("wait_timeout must be positive")
+        self.env = env
+        self.engine = engine
+        self.fleet = fleet
+        self.admission = admission
+        self.wait_timeout = wait_timeout
+        self.sessions = []
+        self.reads_replica = 0
+        self.reads_primary = 0
+        self.writes = 0
+        self.reroutes = 0
+        self.bounces = {reason: 0 for reason in BOUNCE_REASONS}
+        self.per_replica_reads: Dict[str, int] = {}
+        if fleet is not None:
+            self.per_replica_reads = {
+                handle.replica_id: 0 for handle in fleet.handles
+            }
+        self._replica_sessions: Dict[str, QuerySession] = {}
+        self._primary_session_cache: Optional[QuerySession] = None
+        registry = obs_of(env).registry
+        self._read_latency = registry.latency("frontend.proxy_read")
+        self._write_latency = registry.latency("frontend.proxy_write")
+        registry.gauge("frontend.proxy", lambda: {
+            "sessions": len(self.sessions),
+            "reads_replica": self.reads_replica,
+            "reads_primary": self.reads_primary,
+            "writes": self.writes,
+            "reroutes": self.reroutes,
+            "bounces": dict(self.bounces),
+            "per_replica_reads": dict(self.per_replica_reads),
+        })
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def session(self, name: Optional[str] = None) -> ProxySession:
+        if name is None:
+            name = "session-%d" % len(self.sessions)
+        session = ProxySession(self, name)
+        self.sessions.append(session)
+        return session
+
+    @property
+    def primary_session(self) -> QuerySession:
+        """A plain (no push-down) SQL session against the primary."""
+        if self._primary_session_cache is None:
+            self._primary_session_cache = QuerySession(
+                self.engine,
+                planner_config=PlannerConfig(enable_pushdown=False),
+            )
+        return self._primary_session_cache
+
+    def replica_session(self, handle: ReplicaHandle) -> QuerySession:
+        """The per-replica SQL session (SELECT-only, replica-local).
+
+        ``QuerySession``'s read path only touches ``engine.catalog``,
+        ``engine.fetch_page``, and ``engine.cpu``, all of which the
+        standby provides, so the same executor serves replica reads.
+        """
+        session = self._replica_sessions.get(handle.replica_id)
+        if session is None:
+            handle.replica.sync_catalog()
+            session = QuerySession(
+                handle.replica,
+                planner_config=PlannerConfig(enable_pushdown=False),
+            )
+            self._replica_sessions[handle.replica_id] = session
+        return session
+
+    # ------------------------------------------------------------------
+    # Admission plumbing
+    # ------------------------------------------------------------------
+    def _admit(self, cls: str):
+        if self.admission is None:
+            return None
+        return (yield from self.admission.admit(cls))
+
+    def _release(self, cls: str, ticket) -> None:
+        if ticket is not None:
+            self.admission.release(cls, ticket)
+
+    # ------------------------------------------------------------------
+    # Read routing
+    # ------------------------------------------------------------------
+    def routed_read(self, session: ProxySession, replica_fn, primary_fn):
+        """Generator: admit, route, and consistency-gate one read.
+
+        ``replica_fn(handle)`` / ``primary_fn()`` are generator factories
+        for the two destinations.
+        """
+        ticket = yield from self._admit(self.READ_CLASS)
+        start = self.env.now
+        try:
+            result = yield from self._route(session, replica_fn, primary_fn)
+            session.reads += 1
+            return result
+        finally:
+            self._read_latency.record(self.env.now - start)
+            self._release(self.READ_CLASS, ticket)
+
+    def _route(self, session: ProxySession, replica_fn, primary_fn):
+        for _attempt in range(2):
+            handle = self.fleet.choose(session) if self.fleet else None
+            if handle is None:
+                return (
+                    yield from self._primary_read(
+                        session, primary_fn, "no_replica"
+                    )
+                )
+            caught_up = yield from self.fleet.wait_for_lsn(
+                handle, session.last_commit_lsn, self.wait_timeout
+            )
+            if not caught_up:
+                return (
+                    yield from self._primary_read(
+                        session, primary_fn, "lag_timeout"
+                    )
+                )
+            epoch = handle.replica.epoch
+            handle.inflight += 1
+            failed = False
+            result = None
+            try:
+                result = yield from replica_fn(handle)
+            except (QueryError, StorageError, KeyError):
+                # A crash mid-read can yank catalog/index state out from
+                # under the executor; treat it like any other dead read.
+                failed = True
+            finally:
+                handle.inflight -= 1
+            if failed or handle.replica.epoch != epoch \
+                    or not handle.replica.alive:
+                # The replica died under us: the result (even a
+                # non-exceptional one) may predate the crash or come from
+                # half-rebuilt state - discard and try the next route.
+                self.reroutes += 1
+                continue
+            handle.reads_served += 1
+            self.reads_replica += 1
+            self.per_replica_reads[handle.replica_id] += 1
+            session.last_route = handle.replica_id
+            return result
+        return (yield from self._primary_read(session, primary_fn, "rerouted"))
+
+    def _primary_read(self, session: ProxySession, primary_fn, reason: str):
+        self.bounces[reason] += 1
+        self.reads_primary += 1
+        session.last_route = "primary"
+        return (yield from primary_fn())

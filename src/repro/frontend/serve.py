@@ -1,0 +1,356 @@
+"""``python -m repro serve``: mixed traffic through the serving proxy.
+
+The serving-layer acceptance scenario (and CLI verb): TPC-C write
+terminals, sysbench-style point/range read sessions, and *mixed*
+sessions that interleave writes with read-your-writes audits - all
+through :class:`repro.frontend.proxy.SqlProxy` over a replica fleet,
+while a scripted chaos schedule kills and restarts a replica mid-run.
+
+The audit checks the session-consistency invariant end to end: a mixed
+session remembers the versions it committed and asserts every routed
+read returns at least that version, no matter which replica served it or
+whether that replica crashed and rebuilt in between.  Everything runs on
+the virtual clock from named seed streams, so two runs with the same
+seed produce byte-identical reports (the CI determinism gate diffs
+them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..common import KB, MS, OverloadError, QueryError, TransactionAborted
+from ..engine.codec import INT, VARCHAR, Column, Schema
+from ..harness.chaos import ChaosInjector, ChaosSchedule
+from ..harness.deployment import DeploymentSpec
+from ..harness.stats import collect_stats
+from ..sim.core import AllOf
+from ..workloads.tpcc import TpccClient, TpccConfig, TpccDatabase
+
+__all__ = ["run_serving"]
+
+#: Keys in the sysbench-style read table.
+SERVE_KEYS = 120
+
+SERVE_TPCC = TpccConfig(
+    warehouses=2, districts_per_warehouse=3,
+    customers_per_district=8, items=40,
+)
+
+
+def _load_serve_table(dep) -> None:
+    """Create and preload the ``sbserve`` read table (version 0 rows)."""
+    engine = dep.engine
+    engine.create_table(
+        "sbserve",
+        Schema([
+            Column("k", INT()),
+            Column("version", INT()),
+            Column("pad", VARCHAR(64)),
+        ]),
+        ["k"],
+    )
+
+    def load():
+        txn = engine.begin()
+        for k in range(1, SERVE_KEYS + 1):
+            yield from engine.insert(txn, "sbserve", [k, 0, "x" * 40])
+        yield from engine.commit(txn)
+
+    proc = dep.env.process(load(), name="serve-load")
+    dep.env.run_until_event(proc)
+
+
+def _tpcc_driver(env, session, client, duration, stats):
+    """TPC-C terminal writing through the proxy's write class."""
+    deadline = env.now + duration
+    while env.now < deadline:
+        try:
+            yield from session.run_write(client.run_one())
+        except OverloadError:
+            stats["shed"] += 1
+            yield env.timeout(1 * MS)
+
+
+def _mixed_driver(env, session, engine, rng, duration, stats):
+    """Write keys, then audit read-your-writes through routed reads."""
+    last_written: Dict[int, int] = {}
+    deadline = env.now + duration
+    while env.now < deadline:
+        k = rng.randint(1, SERVE_KEYS)
+
+        def bump(txn, key=k):
+            row = yield from engine.read_row(
+                txn, "sbserve", (key,), for_update=True
+            )
+            next_version = row[1] + 1
+            yield from engine.update(
+                txn, "sbserve", (key,), {"version": next_version}
+            )
+            return next_version
+
+        try:
+            version = yield from session.write(bump)
+        except OverloadError:
+            stats["shed"] += 1
+            yield env.timeout(1 * MS)
+            continue
+        except (TransactionAborted, QueryError):
+            stats["aborted"] += 1
+            continue
+        last_written[k] = version
+        stats["writes"] += 1
+        for _ in range(rng.randint(1, 3)):
+            read_key = k if rng.random() < 0.5 else rng.randint(1, SERVE_KEYS)
+            try:
+                row = yield from session.read_row("sbserve", (read_key,))
+            except OverloadError:
+                stats["shed"] += 1
+                continue
+            stats["checks"] += 1
+            expect = last_written.get(read_key)
+            if row is None:
+                stats["missing_rows"] += 1
+                stats["violations"].append(
+                    "t=%.4f %s: key %d missing (route %s)"
+                    % (env.now, session.name, read_key, session.last_route)
+                )
+            elif expect is not None and row[1] < expect:
+                stats["stale_reads"] += 1
+                stats["violations"].append(
+                    "t=%.4f %s: key %d version %d < committed %d (route %s)"
+                    % (env.now, session.name, read_key, row[1], expect,
+                       session.last_route)
+                )
+
+
+def _read_driver(env, session, rng, duration, stats):
+    """Sysbench-style read-only session: point lookups + range aggregates."""
+    deadline = env.now + duration
+    while env.now < deadline:
+        try:
+            if rng.random() < 0.7:
+                row = yield from session.read_row(
+                    "sbserve", (rng.randint(1, SERVE_KEYS),)
+                )
+                if row is None:
+                    stats["missing_rows"] += 1
+            else:
+                low = rng.randint(1, SERVE_KEYS - 10)
+                yield from session.execute(
+                    "SELECT COUNT(*) AS n, SUM(version) AS total "
+                    "FROM sbserve WHERE k BETWEEN %d AND %d"
+                    % (low, low + 9)
+                )
+            stats["reads"] += 1
+        except OverloadError:
+            stats["shed"] += 1
+            yield env.timeout(0.5 * MS)
+
+
+def run_serving(
+    seed: int = 7,
+    replicas: int = 2,
+    policy: str = "least-lag",
+    duration: float = 1.5,
+    write_terminals: int = 2,
+    mixed_sessions: int = 3,
+    read_sessions: int = 4,
+    chaos: bool = True,
+    apply_intervals: Optional[Sequence[float]] = None,
+    staleness_bound: Optional[int] = None,
+    replica_cores: Optional[int] = None,
+    read_limit: Optional[int] = None,
+    write_limit: Optional[int] = None,
+    queue_limit: Optional[int] = None,
+    queue_timeout: Optional[float] = None,
+) -> Dict:
+    """Run one seeded serving scenario; returns a deterministic report.
+
+    ``report["ok"]`` is True iff the read-your-writes audit saw zero
+    stale or missing reads.  The admission overrides (``read_limit``
+    etc.) let overload experiments force shedding.
+    """
+    spec = DeploymentSpec.astore_ebp(
+        seed=seed, astore_servers=4
+    ).with_engine(
+        buffer_pool_bytes=48 * 16 * KB
+    ).with_replicas(
+        replicas,
+        policy=policy,
+        apply_intervals=apply_intervals,
+        staleness_bound=staleness_bound,
+        cores=replica_cores,
+    ).with_admission(
+        read_limit=read_limit,
+        write_limit=write_limit,
+        queue_limit=queue_limit,
+        queue_timeout=queue_timeout,
+    ).with_fault_tolerance(
+        heartbeat_interval=0.05, failure_timeout=0.15, lease_duration=2.0
+    )
+    dep = spec.build()
+    dep.start()
+    env = dep.env
+    proxy = dep.frontend
+
+    database = TpccDatabase(dep.engine, SERVE_TPCC,
+                            dep.seeds.stream("serve-tpcc-load"))
+    load = env.process(database.load(), name="serve-tpcc-load")
+    env.run_until_event(load)
+    _load_serve_table(dep)
+    dep.fleet.sync_catalogs()
+    # Sessions inherit the preload as their consistency floor: every
+    # routed read must at least see the version-0 rows.
+    preload_lsn = dep.engine.log.persistent_lsn
+
+    injector = None
+    victim = "replica-%d" % (replicas - 1)
+    if chaos:
+        schedule = ChaosSchedule()
+        schedule.add(duration * 0.30, "replica_crash", victim)
+        schedule.add(duration * 0.55, "replica_restart", victim)
+        injector = ChaosInjector(dep, schedule)
+        injector.start()
+
+    terminals = [
+        TpccClient(database, dep.seeds.stream("serve-terminal-%d" % i))
+        for i in range(write_terminals)
+    ]
+    tpcc_stats = {"shed": 0}
+    mixed_stats = [
+        {"writes": 0, "aborted": 0, "checks": 0, "stale_reads": 0,
+         "missing_rows": 0, "shed": 0, "violations": []}
+        for _ in range(mixed_sessions)
+    ]
+    read_stats = [
+        {"reads": 0, "missing_rows": 0, "shed": 0}
+        for _ in range(read_sessions)
+    ]
+
+    procs = []
+    for index, client in enumerate(terminals):
+        session = proxy.session("tpcc-%d" % index)
+        session.note_commit_lsn(preload_lsn)
+        procs.append(env.process(
+            _tpcc_driver(env, session, client, duration, tpcc_stats),
+            name="serve-tpcc-%d" % index,
+        ))
+    for index, stats in enumerate(mixed_stats):
+        session = proxy.session("mixed-%d" % index)
+        session.note_commit_lsn(preload_lsn)
+        procs.append(env.process(
+            _mixed_driver(env, session, dep.engine,
+                          dep.seeds.stream("serve-mixed-%d" % index),
+                          duration, stats),
+            name="serve-mixed-%d" % index,
+        ))
+    for index, stats in enumerate(read_stats):
+        session = proxy.session("read-%d" % index)
+        session.note_commit_lsn(preload_lsn)
+        procs.append(env.process(
+            _read_driver(env, session,
+                         dep.seeds.stream("serve-read-%d" % index),
+                         duration, stats),
+            name="serve-read-%d" % index,
+        ))
+    env.run_until_event(AllOf(env, procs))
+    # Settle: let replicas drain their lag and any restart finish.
+    env.run(until=env.now + 0.5)
+
+    registry = dep.registry
+    read_latency = registry.latency("frontend.proxy_read")
+    admission = dep.admission
+    fleet = dep.fleet
+    violations: List[str] = []
+    for stats in mixed_stats:
+        violations.extend(stats.pop("violations"))
+    total_reads = proxy.reads_replica + proxy.reads_primary
+    stale_reads = sum(s["stale_reads"] for s in mixed_stats)
+    missing_rows = (
+        sum(s["missing_rows"] for s in mixed_stats)
+        + sum(s["missing_rows"] for s in read_stats)
+    )
+    stats_snapshot = collect_stats(dep)
+
+    report = {
+        "seed": seed,
+        "policy": policy,
+        "replicas": replicas,
+        "duration": duration,
+        "chaos": bool(chaos),
+        "chaos_log": list(injector.log) if injector is not None else [],
+        "virtual_end": round(env.now, 6),
+        "tpcc": {
+            "committed": sum(t.committed for t in terminals),
+            "aborted": sum(t.aborted for t in terminals),
+            "shed": tpcc_stats["shed"],
+        },
+        "mixed": {
+            "writes": sum(s["writes"] for s in mixed_stats),
+            "aborted": sum(s["aborted"] for s in mixed_stats),
+            "checks": sum(s["checks"] for s in mixed_stats),
+            "shed": sum(s["shed"] for s in mixed_stats),
+        },
+        "reads": {
+            "total": total_reads,
+            "replica": proxy.reads_replica,
+            "primary": proxy.reads_primary,
+            "per_replica": dict(proxy.per_replica_reads),
+            "bounces": dict(proxy.bounces),
+            "reroutes": proxy.reroutes,
+            "read_only_session_reads":
+                sum(s["reads"] for s in read_stats),
+            "read_qps": round(total_reads / duration, 3),
+            "read_p95_ms": round(read_latency.percentile(95) * 1000, 4),
+        },
+        "consistency": {
+            "lsn_waits": fleet.lsn_waits,
+            "lsn_wait_timeouts": fleet.lsn_wait_timeouts,
+            "lsn_wait_p95_ms": round(
+                registry.latency("frontend.fleet_lsn_wait")
+                .percentile(95) * 1000, 4
+            ),
+            "checks": sum(s["checks"] for s in mixed_stats),
+            "stale_reads": stale_reads,
+            "missing_rows": missing_rows,
+        },
+        "fleet": {
+            "drains": fleet.drains,
+            "rejoins": fleet.rejoins,
+            "failed_restarts": fleet.failed_restarts,
+            "replicas": {
+                handle.replica_id: {
+                    "alive": handle.replica.alive,
+                    "admitted": handle.admitted,
+                    "applied_lsn": handle.replica.applied_lsn,
+                    "lag_lsn": handle.replica.lag_lsn,
+                    "reads_served": handle.reads_served,
+                    "crashes": handle.replica.crashes,
+                    "recoveries": handle.replica.recoveries,
+                }
+                for handle in fleet.handles
+            },
+        },
+        "admission": {
+            "admitted": dict(admission.admitted),
+            "shed": dict(admission.shed),
+            "rejects": admission.rejects,
+            "queue_full": admission.shed_queue_full,
+            "deadline": admission.shed_deadline,
+            "wait_p95_ms": round(
+                registry.latency("frontend.admission_wait")
+                .percentile(95) * 1000, 4
+            ),
+        },
+        "counters": {
+            "detector_replicas_drained":
+                dep.detector.replicas_drained if dep.detector else 0,
+            "ebp_hits": stats_snapshot["ebp"]["hits"],
+            "pagestore_page_reads":
+                stats_snapshot["pagestore"]["page_reads"],
+        },
+        "violations": violations,
+        "ok": stale_reads == 0 and missing_rows == 0,
+    }
+    return report

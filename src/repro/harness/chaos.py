@@ -46,6 +46,10 @@ class ChaosEvent:
       or "*" for everyone), then heal;
     - ``pagestore_crash`` / ``pagestore_restart`` - same for a PageStore
       data server (quorum replication absorbs one loss);
+    - ``replica_crash`` / ``replica_restart`` - power-fail / recover the
+      serving-layer standby named by ``target`` (e.g. ``replica-0``);
+      the failure detector drains it and the proxy reroutes its reads,
+      and a restart rebuilds from PageStore in the background;
     - ``network_spike`` - for ``duration`` seconds, multiply the RPC
       network's scheduling-stall probability by ``factor``.
     """
@@ -66,6 +70,8 @@ class ChaosEvent:
         "partition",
         "pagestore_crash",
         "pagestore_restart",
+        "replica_crash",
+        "replica_restart",
         "network_spike",
     )
 
@@ -169,6 +175,15 @@ class ChaosInjector:
             server = self._pagestore_server(event.target)
             server.alive = True
             self._note(env, "restarted PageStore %s" % event.target)
+        elif event.kind == "replica_crash":
+            self._fleet().crash(event.target)
+            self._note(env, "crashed replica %s" % event.target)
+        elif event.kind == "replica_restart":
+            self._fleet().restart(event.target)
+            self._note(
+                env, "restarted replica %s (rebuild in background)"
+                % event.target
+            )
         elif event.kind == "network_spike":
             network = dep.pagestore.network
             if not self._spike_factors:
@@ -193,6 +208,15 @@ class ChaosInjector:
         for factor in self._spike_factors:
             probability *= factor
         network.spike_probability = min(1.0, probability)
+
+    def _fleet(self):
+        fleet = getattr(self.deployment, "fleet", None)
+        if fleet is None:
+            raise ValueError(
+                "replica chaos needs a deployment with replicas "
+                "(DeploymentSpec.with_replicas)"
+            )
+        return fleet
 
     def _pagestore_server(self, server_id: str):
         for server in self.deployment.pagestore.servers:

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..astore.cluster import AStoreCluster
 from ..astore.failure_detector import FailureDetector
@@ -100,6 +100,24 @@ class DeploymentSpec:
     pagestore_segments: int = 12
     # Baseline LogStore.
     logstore_replicas: int = 3
+    # Serving layer (repro.frontend): replica fleet + proxy.
+    replicas: int = 0
+    replica_policy: str = "least-lag"
+    replica_cores: int = 8
+    replica_buffer_pool_bytes: int = 16 * MB
+    #: One REDO-poll interval per replica; None = 2 ms for all.
+    replica_apply_intervals: Optional[Tuple[float, ...]] = None
+    #: p2c bounded-staleness filter, in REDO bytes (None = unbounded).
+    replica_staleness_bound: Optional[int] = None
+    #: How long a routed read waits for the replica to reach the
+    #: session's commit LSN before bouncing to the primary.
+    replica_wait_timeout: float = 0.02
+    replica_wait_poll: float = 0.5e-3
+    # Admission control (active whenever replicas > 0).
+    admission_read_limit: int = 64
+    admission_write_limit: int = 32
+    admission_queue_limit: int = 64
+    admission_queue_timeout: float = 0.02
 
     def __post_init__(self) -> None:
         if self.ebp_policy not in ("flat", "priority"):
@@ -138,6 +156,44 @@ class DeploymentSpec:
                 "log_replication (%d) exceeds astore_servers (%d)"
                 % (self.log_replication, self.astore_servers)
             )
+        if self.replicas < 0:
+            raise ValueError(
+                "replicas must be >= 0, got %r" % self.replicas
+            )
+        if self.replicas:
+            from ..frontend.policies import POLICY_NAMES
+
+            if self.replica_policy not in POLICY_NAMES:
+                raise ValueError(
+                    "replica_policy must be one of %s, got %r"
+                    % (", ".join(POLICY_NAMES), self.replica_policy)
+                )
+            for name, value in (
+                ("replica_cores", self.replica_cores),
+                ("replica_buffer_pool_bytes", self.replica_buffer_pool_bytes),
+                ("replica_wait_timeout", self.replica_wait_timeout),
+                ("replica_wait_poll", self.replica_wait_poll),
+                ("admission_read_limit", self.admission_read_limit),
+                ("admission_write_limit", self.admission_write_limit),
+                ("admission_queue_timeout", self.admission_queue_timeout),
+            ):
+                if value <= 0:
+                    raise ValueError(
+                        "%s must be positive, got %r" % (name, value)
+                    )
+            if self.admission_queue_limit < 0:
+                raise ValueError("admission_queue_limit must be >= 0")
+            if self.replica_staleness_bound is not None \
+                    and self.replica_staleness_bound < 0:
+                raise ValueError("replica_staleness_bound must be >= 0")
+            if self.replica_apply_intervals is not None:
+                if len(self.replica_apply_intervals) != self.replicas:
+                    raise ValueError(
+                        "need one apply interval per replica (%d != %d)"
+                        % (len(self.replica_apply_intervals), self.replicas)
+                    )
+                if any(i <= 0 for i in self.replica_apply_intervals):
+                    raise ValueError("apply intervals must be positive")
 
     # ------------------------------------------------------------------
     # Builder methods (each returns a modified copy)
@@ -211,6 +267,58 @@ class DeploymentSpec:
             changes["astore_lease_duration"] = lease_duration
         if retry_policy is not None:
             changes["retry_policy"] = retry_policy
+        return dataclasses.replace(self, **changes)
+
+    def with_replicas(
+        self,
+        n: int,
+        policy: Optional[str] = None,
+        cores: Optional[int] = None,
+        buffer_pool_bytes: Optional[int] = None,
+        apply_intervals: Optional[Sequence[float]] = None,
+        staleness_bound: Optional[int] = None,
+        wait_timeout: Optional[float] = None,
+    ) -> "DeploymentSpec":
+        """Attach a serving-layer fleet of ``n`` standby replicas.
+
+        ``policy`` picks the read-balancing policy (round-robin,
+        least-lag, or p2c); ``apply_intervals`` sets per-replica REDO
+        poll cadence (heterogeneous values model unevenly-lagged
+        replicas); ``wait_timeout`` bounds the read-your-writes wait
+        before a read bounces to the primary.
+        """
+        changes: Dict[str, object] = {"replicas": n}
+        if policy is not None:
+            changes["replica_policy"] = policy
+        if cores is not None:
+            changes["replica_cores"] = cores
+        if buffer_pool_bytes is not None:
+            changes["replica_buffer_pool_bytes"] = buffer_pool_bytes
+        if apply_intervals is not None:
+            changes["replica_apply_intervals"] = tuple(apply_intervals)
+        if staleness_bound is not None:
+            changes["replica_staleness_bound"] = staleness_bound
+        if wait_timeout is not None:
+            changes["replica_wait_timeout"] = wait_timeout
+        return dataclasses.replace(self, **changes)
+
+    def with_admission(
+        self,
+        read_limit: Optional[int] = None,
+        write_limit: Optional[int] = None,
+        queue_limit: Optional[int] = None,
+        queue_timeout: Optional[float] = None,
+    ) -> "DeploymentSpec":
+        """Tune the proxy's per-class admission limits and queue bound."""
+        changes: Dict[str, object] = {}
+        if read_limit is not None:
+            changes["admission_read_limit"] = read_limit
+        if write_limit is not None:
+            changes["admission_write_limit"] = write_limit
+        if queue_limit is not None:
+            changes["admission_queue_limit"] = queue_limit
+        if queue_timeout is not None:
+            changes["admission_queue_timeout"] = queue_timeout
         return dataclasses.replace(self, **changes)
 
     def build(self) -> "Deployment":
@@ -322,6 +430,49 @@ class Deployment:
             self.pagestore,
             ebp=self.ebp,
         )
+        self.fleet = None
+        self.admission = None
+        self.frontend = None
+        if self.config.replicas > 0:
+            # Local imports: repro.frontend pulls in the query layer,
+            # which must not import the harness back at module load.
+            from ..frontend.admission import AdmissionController
+            from ..frontend.fleet import ReplicaFleet
+            from ..frontend.policies import make_policy
+            from ..frontend.proxy import SqlProxy
+
+            policy = make_policy(
+                self.config.replica_policy,
+                rng=self.seeds.stream("frontend-policy"),
+                staleness_bound=self.config.replica_staleness_bound,
+            )
+            self.fleet = ReplicaFleet(
+                self.env,
+                self.engine,
+                count=self.config.replicas,
+                policy=policy,
+                use_ebp=self.config.use_ebp,
+                buffer_pool_bytes=self.config.replica_buffer_pool_bytes,
+                cores=self.config.replica_cores,
+                apply_intervals=self.config.replica_apply_intervals,
+                wait_poll=self.config.replica_wait_poll,
+            )
+            self.admission = AdmissionController(
+                self.env,
+                limits={
+                    "read": self.config.admission_read_limit,
+                    "write": self.config.admission_write_limit,
+                },
+                queue_limit=self.config.admission_queue_limit,
+                queue_timeout=self.config.admission_queue_timeout,
+            )
+            self.frontend = SqlProxy(
+                self.env,
+                self.engine,
+                self.fleet,
+                admission=self.admission,
+                wait_timeout=self.config.replica_wait_timeout,
+            )
         self.detector: Optional[FailureDetector] = None
         self._started = False
         self._register_gauges()
@@ -421,6 +572,34 @@ class Deployment:
                 "cost_rejected",
             ):
                 reg.incr("query.pushdown." + name, 0)
+        if self.fleet is not None:
+            fleet = self.fleet
+            reg.gauge("frontend.fleet", lambda: {
+                "size": len(fleet.handles),
+                "routable": len(fleet.routable_handles()),
+                "drains": fleet.drains,
+                "rejoins": fleet.rejoins,
+                "failed_restarts": fleet.failed_restarts,
+                "lsn_waits": fleet.lsn_waits,
+                "lsn_wait_timeouts": fleet.lsn_wait_timeouts,
+            })
+            # Per-replica lag is first-class observability (satellite of
+            # the paper's standby future-work): applied/lag LSN gauges
+            # land in every harness.stats snapshot.
+            for handle in self.fleet.handles:
+                reg.gauge(
+                    "frontend.replicas.%s" % handle.replica_id,
+                    lambda h=handle: {
+                        "alive": h.replica.alive,
+                        "admitted": h.admitted,
+                        "applied_lsn": h.replica.applied_lsn,
+                        "lag_lsn": h.replica.lag_lsn,
+                        "records_applied": h.replica.records_applied,
+                        "reads_served": h.reads_served,
+                        "crashes": h.replica.crashes,
+                        "recoveries": h.replica.recoveries,
+                    },
+                )
         if self.ring is not None:
             ring = self.ring
             reg.gauge("segment_ring.appends", lambda: ring.appends)
@@ -454,9 +633,18 @@ class Deployment:
         self.pagestore.start_apply_daemon()
         if self.astore is not None:
             self.astore.start_maintenance(
-                cleanup_period=self.config.astore_cleanup_period, ebp=self.ebp
+                cleanup_period=self.config.astore_cleanup_period,
+                ebp=self.ebp,
+                fleet=self.fleet,
             )
             self.detector = self.astore.detector
+        if self.fleet is not None:
+            # Without a failure detector (stock deployments) the fleet
+            # sweeps its own health on the heartbeat cadence.
+            self.fleet.start(
+                self_sweep_interval=None if self.detector is not None
+                else self.config.astore_heartbeat_interval
+            )
 
     def run_until(self, event) -> None:
         self.env.run_until_event(event)
@@ -467,6 +655,15 @@ class Deployment:
     # ------------------------------------------------------------------
     # Query sessions
     # ------------------------------------------------------------------
+    def frontend_session(self, name: Optional[str] = None):
+        """A proxied client session (requires ``with_replicas``)."""
+        if self.frontend is None:
+            raise ValueError(
+                "this deployment has no serving frontend; build the spec "
+                "with .with_replicas(n)"
+            )
+        return self.frontend.session(name)
+
     def new_session(
         self,
         enable_pushdown: Optional[bool] = None,

@@ -36,8 +36,16 @@ class _Request(Event):
         self.cancelled = False
 
     def cancel(self) -> None:
-        """Withdraw an ungranted request (granted ones must be released)."""
+        """Withdraw an ungranted request (granted ones must be released).
+
+        Leaves the wait queue immediately so ``queue_length`` only counts
+        live waiters (admission control bounds its queue on it).
+        """
         self.cancelled = True
+        try:
+            self.resource._waiting.remove(self)
+        except ValueError:
+            pass  # already granted (in _users) or already drained
 
 
 class Resource:

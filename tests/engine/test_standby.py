@@ -201,3 +201,125 @@ def test_standby_works_on_stock_deployment_too():
         return (yield from standby.read_row("kv", (7,)))
 
     assert run(dep, work(dep.env)) == [7, 1, "ssd-path"]
+
+
+def test_standby_ebp_miss_after_astore_death_falls_back_to_pagestore():
+    # Satellite of the serving layer: when AStore dies, a standby EBP
+    # miss must ride the primary's graceful-degradation read path
+    # (PageStore force-ship + retry) instead of failing the read.
+    dep = build(engine=EngineConfig(buffer_pool_bytes=8 * 16 * KB))
+    engine = dep.engine
+
+    def load(env):
+        txn = engine.begin()
+        for i in range(40):
+            yield from engine.insert(txn, "kv", [i, 0, "v%d" % i])
+        yield from engine.commit(txn)
+        yield env.timeout(0.2)  # ship everything to PageStore
+
+    run(dep, load(dep.env))
+    # Fresh standby with NO local pages and no subscription: every read
+    # must fetch pages remotely.
+    standby = StandbyReplica(dep.env, engine, use_ebp=True,
+                             buffer_pool_bytes=64 * KB)
+    for server in dep.astore.servers.values():
+        server.crash()
+    reads_before = dep.pagestore.page_reads
+
+    def read(env):
+        primary_table = engine.catalog.table("kv")
+        locator = primary_table.lookup((11,))
+        page = yield from standby.fetch_page(
+            primary_table.page_id(locator[0])
+        )
+        return primary_table.schema.decode(page.get(locator[1]))
+
+    row = run(dep, read(dep.env))
+    assert row == [11, 0, "v11"]
+    assert dep.pagestore.page_reads > reads_before
+
+
+def test_standby_crash_loses_state_and_recover_rebuilds():
+    dep = build()
+    standby = make_standby(dep)
+    engine = dep.engine
+
+    def phase1(env):
+        txn = engine.begin()
+        for i in range(30):
+            yield from engine.insert(txn, "kv", [i, i % 4, "v%d" % i])
+        yield from engine.commit(txn)
+        yield env.timeout(0.05)
+
+    run(dep, phase1(dep.env))
+    assert standby.applied_lsn > 0
+
+    standby.crash()
+    assert not standby.alive
+    assert standby.epoch == 1
+    assert standby.applied_lsn == 0
+    assert standby.pages == {}
+    assert standby.catalog.table("kv").lookup((5,)) is None
+
+    # Writes that land WHILE the standby is down must be visible after
+    # recovery (they are part of the PageStore scan, not the feed).
+    def while_down(env):
+        txn = engine.begin()
+        yield from engine.update(txn, "kv", (5,), {"v": "post-crash"})
+        yield from engine.insert(txn, "kv", [100, 0, "new"])
+        yield from engine.commit(txn)
+        yield env.timeout(0.02)
+
+    run(dep, while_down(dep.env))
+
+    pages_scanned = run(dep, standby.recover())
+    assert pages_scanned > 0
+    assert standby.alive
+    assert standby.recoveries == 1
+    assert standby.applied_lsn > 0
+
+    def verify(env):
+        yield env.timeout(0.05)
+        five = yield from standby.read_row("kv", (5,))
+        hundred = yield from standby.read_row("kv", (100,))
+        return five, hundred
+
+    five, hundred = run(dep, verify(dep.env))
+    assert five == [5, 1, "post-crash"]
+    assert hundred == [100, 0, "new"]
+
+
+def test_standby_keeps_applying_after_recovery():
+    dep = build()
+    standby = make_standby(dep)
+    engine = dep.engine
+
+    def phase1(env):
+        txn = engine.begin()
+        for i in range(20):
+            yield from engine.insert(txn, "kv", [i, 0, "v"])
+        yield from engine.commit(txn)
+        yield env.timeout(0.05)
+
+    run(dep, phase1(dep.env))
+    standby.crash()
+    run(dep, standby.recover())
+    applied_at_recovery = standby.applied_lsn
+
+    # The feed resumes: post-recovery commits replay incrementally (no
+    # second PageStore scan) and secondary indexes stay correct.
+    def phase2(env):
+        txn = engine.begin()
+        yield from engine.update(txn, "kv", (3,), {"tag": 42})
+        yield from engine.insert(txn, "kv", [55, 42, "late"])
+        yield from engine.commit(txn)
+        yield env.timeout(0.05)
+        three = yield from standby.read_row("kv", (3,))
+        hits = standby.catalog.table("kv").lookup_secondary("by_tag", (42,))
+        return three, sorted(k[-1] for k, _ in hits)
+
+    three, tagged = run(dep, phase2(dep.env))
+    assert three[1] == 42
+    assert tagged == [3, 55]
+    assert standby.applied_lsn > applied_at_recovery
+    assert standby.recoveries == 1

@@ -1,0 +1,154 @@
+"""Tests for the serving frontend's admission controller."""
+
+import pytest
+
+from repro.common import OverloadError
+from repro.frontend.admission import AdmissionController
+from repro.sim.core import Environment
+
+
+def make_controller(**kwargs):
+    env = Environment()
+    kwargs.setdefault("limits", {"read": 2, "write": 1})
+    controller = AdmissionController(env, **kwargs)
+    return env, controller
+
+
+def run(env, gen, name="test"):
+    proc = env.process(gen, name=name)
+    env.run_until_event(proc)
+    return proc.value
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        AdmissionController(env, limits={})
+    with pytest.raises(ValueError):
+        AdmissionController(env, limits={"read": 0})
+    with pytest.raises(ValueError):
+        AdmissionController(env, limits={"read": 1}, queue_limit=-1)
+    with pytest.raises(ValueError):
+        AdmissionController(env, limits={"read": 1}, queue_timeout=0)
+
+
+def test_unknown_class_rejected():
+    env, controller = make_controller()
+
+    def work():
+        yield from controller.admit("analytics")
+
+    proc = env.process(work())
+    with pytest.raises(ValueError):
+        env.run_until_event(proc)
+
+
+def test_admits_within_limit_without_waiting():
+    env, controller = make_controller()
+
+    def work():
+        t1 = yield from controller.admit("read")
+        t2 = yield from controller.admit("read")
+        return t1, t2
+
+    t1, t2 = run(env, work())
+    assert controller.admitted["read"] == 2
+    assert controller.rejects == 0
+    controller.release("read", t1)
+    controller.release("read", t2)
+
+
+def test_queue_full_sheds_immediately():
+    env, controller = make_controller(
+        limits={"read": 1}, queue_limit=1, queue_timeout=1.0
+    )
+    outcomes = []
+
+    def holder():
+        yield from controller.admit("read")
+        yield env.timeout(10.0)  # never releases within the test window
+
+    def contender(tag):
+        try:
+            yield from controller.admit("read")
+            outcomes.append((tag, "admitted"))
+        except OverloadError:
+            outcomes.append((tag, "shed"))
+
+    env.process(holder())
+    env.run(until=0.001)
+    # First contender occupies the single queue slot; the second finds
+    # the queue full and is shed synchronously.
+    env.process(contender("first"))
+    env.process(contender("second"))
+    env.run(until=0.01)
+    assert ("second", "shed") in outcomes
+    assert controller.shed_queue_full == 1
+    assert controller.shed["read"] == 1
+    assert controller.rejects == 1
+
+
+def test_deadline_shed_and_is_shedding():
+    env, controller = make_controller(
+        limits={"read": 1}, queue_limit=4, queue_timeout=0.005
+    )
+    shed = []
+
+    def holder():
+        yield from controller.admit("read")
+        yield env.timeout(1.0)
+
+    def waiter():
+        try:
+            yield from controller.admit("read")
+        except OverloadError:
+            shed.append(env.now)
+
+    env.process(holder())
+    env.run(until=0.0001)
+    env.process(waiter())
+    env.run(until=0.02)
+    assert len(shed) == 1
+    assert shed[0] == pytest.approx(0.0001 + 0.005)
+    assert controller.shed_deadline == 1
+    # The queue drained when the waiter gave up.
+    assert controller.queue_length("read") == 0
+    assert not controller.is_shedding
+
+
+def test_release_restores_capacity():
+    env, controller = make_controller(limits={"write": 1}, queue_timeout=0.5)
+    order = []
+
+    def first():
+        ticket = yield from controller.admit("write")
+        yield env.timeout(0.01)
+        order.append("first-done")
+        controller.release("write", ticket)
+
+    def second():
+        ticket = yield from controller.admit("write")
+        order.append("second-admitted")
+        controller.release("write", ticket)
+
+    env.process(first())
+    env.run(until=0.001)
+    env.process(second())
+    env.run(until=0.1)
+    assert order == ["first-done", "second-admitted"]
+    assert controller.admitted["write"] == 2
+    assert controller.rejects == 0
+
+
+def test_shedding_gauge_snapshot():
+    from repro.obs import obs_of
+
+    env, controller = make_controller()
+    snap = obs_of(env).registry.snapshot()
+    shedding = snap["frontend"]["shedding"]
+    assert shedding == {
+        "active": 0, "rejects": 0, "queue_full": 0, "deadline": 0,
+    }
+    admission = snap["frontend"]["admission"]
+    assert admission["read"]["limit"] == 2
+    assert admission["write"]["in_flight"] == 0

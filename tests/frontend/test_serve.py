@@ -1,0 +1,84 @@
+"""Tests for the ``python -m repro serve`` scenario (determinism, overload)."""
+
+import pytest
+
+from repro.frontend.serve import run_serving
+
+# Small-but-real scenario: long enough to cross the chaos crash/restart
+# points (30% / 55% of the duration) with every driver class active.
+SMALL = dict(
+    seed=7, duration=0.25, write_terminals=1,
+    mixed_sessions=2, read_sessions=2,
+)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_serving(**SMALL)
+
+
+def test_serve_report_is_consistent_and_ok(small_report):
+    report = small_report
+    assert report["ok"] is True
+    assert report["violations"] == []
+    assert report["consistency"]["stale_reads"] == 0
+    assert report["consistency"]["missing_rows"] == 0
+    assert report["consistency"]["checks"] > 0
+    assert report["tpcc"]["committed"] > 0
+    assert report["mixed"]["writes"] > 0
+    assert report["reads"]["replica"] > 0
+    assert report["reads"]["total"] == (
+        report["reads"]["replica"] + report["reads"]["primary"]
+    )
+    assert sum(report["reads"]["per_replica"].values()) == \
+        report["reads"]["replica"]
+
+
+def test_serve_chaos_cycle_recovers(small_report):
+    report = small_report
+    assert len(report["chaos_log"]) == 2
+    assert "crashed replica replica-1" in report["chaos_log"][0]
+    fleet = report["fleet"]
+    assert fleet["drains"] == 1
+    assert fleet["rejoins"] == 1
+    assert fleet["failed_restarts"] == 0
+    victim = fleet["replicas"]["replica-1"]
+    assert victim["crashes"] == 1
+    assert victim["recoveries"] == 1
+    assert victim["alive"] is True
+    # The victim served reads (before the crash, after the rejoin, or
+    # both) and the detector - not a manual sweep - drained it.
+    assert victim["reads_served"] > 0
+    assert report["counters"]["detector_replicas_drained"] == 1
+
+
+def test_serve_is_deterministic(small_report):
+    again = run_serving(**SMALL)
+    assert again == small_report
+
+
+def test_serve_seed_changes_report(small_report):
+    other = run_serving(**dict(SMALL, seed=8))
+    assert other["seed"] == 8
+    assert other != small_report
+    # Different seed, same invariant.
+    assert other["ok"] is True
+
+
+def test_serve_overload_sheds_boundedly():
+    report = run_serving(
+        seed=17, duration=0.15, write_terminals=1,
+        mixed_sessions=1, read_sessions=6, chaos=False,
+        read_limit=1, queue_limit=2, queue_timeout=0.002,
+        replica_cores=1,
+    )
+    admission = report["admission"]
+    assert admission["rejects"] > 0
+    assert admission["rejects"] == (
+        admission["queue_full"] + admission["deadline"]
+    )
+    assert admission["shed"]["read"] > 0
+    # Shedding keeps the system correct: every admitted read still
+    # honoured its session token.
+    assert report["ok"] is True
+    assert report["reads"]["total"] > 0

@@ -9,6 +9,7 @@ Usage::
     python -m repro trace --out trace.json
     python -m repro chaos --seed 7 --short
     python -m repro serve --seed 7 --replicas 2 --policy least-lag
+    python -m repro perf --quick
     python -m repro all
 
 ``chaos`` runs the seeded chaos soak (:mod:`repro.harness.soak`): TPC-C
@@ -23,6 +24,12 @@ across a standby-replica fleet with read-your-writes session tokens
 while a chaos schedule kills and restarts a replica.  It prints a
 deterministic routing/lag/shed report and exits non-zero if any session
 observed a read older than its own commit token.
+
+``perf`` runs the wall-clock performance harness
+(:mod:`repro.harness.perfbench`): kernel microbench plus TPC-C/chaos/serve
+macro slices, reporting events/sec, sim-to-wall ratio, and peak RSS.  It
+writes ``benchmarks/BENCH_wallclock.json`` and exits non-zero if the
+same-seed determinism gate (double-run report digests) fails.
 
 ``trace`` runs a short TPC-C smoke workload with span tracing enabled and
 emits Chrome ``trace_event`` JSON (load it at ``chrome://tracing`` or
@@ -226,6 +233,13 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    """Run the wall-clock perf harness (kernel microbench + macro slices)."""
+    from .harness.perfbench import run_perf
+
+    return run_perf(quick=args.quick, profile=args.profile, out=args.out)
+
+
 def cmd_trace(args) -> None:
     """Run a traced TPC-C smoke workload and dump Chrome trace JSON."""
     from .harness.deployment import DeploymentSpec
@@ -300,6 +314,15 @@ def build_parser() -> argparse.ArgumentParser:
                               help="admission concurrency cap for reads")
     serve_parser.add_argument("--queue-limit", type=int, default=None,
                               help="admission queue bound before shedding")
+    perf_parser = sub.add_parser(
+        "perf", help="wall-clock perf harness: events/sec + determinism gate"
+    )
+    perf_parser.add_argument("--quick", action="store_true",
+                             help="fewer kernel reps (CI smoke mode)")
+    perf_parser.add_argument("--profile", action="store_true",
+                             help="print cProfile top frames of the microbench")
+    perf_parser.add_argument("--out", default="benchmarks/BENCH_wallclock.json",
+                             help="where to write the JSON report")
     trace_parser = sub.add_parser(
         "trace", help="emit a Chrome trace of a short TPC-C run"
     )
@@ -344,11 +367,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("  %-8s %s" % ("trace", "Chrome trace of a short TPC-C run"))
         print("  %-8s %s" % ("chaos", "seeded chaos soak with invariant audit"))
         print("  %-8s %s" % ("serve", "serving layer over a replica fleet"))
+        print("  %-8s %s" % ("perf", "wall-clock perf harness (events/sec)"))
         return 0
     if args.command == "chaos":
         return cmd_chaos(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "perf":
+        return cmd_perf(args)
     if args.command == "trace":
         cmd_trace(args)
         return 0

@@ -76,37 +76,45 @@ class MetricsRegistry:
         self._names[name] = kind
 
     def latency(self, name: str) -> LatencyRecorder:
-        """Get-or-create the latency recorder at ``name``."""
-        recorder = self._latencies.get(name)
-        if recorder is None:
+        """Get-or-create the latency recorder at ``name``.
+
+        The hit path is a single dict subscript (try/except is free when
+        no exception is raised); registration runs once per name.
+        """
+        try:
+            return self._latencies[name]
+        except KeyError:
             self._register(name, "latency")
-            recorder = LatencyRecorder(name)
-            self._latencies[name] = recorder
-        return recorder
+            recorder = self._latencies[name] = LatencyRecorder(name)
+            return recorder
 
     def meter(self, name: str) -> ThroughputMeter:
         """Get-or-create the throughput meter at ``name``."""
-        meter = self._meters.get(name)
-        if meter is None:
+        try:
+            return self._meters[name]
+        except KeyError:
             self._register(name, "meter")
-            meter = ThroughputMeter(name)
-            self._meters[name] = meter
-        return meter
+            meter = self._meters[name] = ThroughputMeter(name)
+            return meter
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Increment the integer counter at ``name`` (creating it at 0)."""
-        if name not in self._counter_names:
-            self._register(name, "counter")
-            self._counter_names[name] = None
-        self._counters.incr(name, amount)
+        values = self._counters._values
+        if name in values:
+            values[name] = values[name] + amount
+            return
+        self._register(name, "counter")
+        self._counter_names[name] = None
+        values[name] = amount
 
     def add(self, name: str, value: float) -> None:
         """Add ``value`` to the float accumulator at ``name``."""
-        current = self._adders.get(name)
-        if current is None:
-            self._register(name, "adder")
-            current = 0.0
-        self._adders[name] = current + value
+        adders = self._adders
+        if name in adders:
+            adders[name] = adders[name] + value
+            return
+        self._register(name, "adder")
+        adders[name] = value
 
     def gauge(self, name: str, fn: Callable[[], Any]) -> None:
         """Register (or replace) a gauge sampled at snapshot time."""

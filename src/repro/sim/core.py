@@ -13,6 +13,25 @@ The kernel is deliberately small and deterministic:
   a fixed RNG seed always produces byte-identical results.
 - There is no wall-clock anywhere; ``env.now`` is a float number of seconds.
 
+Fast path
+---------
+Most of the event traffic in a database simulation is *same-tick* control
+flow: resource grants, process bootstraps, interrupts, and resumptions of
+processes that yielded an already-processed event.  All of these are
+scheduled with delay 0 at the current virtual time, which means their
+``(time, seq)`` keys are appended in already-sorted order.  The kernel
+therefore routes them into a bounded FIFO trampoline (a plain ``deque``)
+instead of the heap, and :meth:`Environment.step` services whichever of
+{trampoline front, heap top} has the smaller ``(time, seq)`` key.
+
+Because sequence numbers are allocated at exactly the same points as before
+and both containers drain in global ``(time, seq)`` order, the service order
+— and therefore every simulated result — is byte-identical to a pure-heap
+kernel.  The trampoline only removes per-event ``heappush``/``heappop`` work
+and (for process resumptions) the throwaway ``Event`` allocation.  If the
+trampoline is full, entries overflow to the heap, which is merely slower,
+never different.
+
 Example
 -------
 >>> env = Environment()
@@ -27,7 +46,8 @@ Example
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -41,6 +61,12 @@ __all__ = [
     "SimulationError",
     "with_timeout",
 ]
+
+#: Trampoline bound: beyond this many queued same-tick entries, scheduling
+#: falls back to the heap (identical order, just O(log n) again).  The bound
+#: only guards pathological same-tick storms from growing an unbounded deque
+#: next to an already-bounded heap.
+_FAST_BOUND = 8192
 
 
 class SimulationError(RuntimeError):
@@ -70,11 +96,14 @@ class Event:
     yielding them.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
         self._ok = True
+        self._defused = False
 
     # -- inspection -------------------------------------------------------
     @property
@@ -99,13 +128,22 @@ class Event:
         return self._value
 
     # -- triggering -------------------------------------------------------
-    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+    def succeed(self, value: Any = None, delay: float = 0.0,
+                _len=len) -> "Event":
         """Trigger the event successfully with ``value``."""
         if self._value is not PENDING:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, delay)
+        # Inlined _schedule: succeed() fires on every process completion,
+        # store hand-off, and condition resolution.
+        env = self.env
+        seq = env._seq
+        env._seq = seq + 1
+        if delay == 0.0 and _len(env._fast) < _FAST_BOUND:
+            env._fast.append((env._now, seq, self, None))
+        else:
+            _heappush(env._queue, (env._now + delay, seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -130,14 +168,25 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed virtual-time delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError("negative delay: %r" % delay)
-        super().__init__(env)
-        self._ok = True
+        # Flattened Event.__init__ and _schedule — a Timeout is born
+        # triggered, and timeouts are the single most common schedule.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
         self.delay = delay
-        env._schedule(self, delay)
+        seq = env._seq
+        env._seq = seq + 1
+        if delay == 0.0 and len(env._fast) < _FAST_BOUND:
+            env._fast.append((env._now, seq, self, None))
+        else:
+            _heappush(env._queue, (env._now + delay, seq, self))
 
 
 class Process(Event):
@@ -148,19 +197,38 @@ class Process(Event):
     re-raised by :meth:`Environment.run` if nobody waits).
     """
 
+    __slots__ = ("_generator", "_send", "_throw", "_name", "_target")
+
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
-        super().__init__(env)
-        if not hasattr(generator, "send"):
+        # Flattened Event.__init__ — short-lived processes are churned by
+        # the thousand in fan-out paths.
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
+        try:
+            self._send = generator.send
+            self._throw = generator.throw
+        except AttributeError:
             raise TypeError("process requires a generator, got %r" % (generator,))
         self._generator = generator
-        self.name = name or getattr(generator, "__name__", "process")
+        self._name = name
         self._target: Optional[Event] = None
-        # Bootstrap: resume the generator at the current time.
-        init = Event(env)
-        init._ok = True
-        init._value = None
-        init.callbacks.append(self._resume)
-        env._schedule(init, 0.0)
+        # Bootstrap: resume the generator at the current time (same-tick
+        # trampoline entry; consumes one sequence number like the old
+        # bootstrap Event did).
+        seq = env._seq
+        env._seq = seq + 1
+        if len(env._fast) < _FAST_BOUND:
+            env._fast.append((env._now, seq, self, (True, None, False)))
+        else:
+            env._schedule_overflow(self, seq, True, None, False)
+
+    @property
+    def name(self) -> str:
+        """Diagnostic name, resolved lazily (off the spawn hot path)."""
+        return self._name or getattr(self._generator, "__name__", "process")
 
     @property
     def is_alive(self) -> bool:
@@ -168,82 +236,151 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if not self.is_alive:
+        if self._value is not PENDING:
             return
-        event = Event(self.env)
-        event._ok = False
-        event._value = Interrupt(cause)
-        event._defused = True  # consumed by the interrupted process
-        event.callbacks.append(self._resume)
-        self.env._schedule(event, 0.0)
+        # Pre-defused: the interrupt is consumed by the interrupted process,
+        # or dropped silently if the process terminated in the meantime.
+        self.env._schedule_resume(self, False, Interrupt(cause), True)
 
-    def _resume(self, event: Event) -> None:
+    def _resume(self, event: Event, _PENDING=PENDING) -> None:
         # An interrupt may race with the target event; if we already
         # terminated, drop it silently.
-        if not self.is_alive:
+        if self._value is not _PENDING:
             return
         # Detach from the event we were waiting on (relevant for interrupts).
-        if self._target is not None and self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                target.callbacks.remove(self)
             except ValueError:
                 pass
         self._target = None
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
             if event._ok:
-                result = self._generator.send(event._value)
+                result = self._send(event._value)
             else:
                 event._defused = True
-                result = self._generator.throw(event._value)
+                result = self._throw(event._value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate via event
-            self.env._active_process = None
+            env._active_process = None
             self.fail(exc)
             return
-        self.env._active_process = None
-        if not isinstance(result, Event):
+        env._active_process = None
+        try:
+            rcb = result.callbacks
+        except AttributeError:
             self._generator.throw(
                 SimulationError("process yielded non-event %r" % (result,))
             )
             return
-        if result.callbacks is None:
-            # Already processed: resume immediately (next tick, same time).
-            follow = Event(self.env)
-            follow._ok = result._ok
-            follow._value = result._value
+        if rcb is None:
+            # Already processed: resume next tick (same time) via the
+            # trampoline — no follow Event, no heap round-trip.
             if not result._ok:
                 result._defused = True
-            follow.callbacks.append(self._resume)
-            self.env._schedule(follow, 0.0)
+            env._schedule_resume(self, result._ok, result._value, False)
         else:
-            result.callbacks.append(self._resume)
+            # The process object itself is the waiter registration: flush
+            # sites recognise ``cb.__class__ is Process`` and resume it,
+            # so no bound-method object is ever allocated.
+            rcb.append(self)
+            self._target = result
+
+    def _resume_fast(self, ok: bool, value: Any, defused: bool) -> None:
+        """Service a trampoline resume entry.
+
+        Semantically identical to :meth:`Environment.step` flushing a
+        one-callback Event whose sole callback is :meth:`_resume`: a dead
+        process swallows the resume unless it carries an undefused failure,
+        which then propagates out of the event loop exactly as an unwaited
+        failed event would.
+        """
+        if self._value is not PENDING:
+            if not ok and not defused:
+                raise value
+            return
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self)
+            except ValueError:
+                pass
+        self._target = None
+        env = self.env
+        env._active_process = self
+        try:
+            if ok:
+                result = self._send(value)
+            else:
+                result = self._throw(value)
+        except StopIteration as stop:
+            env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            env._active_process = None
+            self.fail(exc)
+            return
+        env._active_process = None
+        try:
+            rcb = result.callbacks
+        except AttributeError:
+            self._generator.throw(
+                SimulationError("process yielded non-event %r" % (result,))
+            )
+            return
+        if rcb is None:
+            if not result._ok:
+                result._defused = True
+            env._schedule_resume(self, result._ok, result._value, False)
+        else:
+            rcb.append(self)
             self._target = result
 
 
 class _Condition(Event):
     """Base for AllOf / AnyOf composite events."""
 
+    __slots__ = ("events",)
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
-        super().__init__(env)
+        # Flattened Event.__init__ (conditions are churned in fan-out and
+        # with_timeout paths).
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.events = list(events)
         for event in self.events:
             if event.env is not env:
                 raise SimulationError("events from different environments")
+        self._init_state()
+        check = self._check  # bind once, not once per constituent
         for event in self.events:
-            if event.processed:
-                self._check(event)
+            if event.callbacks is None:
+                check(event)
             else:
-                event.callbacks.append(self._check)
+                event.callbacks.append(check)
         if not self.events and self._value is PENDING:
             self.succeed({})
 
+    def _init_state(self) -> None:
+        """Subclass hook run before any ``_check`` can fire."""
+
     def _collect(self) -> dict:
+        # ``callbacks is None`` is the processed check, inlined past the
+        # property (this runs once per firing over every constituent).
         return {
-            event: event._value for event in self.events if event.processed and event._ok
+            event: event._value
+            for event in self.events
+            if event.callbacks is None and event._ok
         }
 
     def _check(self, event: Event) -> None:
@@ -253,6 +390,15 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Fires once every constituent event has fired."""
 
+    __slots__ = ("_pending",)
+
+    def _init_state(self) -> None:
+        # Countdown of constituents still outstanding: each one calls
+        # ``_check`` exactly once (at construction if already processed,
+        # else as its callback), so total fan-in work is O(n), not the
+        # O(n^2) of rescanning ``self.events`` on every arrival.
+        self._pending = len(self.events)
+
     def _check(self, event: Event) -> None:
         if self._value is not PENDING:
             return
@@ -260,12 +406,15 @@ class AllOf(_Condition):
             event._defused = True
             self.fail(event._value)
             return
-        if all(e.processed for e in self.events):
+        self._pending -= 1
+        if self._pending == 0:
             self.succeed(self._collect())
 
 
 class AnyOf(_Condition):
     """Fires as soon as one constituent event fires."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self._value is not PENDING:
@@ -313,11 +462,30 @@ def with_timeout(env: "Environment", target, seconds: Optional[float],
 
 
 class Environment:
-    """Virtual-time event loop."""
+    """Virtual-time event loop.
+
+    Two internal containers hold scheduled work, both keyed by
+    ``(time, seq)``:
+
+    - ``_queue``: the classic binary heap, for events with a positive delay.
+    - ``_fast``: the same-tick FIFO trampoline (see module docstring), for
+      delay-0 schedules.  Entries are ``(time, seq, obj, payload)`` where
+      ``payload`` is ``None`` for a plain event flush or an
+      ``(ok, value, defused)`` triple for an allocation-free process resume.
+
+    ``step`` services the globally smallest ``(time, seq)`` key across both,
+    so the drain order is identical to a single-heap kernel.
+    """
+
+    # Hot attributes live in slots; ``__dict__`` stays available as the
+    # extension point upper layers rely on (``env.obs``, ``env._txn_ids``).
+    __slots__ = ("_now", "_queue", "_fast", "_seq", "_active_process",
+                 "__dict__")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List = []  # heap of (time, seq, event)
+        self._fast: deque = deque()  # sorted (time, seq, obj, payload)
         self._seq = 0
         self._active_process: Optional[Process] = None
 
@@ -334,11 +502,52 @@ class Environment:
     def event(self) -> Event:
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+    def timeout(self, delay: float, value: Any = None,
+                _new=object.__new__, _len=len) -> Timeout:
+        # Builds the Timeout inline (object.__new__ is a C call) so the
+        # hottest factory in the codebase costs one Python frame, not two.
+        if delay < 0:
+            raise ValueError("negative delay: %r" % delay)
+        t = _new(Timeout)
+        t.env = self
+        t.callbacks = []
+        t._value = value
+        t._ok = True
+        t._defused = False
+        t.delay = delay
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0.0 and _len(self._fast) < _FAST_BOUND:
+            self._fast.append((self._now, seq, t, None))
+        else:
+            _heappush(self._queue, (self._now + delay, seq, t))
+        return t
 
-    def process(self, generator: Generator, name: str = "") -> Process:
-        return Process(self, generator, name=name)
+    def process(self, generator: Generator, name: str = "",
+                _new=object.__new__, _len=len) -> Process:
+        # Same single-frame construction as timeout(); Process.__init__
+        # stays for direct instantiation.
+        p = _new(Process)
+        p.env = self
+        p.callbacks = []
+        p._value = PENDING
+        p._ok = True
+        p._defused = False
+        try:
+            p._send = generator.send
+            p._throw = generator.throw
+        except AttributeError:
+            raise TypeError("process requires a generator, got %r" % (generator,))
+        p._generator = generator
+        p._name = name
+        p._target = None
+        seq = self._seq
+        self._seq = seq + 1
+        if _len(self._fast) < _FAST_BOUND:
+            self._fast.append((self._now, seq, p, (True, None, False)))
+        else:
+            self._schedule_overflow(p, seq, True, None, False)
+        return p
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -347,22 +556,84 @@ class Environment:
         return AnyOf(self, events)
 
     # -- scheduling -------------------------------------------------------
-    def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
-        self._seq += 1
+    def _schedule(self, event: Event, delay: float = 0.0, _len=len) -> None:
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0.0:
+            fast = self._fast
+            if _len(fast) < _FAST_BOUND:
+                # Appended keys are nondecreasing (time never goes backward,
+                # seq is monotone), so the deque stays sorted by (time, seq).
+                fast.append((self._now, seq, event, None))
+                return
+        _heappush(self._queue, (self._now + delay, seq, event))
+
+    def _schedule_resume(self, process: Process, ok: bool, value: Any,
+                         defused: bool, _len=len) -> None:
+        """Schedule a same-tick process resume without allocating an Event."""
+        seq = self._seq
+        self._seq = seq + 1
+        fast = self._fast
+        if _len(fast) < _FAST_BOUND:
+            fast.append((self._now, seq, process, (ok, value, defused)))
+            return
+        self._schedule_overflow(process, seq, ok, value, defused)
+
+    def _schedule_overflow(self, process: Process, seq: int, ok: bool,
+                           value: Any, defused: bool) -> None:
+        """Trampoline overflow: heap-schedule a resume event (same key,
+        same semantics, just slower)."""
+        event = Event(self)
+        event._ok = ok
+        event._value = value
+        event._defused = defused
+        event.callbacks.append(process)
+        _heappush(self._queue, (self._now, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        fast = self._fast
+        queue = self._queue
+        if fast:
+            if queue and queue[0][0] < fast[0][0]:
+                return queue[0][0]
+            return fast[0][0]
+        return queue[0][0] if queue else float("inf")
 
     def step(self) -> None:
         """Process the single next event."""
-        time, _, event = heapq.heappop(self._queue)
+        fast = self._fast
+        queue = self._queue
+        if fast:
+            entry = fast[0]
+            if not queue or entry[0] < queue[0][0] or (
+                entry[0] == queue[0][0] and entry[1] < queue[0][1]
+            ):
+                del fast[0]
+                self._now = entry[0]
+                obj = entry[2]
+                payload = entry[3]
+                if payload is None:
+                    callbacks, obj.callbacks = obj.callbacks, None
+                    for callback in callbacks:
+                        if callback.__class__ is Process:
+                            callback._resume(obj)
+                        else:
+                            callback(obj)
+                    if not obj._ok and not obj._defused:
+                        raise obj._value
+                else:
+                    obj._resume_fast(payload[0], payload[1], payload[2])
+                return
+        time, _, event = _heappop(queue)
         self._now = time
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
-            callback(event)
-        if not event._ok and not getattr(event, "_defused", False):
+            if callback.__class__ is Process:
+                callback._resume(event)
+            else:
+                callback(event)
+        if not event._ok and not event._defused:
             raise event._value
 
     def run_until_event(self, event: Event) -> Any:
@@ -371,10 +642,8 @@ class Environment:
         Returns the event's value (raises if the event failed and the value
         is an exception).
         """
-        while not event.processed:
-            if not self._queue:
-                raise SimulationError("queue drained before event fired")
-            self.step()
+        if not event.processed:
+            self._run_core(None, event)
         if not event._ok:
             raise event._value
         return event._value
@@ -383,10 +652,146 @@ class Environment:
         """Run until the queue drains or virtual time reaches ``until``."""
         if until is not None and until < self._now:
             raise ValueError("until (%r) is in the past (now=%r)" % (until, self._now))
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self._now = until
+        self._run_core(until, None)
+
+    def _run_core(self, until: Optional[float], stop: Optional[Event],
+                  _PENDING=PENDING, _len=len) -> None:
+        """The event loop shared by :meth:`run` and :meth:`run_until_event`.
+
+        One inlined body services both containers and — for the dominant
+        case of an event with exactly one waiter (a process, registered in
+        ``callbacks`` as the object itself) — drives the generator directly,
+        skipping callback dispatch and the ``_resume`` frame.  The inline
+        path replicates :meth:`Process._resume` and the post-flush failure
+        check of :meth:`step` statement for statement; any other callback
+        shape falls back to the generic flush.
+        """
+        fast = self._fast
+        queue = self._queue
+        _Process = Process
+        while True:
+            if stop is not None and stop.callbacks is None:
                 return
-            self.step()
+            # -- pick the globally smallest (time, seq) entry --------------
+            if fast:
+                entry = fast.popleft()
+                if queue:
+                    head = queue[0]
+                    if head[0] < entry[0] or (
+                        head[0] == entry[0] and head[1] < entry[1]
+                    ):
+                        fast.appendleft(entry)  # heap wins this round
+                        entry = None
+            elif queue:
+                entry = None
+            else:
+                if stop is not None:
+                    raise SimulationError("queue drained before event fired")
+                break
+            event = None
+            if entry is not None:
+                # Trampoline entries live at the current time, which never
+                # exceeds ``until`` while heap service below guards it.
+                self._now = entry[0]
+                payload = entry[3]
+                if payload is None:
+                    event = entry[2]
+                else:
+                    proc = entry[2]
+                    ok, value, defused = payload
+            else:
+                head = queue[0]
+                if until is not None and head[0] > until:
+                    self._now = until
+                    return
+                _heappop(queue)
+                self._now = head[0]
+                event = head[2]
+            # -- flush -----------------------------------------------------
+            if event is not None:
+                callbacks = event.callbacks
+                event.callbacks = None
+                if _len(callbacks) == 1:
+                    cb = callbacks[0]
+                    if cb.__class__ is _Process:
+                        # Single waiter is a process: resume inline.
+                        proc = cb
+                        ok = event._ok
+                        value = event._value
+                        defused = False
+                    else:
+                        cb(event)
+                        if not event._ok and not event._defused:
+                            raise event._value
+                        continue
+                else:
+                    for cb in callbacks:
+                        if cb.__class__ is _Process:
+                            cb._resume(event)
+                        else:
+                            cb(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    continue
+            # -- inline resume (mirrors Process._resume / _resume_fast) ----
+            if proc._value is not _PENDING:
+                # Dead process: drop the resume; an undefused failure
+                # propagates exactly as an unwaited failed event would.
+                if event is None:
+                    if not ok and not defused:
+                        raise value
+                elif not ok and not event._defused:
+                    raise value
+                continue
+            target = proc._target
+            if target is not None and target.callbacks is not None:
+                try:
+                    target.callbacks.remove(proc)
+                except ValueError:
+                    pass
+            proc._target = None
+            self._active_process = proc
+            try:
+                if ok:
+                    result = proc._send(value)
+                else:
+                    if event is not None:
+                        event._defused = True
+                    result = proc._throw(value)
+            except StopIteration as stop_exc:
+                self._active_process = None
+                # Inlined succeed(): the process is alive (checked above),
+                # so the double-trigger guard is redundant.
+                proc._value = stop_exc.value
+                seq = self._seq
+                self._seq = seq + 1
+                if _len(fast) < _FAST_BOUND:
+                    fast.append((self._now, seq, proc, None))
+                else:
+                    _heappush(queue, (self._now, seq, proc))
+                continue
+            except BaseException as exc:  # noqa: BLE001 - propagate via event
+                self._active_process = None
+                proc.fail(exc)
+                continue
+            self._active_process = None
+            # Duck check instead of isinstance: yielding anything without
+            # ``callbacks`` is the non-event misuse case (try/except is
+            # zero-cost on the happy path), and one attribute load serves
+            # both the processed check and the waiter registration.
+            try:
+                rcb = result.callbacks
+            except AttributeError:
+                proc._generator.throw(
+                    SimulationError("process yielded non-event %r" % (result,))
+                )
+                continue
+            if rcb is None:
+                if not result._ok:
+                    result._defused = True
+                self._schedule_resume(proc, result._ok, result._value, False)
+            else:
+                rcb.append(proc)
+                proc._target = result
         if until is not None:
             self._now = until

@@ -13,17 +13,50 @@ from typing import Dict, Iterable, List, Optional
 __all__ = ["LatencyRecorder", "ThroughputMeter", "Counter", "summarize", "geomean"]
 
 
+def _interpolate(ordered: List[float], pct: float) -> float:
+    """Linear-interpolated percentile over an already-sorted sample list."""
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    if ordered[low] == ordered[high]:
+        return ordered[low]
+    frac = rank - low
+    # a + f*(b-a) keeps interpolation monotone in f under floats.
+    value = ordered[low] + frac * (ordered[high] - ordered[low])
+    return min(max(value, ordered[low]), ordered[high])
+
+
 class LatencyRecorder:
-    """Collects latency samples (seconds) and reports summary statistics."""
+    """Collects latency samples (seconds) and reports summary statistics.
+
+    Percentile queries sort at most once per batch of new samples: the
+    sorted view is cached and invalidated on :meth:`record` (and, as a
+    safety net, whenever the cache length no longer matches ``samples``,
+    so direct appends to the public list stay correct).  ``mean`` still
+    sums the samples in insertion order — summing the sorted view would
+    change the floating-point rounding of previously published reports.
+    """
 
     def __init__(self, name: str = ""):
         self.name = name
         self.samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
 
     def record(self, latency: float) -> None:
         if latency < 0:
             raise ValueError("negative latency sample")
         self.samples.append(latency)
+        self._sorted = None
+
+    def _ordered(self) -> List[float]:
+        ordered = self._sorted
+        if ordered is None or len(ordered) != len(self.samples):
+            ordered = self._sorted = sorted(self.samples)
+        return ordered
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -40,11 +73,13 @@ class LatencyRecorder:
 
     @property
     def maximum(self) -> float:
-        return max(self.samples) if self.samples else 0.0
+        ordered = self._ordered()
+        return ordered[-1] if ordered else 0.0
 
     @property
     def minimum(self) -> float:
-        return min(self.samples) if self.samples else 0.0
+        ordered = self._ordered()
+        return ordered[0] if ordered else 0.0
 
     def percentile(self, pct: float) -> float:
         """Linear-interpolated percentile, pct in [0, 100]."""
@@ -52,20 +87,7 @@ class LatencyRecorder:
             return 0.0
         if not 0.0 <= pct <= 100.0:
             raise ValueError("percentile out of range: %r" % pct)
-        ordered = sorted(self.samples)
-        if len(ordered) == 1:
-            return ordered[0]
-        rank = (pct / 100.0) * (len(ordered) - 1)
-        low = int(math.floor(rank))
-        high = int(math.ceil(rank))
-        if low == high:
-            return ordered[low]
-        if ordered[low] == ordered[high]:
-            return ordered[low]
-        frac = rank - low
-        # a + f*(b-a) keeps interpolation monotone in f under floats.
-        value = ordered[low] + frac * (ordered[high] - ordered[low])
-        return min(max(value, ordered[low]), ordered[high])
+        return _interpolate(self._ordered(), pct)
 
     @property
     def p50(self) -> float:
@@ -80,13 +102,18 @@ class LatencyRecorder:
         return self.percentile(99)
 
     def summary(self) -> Dict[str, float]:
+        """All summary statistics from one sorted pass (one sort, cached)."""
+        ordered = self._ordered()
+        if not ordered:
+            return {"count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0, "max": 0.0}
         return {
-            "count": float(self.count),
+            "count": float(len(ordered)),
             "mean": self.mean,
-            "p50": self.p50,
-            "p95": self.p95,
-            "p99": self.p99,
-            "max": self.maximum,
+            "p50": _interpolate(ordered, 50),
+            "p95": _interpolate(ordered, 95),
+            "p99": _interpolate(ordered, 99),
+            "max": ordered[-1],
         }
 
 

@@ -15,14 +15,25 @@ The canonical usage pattern is::
 
 or the :meth:`Resource.locked` context-generator helper used throughout the
 code base.
+
+Grant fast path: an uncontended ``request()`` (and every grant in
+``_grant_next``) triggers the request inline — setting ``_ok``/``_value``
+directly instead of going through :meth:`Event.succeed`'s already-triggered
+guard — and the kernel routes the resulting delay-0 schedule through its
+same-tick trampoline.  The grant still consumes a sequence number at exactly
+the same point, so FIFO order and same-tick tie-breaks are byte-identical to
+the slow path.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Deque, List, Optional, Tuple
 
+from .core import PENDING as _PENDING
 from .core import Environment, Event, SimulationError
+from .core import _FAST_BOUND
 
 __all__ = ["Resource", "PriorityResource", "Store", "CpuPool", "Mutex"]
 
@@ -30,8 +41,16 @@ __all__ = ["Resource", "PriorityResource", "Store", "CpuPool", "Mutex"]
 class _Request(Event):
     """A pending claim on a resource; fires when the claim is granted."""
 
+    __slots__ = ("resource", "cancelled")
+
     def __init__(self, env: Environment, resource: "Resource"):
-        super().__init__(env)
+        # Flattened Event.__init__: requests are created on every
+        # resource/CPU acquisition.
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
         self.cancelled = False
 
@@ -51,6 +70,8 @@ class _Request(Event):
 class Resource:
     """A FIFO resource with fixed capacity (e.g. device channels)."""
 
+    __slots__ = ("env", "capacity", "_users", "_waiting")
+
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -69,29 +90,74 @@ class Resource:
         """Number of requests waiting for a free slot."""
         return len(self._waiting)
 
-    def request(self) -> _Request:
-        req = _Request(self.env, self)
-        if len(self._users) < self.capacity:
+    def request(self, _new=object.__new__, _len=len) -> _Request:
+        # Built via object.__new__ (one Python frame, not two) — requests
+        # are churned on every CPU/device acquisition.
+        env = self.env
+        req = _new(_Request)
+        req.env = env
+        req.callbacks = []
+        req._value = _PENDING
+        req._ok = True
+        req._defused = False
+        req.resource = self
+        req.cancelled = False
+        if _len(self._users) < self.capacity:
+            # Uncontended grant: trigger inline (the request is freshly
+            # created, so succeed()'s double-trigger guard is redundant)
+            # and schedule straight onto the same-tick trampoline.
             self._users.append(req)
-            req.succeed(req)
+            req._value = req
+            seq = env._seq
+            env._seq = seq + 1
+            if _len(env._fast) < _FAST_BOUND:
+                env._fast.append((env._now, seq, req, None))
+            else:
+                _heappush(env._queue, (env._now, seq, req))
         else:
             self._waiting.append(req)
         return req
 
-    def release(self, request: _Request) -> None:
+    def release(self, request: _Request, _len=len) -> None:
         try:
             self._users.remove(request)
         except ValueError:
             raise SimulationError("release of a request that is not held")
-        self._grant_next()
-
-    def _grant_next(self) -> None:
-        while self._waiting and len(self._users) < self.capacity:
-            req = self._waiting.popleft()
+        # Inlined _grant_next() — release is as hot as request(), and the
+        # common case grants zero or one waiter.  PriorityResource overrides
+        # release() to route through its own grant loop.
+        waiting = self._waiting
+        users = self._users
+        env = self.env
+        while waiting and _len(users) < self.capacity:
+            req = waiting.popleft()
             if req.cancelled:
                 continue
-            self._users.append(req)
-            req.succeed(req)
+            users.append(req)
+            req._value = req
+            seq = env._seq
+            env._seq = seq + 1
+            if _len(env._fast) < _FAST_BOUND:
+                env._fast.append((env._now, seq, req, None))
+            else:
+                _heappush(env._queue, (env._now, seq, req))
+
+    def _grant_next(self) -> None:
+        waiting = self._waiting
+        users = self._users
+        env = self.env
+        while waiting and len(users) < self.capacity:
+            req = waiting.popleft()
+            if req.cancelled:
+                continue
+            users.append(req)
+            req._value = req
+            seq = env._seq
+            env._seq = seq + 1
+            if len(env._fast) < _FAST_BOUND:
+                env._fast.append((env._now, seq, req, None))
+            else:
+                _heappush(env._queue, (env._now, seq, req))
 
     def locked(self, inner):
         """Run generator ``inner`` while holding one slot of the resource.
@@ -110,6 +176,8 @@ class Resource:
 class Mutex(Resource):
     """A capacity-1 resource; named for readability at call sites."""
 
+    __slots__ = ()
+
     def __init__(self, env: Environment):
         super().__init__(env, capacity=1)
 
@@ -120,6 +188,8 @@ class PriorityResource(Resource):
     Ties are FIFO (a sequence number preserves arrival order).
     """
 
+    __slots__ = ("_pq", "_pseq")
+
     def __init__(self, env: Environment, capacity: int = 1):
         super().__init__(env, capacity)
         self._pq: List[Tuple[float, int, _Request]] = []
@@ -129,36 +199,57 @@ class PriorityResource(Resource):
         req = _Request(self.env, self)
         if len(self._users) < self.capacity and not self._pq:
             self._users.append(req)
-            req.succeed(req)
+            req._value = req
+            self.env._schedule(req, 0.0)
         else:
-            import heapq
-
-            heapq.heappush(self._pq, (priority, self._pseq, req))
+            _heappush(self._pq, (priority, self._pseq, req))
             self._pseq += 1
         return req
 
-    def _grant_next(self) -> None:  # type: ignore[override]
-        import heapq
+    def release(self, request: _Request) -> None:  # type: ignore[override]
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise SimulationError("release of a request that is not held")
+        self._grant_next()
 
+    def _grant_next(self) -> None:  # type: ignore[override]
         while self._pq and len(self._users) < self.capacity:
-            _, _, req = heapq.heappop(self._pq)
+            _, _, req = _heappop(self._pq)
             if req.cancelled:
                 continue
             self._users.append(req)
-            req.succeed(req)
+            req._value = req
+            self.env._schedule(req, 0.0)
 
     @property
     def queue_length(self) -> int:  # type: ignore[override]
         return len(self._pq)
 
 
+class _StoreGet(Event):
+    """A pending take from a :class:`Store` (real slot for ``cancelled``)."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
+        self.cancelled = False
+
+
 class Store:
     """An unbounded FIFO message queue between processes."""
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env: Environment):
         self.env = env
         self._items: Deque[Any] = deque()
-        self._getters: Deque[Event] = deque()
+        self._getters: Deque[_StoreGet] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -167,18 +258,39 @@ class Store:
         """Deposit an item; wakes one waiting getter immediately."""
         while self._getters:
             getter = self._getters.popleft()
-            if getattr(getter, "cancelled", False):
+            if getter.cancelled:
                 continue
-            getter.succeed(item)
+            # Inlined succeed(): the getter is pending by construction.
+            getter._value = item
+            env = self.env
+            seq = env._seq
+            env._seq = seq + 1
+            if len(env._fast) < _FAST_BOUND:
+                env._fast.append((env._now, seq, getter, None))
+            else:
+                _heappush(env._queue, (env._now, seq, getter))
             return
         self._items.append(item)
 
-    def get(self) -> Event:
+    def get(self, _new=object.__new__) -> Event:
         """Return an event that fires with the next item."""
-        event = Event(self.env)
+        event = _new(_StoreGet)
+        event.env = self.env
+        event.callbacks = []
+        event._value = _PENDING
+        event._ok = True
+        event._defused = False
         event.cancelled = False
         if self._items:
-            event.succeed(self._items.popleft())
+            # Inlined succeed() on the uncontended take.
+            event._value = self._items.popleft()
+            env = event.env
+            seq = env._seq
+            env._seq = seq + 1
+            if len(env._fast) < _FAST_BOUND:
+                env._fast.append((env._now, seq, event, None))
+            else:
+                _heappush(env._queue, (env._now, seq, event))
         else:
             self._getters.append(event)
         return event
@@ -199,6 +311,8 @@ class CpuPool:
     I/O scheduling) and is what produces the CPU-bound throughput plateaus
     the paper reports.
     """
+
+    __slots__ = ("env", "cores", "_resource", "busy_time")
 
     def __init__(self, env: Environment, cores: int):
         if cores < 1:

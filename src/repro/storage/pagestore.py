@@ -355,9 +355,21 @@ class PageStoreService:
         chain is whole or no peer can contribute anything new.
         """
         for _ in range(32):  # a gap may hide further gaps behind it
-            gap = lagging.replica(segment_no).missing_range()
+            replica = lagging.replica(segment_no)
+            gap = replica.missing_range()
             if gap is None:
-                return
+                # No interior gap - but quorum-2 shipping may have skipped
+                # this replica for the newest records, a silent *tail* gap
+                # its own back-links cannot reveal.  Peer chain tails are
+                # visible on the same gossip exchange, so heal up to the
+                # furthest live peer too.
+                tail = max((peer.replicas[segment_no].chain_lsn
+                            for peer in self.replicas_of(segment_no)
+                            if peer is not lagging and peer.alive
+                            and segment_no in peer.replicas), default=-1)
+                if tail <= replica.chain_lsn:
+                    return
+                gap = (replica.chain_lsn, tail)
             after_lsn, up_to = gap
             progressed = False
             for peer in self.replicas_of(segment_no):

@@ -237,7 +237,8 @@ def cmd_perf(args) -> int:
     """Run the wall-clock perf harness (kernel microbench + macro slices)."""
     from .harness.perfbench import run_perf
 
-    return run_perf(quick=args.quick, profile=args.profile, out=args.out)
+    return run_perf(quick=args.quick, profile=args.profile, out=args.out,
+                    gate=not args.no_gate)
 
 
 def cmd_trace(args) -> None:
@@ -323,6 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="print cProfile top frames of the microbench")
     perf_parser.add_argument("--out", default="benchmarks/BENCH_wallclock.json",
                              help="where to write the JSON report")
+    perf_parser.add_argument("--no-gate", action="store_true",
+                             help="skip the serve events/sec regression gate "
+                                  "against the committed baseline")
     trace_parser = sub.add_parser(
         "trace", help="emit a Chrome trace of a short TPC-C run"
     )

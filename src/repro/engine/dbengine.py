@@ -40,7 +40,7 @@ from .table import Catalog, Table
 from .txn import LockManager, Transaction, UndoEntry
 from .wal import LogBuffer, LsnAllocator, RedoRecord
 
-__all__ = ["DBEngine", "EngineConfig", "LogBackend"]
+__all__ = ["DBEngine", "EngineConfig", "LogBackend", "RedoFeed"]
 
 
 @dataclass
@@ -90,6 +90,49 @@ class LogBackend:
         raise NotImplementedError
 
 
+class RedoFeed:
+    """One subscriber's incremental REDO queue (host-side, bounded).
+
+    Group commit publishes each durable batch once into every live
+    feed's queue (:meth:`DBEngine.subscribe_redo`); a standby drains its
+    queue instead of rescanning the whole retained log every poll.
+    ``stale`` means the queue no longer covers the subscriber's gap —
+    set initially, after an overflow, and by the subscriber on crash —
+    and tells the consumer to do one full rescan before going
+    incremental again.  Publishing skips stale feeds entirely (the
+    rescan re-reads everything durable anyway), so a dead subscriber
+    costs nothing and a bounded queue never grows past ``bound``.
+
+    All of this is plain Python bookkeeping: no events, no virtual time.
+    """
+
+    __slots__ = ("store", "bound", "stale", "published", "overflows")
+
+    def __init__(self, env: Environment, bound: int = 65536):
+        self.store = Store(env)
+        self.bound = bound
+        #: True until the subscriber's first full rescan (and again
+        #: after crash/overflow): the queue must not be trusted.
+        self.stale = True
+        self.published = 0
+        self.overflows = 0
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def clear(self) -> None:
+        self.store._items.clear()
+
+    def drain(self) -> List[RedoRecord]:
+        """Take every queued record (host-side; no event round-trip)."""
+        items = self.store._items
+        if not items:
+            return []
+        batch = list(items)
+        items.clear()
+        return batch
+
+
 class DBEngine:
     """One veDB compute node."""
 
@@ -122,6 +165,7 @@ class DBEngine:
         #: Authoritative latest LSN per page written by this engine.
         self.page_versions: Dict[PageId, int] = {}
         self._ship_queue: List[RedoRecord] = []
+        self._redo_feeds: List[RedoFeed] = []
         self._ebp_write_queue: Store = Store(env)
         self.shipped_lsn = 0
         self.ebp_writes_dropped = 0
@@ -170,6 +214,18 @@ class DBEngine:
                 )
             self.env.process(self._ebp_lsn_flush_loop(), name="ebp-lsn-flush")
 
+    def subscribe_redo(self, bound: int = 65536) -> RedoFeed:
+        """Register a per-subscriber incremental REDO feed.
+
+        The feed starts ``stale`` (the subscriber owes itself one full
+        rescan to cover everything durable before subscription); after
+        that, group commit pushes each durable batch into the feed's
+        queue and the subscriber only ever sees new records.
+        """
+        feed = RedoFeed(self.env, bound=bound)
+        self._redo_feeds.append(feed)
+        return feed
+
     def _flush_log(self, records: List[RedoRecord], nbytes: int):
         start = self.env.now
         tracer = self.obs.tracer
@@ -212,6 +268,23 @@ class DBEngine:
         # WAL rule satisfied: durable records may now ship to PageStore.
         # Commit/abort markers are log-only; PageStore applies page ops.
         self._ship_queue.extend(r for r in records if not r.is_marker)
+        # Publish the durable batch (markers included, matching the
+        # rescan view) to each live REDO feed.  Batches arrive in LSN
+        # order because submit() allocates LSNs in append order and the
+        # writer flushes FIFO.
+        if self._redo_feeds:
+            for feed in self._redo_feeds:
+                if feed.stale:
+                    continue
+                if len(feed.store) + len(records) > feed.bound:
+                    # Subscriber fell too far behind: drop the queue and
+                    # force a rescan rather than buffering unboundedly.
+                    feed.stale = True
+                    feed.clear()
+                    feed.overflows += 1
+                    continue
+                feed.store.put_many(records)
+                feed.published += len(records)
 
     def _ship_loop(self):
         while True:

@@ -52,6 +52,7 @@ class StandbyReplica:
         buffer_pool_bytes: int = 16 * 1024 * 1024,
         cores: int = 8,
         use_ebp: bool = True,
+        use_feed: bool = True,
     ):
         self.env = env
         self.primary = primary
@@ -68,6 +69,10 @@ class StandbyReplica:
         self.buffer_pool = BufferPool(buffer_pool_bytes,
                                       page_size=primary.config.page_size)
         self._subscribed = False
+        #: Incremental REDO feed (None => full rescan every poll).
+        self.use_feed = use_feed
+        self._feed = None
+        self.feed_rescans = 0
         #: False after :meth:`crash` until :meth:`recover` completes.
         self.alive = True
         #: Bumped by every crash; readers snapshot it to detect that a
@@ -111,22 +116,28 @@ class StandbyReplica:
             return
         self._subscribed = True
         self._cursor = 0
+        if self.use_feed:
+            subscribe = getattr(self.primary, "subscribe_redo", None)
+            if subscribe is not None:
+                self._feed = subscribe()
         self.env.process(self._apply_loop(poll_interval), name="standby-apply")
 
     def _apply_loop(self, poll_interval: float):
-        """Poll the primary's retained durable records and apply them.
+        """Poll the durable REDO stream and apply new records.
 
         Production systems stream the log; polling the durable tail gives
         identical ordering semantics in the simulation (records are only
         visible once flushed, i.e. once in ``primary._ship_queue`` history).
-        We tail the log backend's view by asking the primary for records
-        past our cursor.
+        The per-poll batch comes from the incremental feed when one is
+        subscribed (O(new records) per poll) and otherwise from a full
+        retained-log rescan; both are host-side Python charged the same
+        per-record CPU, so they are virtual-time identical.
         """
         while True:
             yield self.env.timeout(poll_interval)
             if not self.alive:
                 continue
-            batch = self.primary_records_after(self.applied_lsn)
+            batch = self._next_batch()
             if not batch:
                 continue
             epoch = self.epoch
@@ -138,6 +149,32 @@ class StandbyReplica:
                 continue
             for record in batch:
                 self._apply_record(record)
+
+    def _next_batch(self) -> List[RedoRecord]:
+        """This poll's records: feed drain, or rescan when uncovered.
+
+        The feed queue and the rescan agree by construction: records are
+        published exactly when they become durable (visible to the
+        rescan), in LSN order, so after one catch-up rescan the queue
+        always holds precisely the records durable since the last poll.
+        A stale feed (fresh subscription, crash, or overflow) is cleared
+        and replaced by one rescan *in the same host-side step*, so no
+        publish can slip between the clear and the scan.
+        """
+        feed = self._feed
+        if feed is None:
+            return self.primary_records_after(self.applied_lsn)
+        if feed.stale:
+            feed.clear()
+            feed.stale = False
+            self.feed_rescans += 1
+            return self.primary_records_after(self.applied_lsn)
+        applied = self.applied_lsn
+        batch = feed.drain()
+        if not batch or batch[0].lsn > applied:
+            return batch
+        # Safety net (e.g. a rescan raced a publish): drop duplicates.
+        return [r for r in batch if r.lsn > applied]
 
     def primary_records_after(self, lsn: int) -> List[RedoRecord]:
         """Durable records with LSN > ``lsn`` (the standby's feed)."""
@@ -301,6 +338,11 @@ class StandbyReplica:
         self.alive = False
         self.epoch += 1
         self.crashes += 1
+        if self._feed is not None:
+            # The queue no longer matches our (lost) applied state; the
+            # publisher skips us until the post-recovery rescan.
+            self._feed.stale = True
+            self._feed.clear()
         self.applied_lsn = 0
         self.pages.clear()
         self.buffer_pool.clear()

@@ -16,6 +16,17 @@
   queues; shed requests surface as :class:`repro.common.OverloadError`
   without touching the engine.
 
+The statement fast path: a bounded LRU :class:`repro.query.ParseCache`
+is shared by classification, the primary session, the per-replica
+sessions, and prepared statements, so each distinct SQL text is parsed
+once per proxy while warm; ``session.prepare(sql)`` returns a
+:class:`PreparedProxyStatement` that also skips per-execution planning.
+Read routing is allocation-lean: the destination legs are bound methods
+taking the statement's arguments through ``routed_read`` (no per-read
+lambda closures), the LSN gate is checked inline before paying the
+``wait_for_lsn`` generator hop, and admission is a no-op branch when no
+controller is configured.
+
 Routing decisions, bounces, and per-replica serve counts are exposed via
 the ``frontend.proxy`` gauge; reads/writes record latency at
 ``frontend.proxy_read`` / ``frontend.proxy_write``.
@@ -28,13 +39,13 @@ from typing import Dict, Optional
 from ..common import QueryError, StorageError
 from ..obs import obs_of
 from ..query.ast import Select
+from ..query.cache import ParseCache
 from ..query.executor import QuerySession
-from ..query.parser import parse
 from ..query.planner import PlannerConfig
 from .admission import AdmissionController
 from .fleet import ReplicaFleet, ReplicaHandle
 
-__all__ = ["SqlProxy", "ProxySession"]
+__all__ = ["SqlProxy", "ProxySession", "PreparedProxyStatement"]
 
 #: Why a read landed on the primary instead of a replica.
 BOUNCE_REASONS = ("no_replica", "lag_timeout", "rerouted")
@@ -53,33 +64,49 @@ class ProxySession:
         self.last_route: Optional[str] = None
         self.reads = 0
         self.writes = 0
+        # Pre-bound routing legs: one bound method per destination,
+        # reused for every read this session issues (the statement's
+        # arguments travel through routed_read instead of a closure).
+        self._replica_read_row = self._read_row_on_replica
+        self._primary_read_row = self._read_row_on_primary
+        self._replica_select = self._select_on_replica
+        self._primary_select = self._select_on_primary
 
     def note_commit_lsn(self, lsn: int) -> None:
         self.last_commit_lsn = max(self.last_commit_lsn, lsn)
 
     # -- read path -----------------------------------------------------
+    def _read_row_on_replica(self, handle: ReplicaHandle, table: str, key):
+        return handle.replica.read_row(table, key)
+
+    def _read_row_on_primary(self, table: str, key):
+        return self.proxy.engine.read_row(None, table, key)
+
+    def _select_on_replica(self, handle: ReplicaHandle, sql: str):
+        return self.proxy.replica_session(handle).execute(sql)
+
+    def _select_on_primary(self, sql: str):
+        return self.proxy.primary_session.execute(sql)
+
     def read_row(self, table: str, key):
-        """Generator: routed point read honouring the session token."""
-        return (
-            yield from self.proxy.routed_read(
-                self,
-                lambda handle: handle.replica.read_row(table, key),
-                lambda: self.proxy.engine.read_row(None, table, key),
-            )
+        """Routed point read honouring the session token (generator)."""
+        return self.proxy.routed_read(
+            self, self._replica_read_row, self._primary_read_row, table, key
         )
 
     def execute(self, sql: str):
-        """Generator: classify one SQL statement and route it."""
-        if isinstance(parse(sql), Select):
-            return (
-                yield from self.proxy.routed_read(
-                    self,
-                    lambda handle: self.proxy.replica_session(handle)
-                    .execute(sql),
-                    lambda: self.proxy.primary_session.execute(sql),
-                )
+        """Classify one SQL statement and route it (generator)."""
+        if type(self.proxy.parse_cache.get(sql)) is Select:
+            return self.proxy.routed_read(
+                self, self._replica_select, self._primary_select, sql
             )
-        return (yield from self.run_write(self._primary_execute(sql)))
+        return self.run_write(self._primary_execute(sql))
+
+    def prepare(self, sql: str) -> "PreparedProxyStatement":
+        """Parse/classify once; returns a routable prepared handle."""
+        return PreparedProxyStatement(
+            self, sql, self.proxy.parse_cache.get(sql)
+        )
 
     def _primary_execute(self, sql: str):
         return (yield from self.proxy.primary_session.execute(sql))
@@ -89,11 +116,17 @@ class ProxySession:
         """Generator: run ``work(txn)`` in a primary transaction.
 
         Commits on success (advancing the session token to the commit
-        record's LSN), rolls back and re-raises on failure.
+        record's LSN), rolls back and re-raises on failure - including a
+        failure of the commit itself, which must not leave the
+        transaction open holding locks.
         """
-        ticket = yield from self.proxy._admit(SqlProxy.WRITE_CLASS)
-        engine = self.proxy.engine
-        start = self.proxy.env.now
+        proxy = self.proxy
+        admission = proxy.admission
+        ticket = None
+        if admission is not None:
+            ticket = yield from admission.admit(SqlProxy.WRITE_CLASS)
+        engine = proxy.engine
+        start = proxy.env.now
         try:
             txn = engine.begin()
             try:
@@ -101,33 +134,94 @@ class ProxySession:
             except Exception:
                 yield from engine.rollback(txn)
                 raise
-            yield from engine.commit(txn)
+            try:
+                yield from engine.commit(txn)
+            except Exception:
+                yield from engine.rollback(txn)
+                raise
             self.note_commit_lsn(
                 max((record.lsn for record in txn.records),
                     default=engine.log.persistent_lsn)
             )
             self.writes += 1
-            self.proxy.writes += 1
+            proxy.writes += 1
             return result
         finally:
-            self.proxy._write_latency.record(self.proxy.env.now - start)
-            self.proxy._release(SqlProxy.WRITE_CLASS, ticket)
+            proxy._write_latency.record(proxy.env.now - start)
+            if ticket is not None:
+                admission.release(SqlProxy.WRITE_CLASS, ticket)
 
     def run_write(self, gen):
         """Generator: admit an opaque write generator (e.g. a TPC-C
         transaction that begins/commits internally) as this session's
         write; the token advances to the durable tail afterwards."""
-        ticket = yield from self.proxy._admit(SqlProxy.WRITE_CLASS)
-        start = self.proxy.env.now
+        proxy = self.proxy
+        admission = proxy.admission
+        ticket = None
+        if admission is not None:
+            ticket = yield from admission.admit(SqlProxy.WRITE_CLASS)
+        start = proxy.env.now
         try:
             result = yield from gen
-            self.note_commit_lsn(self.proxy.engine.log.persistent_lsn)
+            self.note_commit_lsn(proxy.engine.log.persistent_lsn)
             self.writes += 1
-            self.proxy.writes += 1
+            proxy.writes += 1
             return result
         finally:
-            self.proxy._write_latency.record(self.proxy.env.now - start)
-            self.proxy._release(SqlProxy.WRITE_CLASS, ticket)
+            proxy._write_latency.record(proxy.env.now - start)
+            if ticket is not None:
+                admission.release(SqlProxy.WRITE_CLASS, ticket)
+
+
+class PreparedProxyStatement:
+    """A prepared statement routed like any other proxy statement.
+
+    SELECTs keep one :class:`repro.query.PreparedStatement` per
+    destination engine (primary or replica), each holding its own plan
+    template; DML executes through the session's write path.
+    """
+
+    def __init__(self, session: ProxySession, sql: str, statement):
+        self.session = session
+        self.sql = sql
+        self.is_select = type(statement) is Select
+        self._prepared: Dict[str, object] = {}
+        self._replica_leg = self._execute_on_replica
+        self._primary_leg = self._execute_on_primary
+        # Prepare the primary leg eagerly: it fixes the bind arity (so
+        # misuse surfaces at prepare time) and every statement can fall
+        # back to the primary anyway.
+        primary = session.proxy.primary_session.prepare(sql)
+        self._prepared["primary"] = primary
+        self.param_count = primary.param_count
+
+    def _prepared_for(self, qsession, key: str):
+        prepared = self._prepared.get(key)
+        if prepared is None:
+            prepared = qsession.prepare(self.sql)
+            self._prepared[key] = prepared
+        return prepared
+
+    def _execute_on_replica(self, handle: ReplicaHandle, params):
+        proxy = self.session.proxy
+        prepared = self._prepared_for(
+            proxy.replica_session(handle), handle.replica_id
+        )
+        return prepared.execute(*params)
+
+    def _execute_on_primary(self, params):
+        proxy = self.session.proxy
+        prepared = self._prepared_for(proxy.primary_session, "primary")
+        return prepared.execute(*params)
+
+    def execute(self, *params):
+        """Route one execution with ``params`` bound (generator)."""
+        session = self.session
+        if self.is_select:
+            return session.proxy.routed_read(
+                session, self._replica_leg, self._primary_leg, params
+            )
+        return session.run_write(self._prepared["primary"].execute(*params))
 
 
 class SqlProxy:
@@ -143,6 +237,7 @@ class SqlProxy:
         fleet: Optional[ReplicaFleet],
         admission: Optional[AdmissionController] = None,
         wait_timeout: float = 0.02,
+        parse_cache_size: int = 256,
     ):
         if wait_timeout <= 0:
             raise ValueError("wait_timeout must be positive")
@@ -151,7 +246,9 @@ class SqlProxy:
         self.fleet = fleet
         self.admission = admission
         self.wait_timeout = wait_timeout
+        self.parse_cache = ParseCache(capacity=parse_cache_size)
         self.sessions = []
+        self._session_names = set()
         self.reads_replica = 0
         self.reads_primary = 0
         self.writes = 0
@@ -182,8 +279,15 @@ class SqlProxy:
     # ------------------------------------------------------------------
     def session(self, name: Optional[str] = None) -> ProxySession:
         if name is None:
-            name = "session-%d" % len(self.sessions)
+            # Default names must not collide with earlier explicit names
+            # (an explicit "session-1" used to shadow the next default).
+            index = len(self.sessions)
+            name = "session-%d" % index
+            while name in self._session_names:
+                index += 1
+                name = "session-%d" % index
         session = ProxySession(self, name)
+        self._session_names.add(name)
         self.sessions.append(session)
         return session
 
@@ -194,6 +298,7 @@ class SqlProxy:
             self._primary_session_cache = QuerySession(
                 self.engine,
                 planner_config=PlannerConfig(enable_pushdown=False),
+                parse_cache=self.parse_cache,
             )
         return self._primary_session_cache
 
@@ -210,6 +315,7 @@ class SqlProxy:
             session = QuerySession(
                 handle.replica,
                 planner_config=PlannerConfig(enable_pushdown=False),
+                parse_cache=self.parse_cache,
             )
             self._replica_sessions[handle.replica_id] = session
         return session
@@ -229,54 +335,67 @@ class SqlProxy:
     # ------------------------------------------------------------------
     # Read routing
     # ------------------------------------------------------------------
-    def routed_read(self, session: ProxySession, replica_fn, primary_fn):
+    def routed_read(self, session: ProxySession, replica_fn, primary_fn,
+                    *args):
         """Generator: admit, route, and consistency-gate one read.
 
-        ``replica_fn(handle)`` / ``primary_fn()`` are generator factories
-        for the two destinations.
+        ``replica_fn(handle, *args)`` / ``primary_fn(*args)`` are
+        generator factories for the two destinations; ``args`` carry the
+        statement so the factories can be reusable bound methods.
         """
-        ticket = yield from self._admit(self.READ_CLASS)
+        admission = self.admission
+        ticket = None
+        if admission is not None:
+            ticket = yield from admission.admit(self.READ_CLASS)
         start = self.env.now
         try:
-            result = yield from self._route(session, replica_fn, primary_fn)
+            result = yield from self._route(
+                session, replica_fn, primary_fn, args
+            )
             session.reads += 1
             return result
         finally:
             self._read_latency.record(self.env.now - start)
-            self._release(self.READ_CLASS, ticket)
+            if ticket is not None:
+                admission.release(self.READ_CLASS, ticket)
 
-    def _route(self, session: ProxySession, replica_fn, primary_fn):
+    def _route(self, session: ProxySession, replica_fn, primary_fn, args):
+        fleet = self.fleet
+        token = session.last_commit_lsn
         for _attempt in range(2):
-            handle = self.fleet.choose(session) if self.fleet else None
+            handle = fleet.choose(session) if fleet else None
             if handle is None:
                 return (
                     yield from self._primary_read(
-                        session, primary_fn, "no_replica"
+                        session, primary_fn, "no_replica", args
                     )
                 )
-            caught_up = yield from self.fleet.wait_for_lsn(
-                handle, session.last_commit_lsn, self.wait_timeout
-            )
-            if not caught_up:
-                return (
-                    yield from self._primary_read(
-                        session, primary_fn, "lag_timeout"
-                    )
+            replica = handle.replica
+            if replica.applied_lsn < token:
+                # Only pay the wait generator when actually behind; the
+                # caught-up case records no wait metrics either way.
+                caught_up = yield from fleet.wait_for_lsn(
+                    handle, token, self.wait_timeout
                 )
-            epoch = handle.replica.epoch
+                if not caught_up:
+                    return (
+                        yield from self._primary_read(
+                            session, primary_fn, "lag_timeout", args
+                        )
+                    )
+            epoch = replica.epoch
             handle.inflight += 1
             failed = False
             result = None
             try:
-                result = yield from replica_fn(handle)
+                result = yield from replica_fn(handle, *args)
             except (QueryError, StorageError, KeyError):
                 # A crash mid-read can yank catalog/index state out from
                 # under the executor; treat it like any other dead read.
                 failed = True
             finally:
                 handle.inflight -= 1
-            if failed or handle.replica.epoch != epoch \
-                    or not handle.replica.alive:
+            if failed or replica.epoch != epoch or not replica.alive:
                 # The replica died under us: the result (even a
                 # non-exceptional one) may predate the crash or come from
                 # half-rebuilt state - discard and try the next route.
@@ -287,10 +406,14 @@ class SqlProxy:
             self.per_replica_reads[handle.replica_id] += 1
             session.last_route = handle.replica_id
             return result
-        return (yield from self._primary_read(session, primary_fn, "rerouted"))
+        return (
+            yield from self._primary_read(session, primary_fn, "rerouted",
+                                          args)
+        )
 
-    def _primary_read(self, session: ProxySession, primary_fn, reason: str):
+    def _primary_read(self, session: ProxySession, primary_fn, reason: str,
+                      args):
         self.bounces[reason] += 1
         self.reads_primary += 1
         session.last_route = "primary"
-        return (yield from primary_fn())
+        return (yield from primary_fn(*args))

@@ -164,12 +164,15 @@ def run_serving(
     write_limit: Optional[int] = None,
     queue_limit: Optional[int] = None,
     queue_timeout: Optional[float] = None,
+    _bench: Optional[Dict] = None,
 ) -> Dict:
     """Run one seeded serving scenario; returns a deterministic report.
 
     ``report["ok"]`` is True iff the read-your-writes audit saw zero
     stale or missing reads.  The admission overrides (``read_limit``
-    etc.) let overload experiments force shedding.
+    etc.) let overload experiments force shedding.  ``_bench`` is a
+    private sink the perf harness passes to collect kernel counters
+    (event count, statement totals) without touching the report schema.
     """
     spec = DeploymentSpec.astore_ebp(
         seed=seed, astore_servers=4
@@ -353,4 +356,11 @@ def run_serving(
         "violations": violations,
         "ok": stale_reads == 0 and missing_rows == 0,
     }
+    if _bench is not None:
+        _bench["events"] = env._seq
+        _bench["statements"] = (
+            total_reads + proxy.writes + report["tpcc"]["committed"]
+        )
+        _bench["parse_cache_hits"] = proxy.parse_cache.hits
+        _bench["parse_cache_misses"] = proxy.parse_cache.misses
     return report

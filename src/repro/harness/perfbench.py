@@ -28,6 +28,7 @@ absolute numbers drift across machines.
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import json
 import os
@@ -45,8 +46,10 @@ __all__ = [
     "bench_tpcc_slice",
     "bench_chaos_slice",
     "bench_serve_slice",
+    "bench_serve_micro",
     "run_perf",
     "BASELINE_PRE_FASTPATH",
+    "BASELINE_PRE_SERVE_FASTPATH",
 ]
 
 #: Pre-fast-path kernel numbers, measured with this exact harness (same
@@ -68,6 +71,16 @@ BASELINE_PRE_FASTPATH: Dict[str, Any] = {
     "protocol": "median of 10 reps (kernel) / single run (macro slices), "
                 "CPython 3.11.7, Linux, 1 core, measured via git stash of "
                 "the fast-path changes on the same machine and bench",
+}
+
+#: Serve-slice numbers measured immediately before the serving-plane fast
+#: path (statement/plan cache, incremental REDO feed, allocation-lean
+#: routing) landed — the committed "before" for the serve speedup ratio.
+BASELINE_PRE_SERVE_FASTPATH: Dict[str, Any] = {
+    "serve_slice": {"wall_s": 25.1935},
+    "protocol": "single run of run_serving(seed=7, duration=0.4), "
+                "CPython 3.11.7, Linux, 1 core, measured on the commit "
+                "before the serving-plane fast path on the same machine",
 }
 
 
@@ -210,6 +223,7 @@ def bench_tpcc_slice(duration: float = 0.2, clients: int = 8) -> Dict[str, Any]:
     from ..workloads.tpcc import TpccConfig, run_tpcc
     from .deployment import DeploymentSpec
 
+    gc.collect()  # drop prior slices' garbage so it isn't billed here
     spec = DeploymentSpec.astore_pq(seed=11)
     dep = spec.build()
     dep.start()
@@ -232,6 +246,7 @@ def bench_chaos_slice() -> Dict[str, Any]:
     """The CI-sized chaos soak; wall seconds plus the report digest."""
     from .soak import run_chaos_soak
 
+    gc.collect()
     start = time.perf_counter()
     report = run_chaos_soak(seed=7, short=True)
     wall = time.perf_counter() - start
@@ -244,17 +259,117 @@ def bench_chaos_slice() -> Dict[str, Any]:
 
 
 def bench_serve_slice() -> Dict[str, Any]:
-    """A short serving-layer scenario; wall seconds plus the report digest."""
+    """A short serving-layer scenario; wall seconds plus the report digest.
+
+    The ``_bench`` sink collects kernel event counts without touching the
+    (golden-diffed) report, so events/sec is a real number here too — it
+    is what the CI perf-smoke regression gate compares against the
+    committed baseline.
+    """
     from ..frontend.serve import run_serving
 
+    gc.collect()
+    sink: Dict[str, Any] = {}
     start = time.perf_counter()
-    report = run_serving(seed=7, duration=0.4)
+    report = run_serving(seed=7, duration=0.4, _bench=sink)
     wall = time.perf_counter() - start
+    events = sink.get("events", 0)
     return {
         "name": "serve_slice",
         "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall) if events else 0,
+        "statements": sink.get("statements", 0),
+        "parse_cache_hits": sink.get("parse_cache_hits", 0),
+        "parse_cache_misses": sink.get("parse_cache_misses", 0),
         "ok": bool(report["ok"]),
         "digest": _digest(report),
+    }
+
+
+#: Keys in the microbench read table.
+_MICRO_KEYS = 60
+
+
+def bench_serve_micro(sessions: int = 4,
+                      statements: int = 400) -> Dict[str, Any]:
+    """Statements/sec through the SQL proxy (no chaos, fixed statement mix).
+
+    Each session issues a deterministic blend of prepared point SELECTs,
+    routed ``read_row`` lookups, and range aggregates — the proxy hot
+    path the statement/plan cache and allocation-lean routing target.
+    The statement count is fixed, so only the wall clock is
+    machine-dependent.
+    """
+    from ..engine.codec import INT, VARCHAR, Column, Schema
+    from .deployment import DeploymentSpec
+
+    gc.collect()
+    spec = DeploymentSpec.astore_ebp(seed=11).with_replicas(2)
+    dep = spec.build()
+    dep.start()
+    env = dep.env
+    engine = dep.engine
+    engine.create_table(
+        "sbmicro",
+        Schema([
+            Column("k", INT()),
+            Column("version", INT()),
+            Column("pad", VARCHAR(32)),
+        ]),
+        ["k"],
+    )
+
+    def load():
+        txn = engine.begin()
+        for k in range(1, _MICRO_KEYS + 1):
+            yield from engine.insert(txn, "sbmicro", [k, 0, "x" * 16])
+        yield from engine.commit(txn)
+
+    env.run_until_event(env.process(load(), name="serve-micro-load"))
+    dep.fleet.sync_catalogs()
+    preload_lsn = engine.log.persistent_lsn
+    proxy = dep.frontend
+
+    def driver(session, rng):
+        point = session.prepare(
+            "SELECT k, version FROM sbmicro WHERE k = ?")
+        for _ in range(statements):
+            draw = rng.random()
+            if draw < 0.5:
+                yield from point.execute(rng.randint(1, _MICRO_KEYS))
+            elif draw < 0.8:
+                yield from session.read_row(
+                    "sbmicro", (rng.randint(1, _MICRO_KEYS),))
+            else:
+                low = rng.randint(1, _MICRO_KEYS - 10)
+                yield from session.execute(
+                    "SELECT COUNT(*) AS n, SUM(version) AS total "
+                    "FROM sbmicro WHERE k BETWEEN %d AND %d"
+                    % (low, low + 9))
+
+    procs = []
+    for index in range(sessions):
+        session = proxy.session("micro-%d" % index)
+        session.note_commit_lsn(preload_lsn)
+        procs.append(env.process(
+            driver(session, dep.seeds.stream("serve-micro-%d" % index)),
+            name="serve-micro-%d" % index,
+        ))
+    start = time.perf_counter()
+    env.run_until_event(AllOf(env, procs))
+    wall = time.perf_counter() - start
+    total = sessions * statements
+    return {
+        "name": "serve_micro",
+        "sessions": sessions,
+        "statements": total,
+        "wall_s": round(wall, 4),
+        "statements_per_sec": round(total / wall),
+        "events": env._seq,
+        "events_per_sec": round(env._seq / wall),
+        "parse_cache_hits": proxy.parse_cache.hits,
+        "parse_cache_misses": proxy.parse_cache.misses,
     }
 
 
@@ -278,18 +393,65 @@ def _profile_kernel(scale: int = 2, top: int = 15) -> str:
     return buf.getvalue()
 
 
+def _profile_serve(top: int = 15) -> str:
+    """cProfile a short serve run; shows whether proxy parse/classify
+    frames stay off the top of the table (the statement-cache check)."""
+    import cProfile
+    import io
+    import pstats
+
+    from ..frontend.serve import run_serving
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_serving(seed=7, duration=0.1)
+    profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf).sort_stats("tottime")
+    stats.print_stats(top)
+    return buf.getvalue()
+
+
+def _prior_serve_rate(out: Optional[str]) -> Optional[float]:
+    """The serve-slice events/sec recorded in the committed bench JSON.
+
+    Returns None when the file is missing, unreadable, or predates the
+    field — the regression gate then skips rather than fails.
+    """
+    if not out:
+        return None
+    try:
+        with open(out) as fh:
+            prior = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    rate = prior.get("current", {}).get("serve_slice", {}).get(
+        "events_per_sec")
+    if isinstance(rate, (int, float)) and rate > 0:
+        return float(rate)
+    return None
+
+
 def run_perf(
     quick: bool = False,
     profile: bool = False,
     out: Optional[str] = "benchmarks/BENCH_wallclock.json",
     echo: Callable[[str], None] = print,
+    gate: bool = True,
 ) -> int:
     """Run the full perf harness; returns a process exit code.
 
     ``quick`` (CI smoke mode) uses fewer kernel reps; the determinism gate
     — chaos and serve slices each run twice with matching digests — runs
-    in both modes and is what makes the exit code meaningful.
+    in both modes and is what makes the exit code meaningful.  ``gate``
+    additionally compares the serve slice's events/sec against the value
+    recorded in the committed ``out`` JSON and fails on a >20% drop (the
+    CI perf-smoke regression gate); it skips silently when the committed
+    file predates the field.
     """
+    # Read the committed baseline before this run overwrites ``out``.
+    prior_serve_rate = _prior_serve_rate(out) if gate else None
+
     reps = 3 if quick else 8
     echo("kernel microbench (%d reps)..." % reps)
     kernel = bench_kernel(reps=reps)
@@ -302,6 +464,14 @@ def run_perf(
     echo("  %d events in %.2fs wall: %s ev/s" % (
         tpcc["events"], tpcc["wall_s"], "{:,}".format(tpcc["events_per_sec"])))
 
+    echo("serve micro (statements/sec through the proxy)...")
+    micro = bench_serve_micro()
+    echo("  %d statements in %.2fs wall: %s stmt/s (parse cache %d/%d "
+         "hit/miss)" % (
+             micro["statements"], micro["wall_s"],
+             "{:,}".format(micro["statements_per_sec"]),
+             micro["parse_cache_hits"], micro["parse_cache_misses"]))
+
     echo("chaos slice (x2, determinism gate)...")
     chaos_a = bench_chaos_slice()
     chaos_b = bench_chaos_slice()
@@ -310,7 +480,9 @@ def run_perf(
     echo("serve slice (x2, determinism gate)...")
     serve_a = bench_serve_slice()
     serve_b = bench_serve_slice()
-    echo("  %.2fs wall, digest %s" % (serve_a["wall_s"], serve_a["digest"][:16]))
+    echo("  %.2fs wall, %s ev/s, digest %s" % (
+        serve_a["wall_s"], "{:,}".format(serve_a["events_per_sec"]),
+        serve_a["digest"][:16]))
 
     deterministic = (
         chaos_a["digest"] == chaos_b["digest"]
@@ -320,6 +492,25 @@ def run_perf(
     baseline_rate = BASELINE_PRE_FASTPATH["kernel_microbench"][
         "median_events_per_sec"]
     speedup = kernel["median_events_per_sec"] / baseline_rate
+    serve_speedup = (
+        BASELINE_PRE_SERVE_FASTPATH["serve_slice"]["wall_s"]
+        / serve_a["wall_s"]
+    )
+
+    serve_gate: Dict[str, Any] = {"enabled": bool(gate)}
+    if prior_serve_rate is not None:
+        floor = 0.8 * prior_serve_rate
+        serve_gate.update({
+            "baseline_events_per_sec": round(prior_serve_rate),
+            "floor_events_per_sec": round(floor),
+            "current_events_per_sec": serve_a["events_per_sec"],
+            "ok": serve_a["events_per_sec"] >= floor,
+        })
+    else:
+        serve_gate["ok"] = True
+        serve_gate["note"] = (
+            "skipped: no committed serve events/sec baseline to compare "
+            "against" if gate else "disabled via --no-gate")
 
     payload: Dict[str, Any] = {
         "protocol": {
@@ -332,13 +523,17 @@ def run_perf(
                     "JSON",
         },
         "baseline_pre_fastpath": BASELINE_PRE_FASTPATH,
+        "baseline_pre_serve_fastpath": BASELINE_PRE_SERVE_FASTPATH,
         "current": {
             "kernel_microbench": kernel,
             "tpcc_slice": tpcc,
+            "serve_micro": micro,
             "chaos_slice": chaos_a,
             "serve_slice": serve_a,
         },
         "kernel_speedup_vs_baseline": round(speedup, 2),
+        "serve_speedup_vs_baseline": round(serve_speedup, 2),
+        "serve_regression_gate": serve_gate,
         "determinism": {
             "chaos_digest": chaos_a["digest"],
             "chaos_digest_rerun": chaos_b["digest"],
@@ -359,13 +554,30 @@ def run_perf(
         echo("wrote %s" % out)
 
     echo("kernel speedup vs pre-fast-path baseline: %.2fx" % speedup)
+    echo("serve slice speedup vs pre-serve-fast-path baseline: %.2fx"
+         % serve_speedup)
     echo("peak RSS: %.1f MiB" % (payload["peak_rss_kb"] / 1024.0))
     if profile:
         echo("")
+        echo("--- kernel microbench profile ---")
         echo(_profile_kernel())
+        echo("--- serve slice profile ---")
+        echo(_profile_serve())
+    failed = False
     if not deterministic:
         echo("DETERMINISM GATE FAILED: same-seed report digests differ "
              "between runs")
-        return 1
-    echo("determinism gate: ok (chaos and serve digests stable)")
-    return 0
+        failed = True
+    else:
+        echo("determinism gate: ok (chaos and serve digests stable)")
+    if not serve_gate["ok"]:
+        echo("SERVE REGRESSION GATE FAILED: %s ev/s is more than 20%% "
+             "below the committed baseline %s ev/s" % (
+                 "{:,}".format(serve_gate["current_events_per_sec"]),
+                 "{:,}".format(serve_gate["baseline_events_per_sec"])))
+        failed = True
+    elif prior_serve_rate is not None:
+        echo("serve regression gate: ok (%s ev/s vs floor %s ev/s)" % (
+            "{:,}".format(serve_gate["current_events_per_sec"]),
+            "{:,}".format(serve_gate["floor_events_per_sec"])))
+    return 1 if failed else 0

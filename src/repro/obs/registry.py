@@ -26,7 +26,8 @@ the single schema behind both ``repro.sim.metrics.summarize`` and the
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Dict, Optional
+import sys
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..sim.metrics import Counter, LatencyRecorder, ThroughputMeter
 
@@ -53,6 +54,9 @@ class MetricsRegistry:
         self._gauges: Dict[str, Callable[[], Any]] = {}
         #: name -> kind, used for collision and prefix validation.
         self._names: Dict[str, str] = {}
+        #: name -> its dot-split parts, precomputed at registration so
+        #: snapshot() never re-splits hot names.
+        self._parts: Dict[str, Tuple[str, ...]] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -73,7 +77,11 @@ class MetricsRegistry:
                 raise ValueError(
                     "metric %r collides with existing subtree %r" % (name, other)
                 )
+        # Hot metric names are looked up on every record/incr and split
+        # on every snapshot; intern once and precompute the parts.
+        name = sys.intern(name)
         self._names[name] = kind
+        self._parts[name] = tuple(sys.intern(p) for p in name.split("."))
 
     def latency(self, name: str) -> LatencyRecorder:
         """Get-or-create the latency recorder at ``name``.
@@ -152,12 +160,13 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, Any]:
         """The whole namespace as one nested dict (deterministic order)."""
         tree: Dict[str, Any] = {}
-        for name, leaf in self.flat().items():
+        parts_of = self._parts
+        for name in sorted(self._names):
             node = tree
-            parts = name.split(".")
+            parts = parts_of[name]
             for part in parts[:-1]:
                 node = node.setdefault(part, {})
-            node[parts[-1]] = leaf
+            node[parts[-1]] = self.value(name)
         return tree
 
     @staticmethod

@@ -22,7 +22,8 @@ from .ast import (
     TableRef,
     UnaryOp,
 )
-from .executor import QueryResult, QuerySession
+from .cache import ParseCache
+from .executor import PreparedStatement, QueryResult, QuerySession
 from .parser import parse
 from .plan import explain
 from .planner import Planner, PlannerConfig
@@ -30,6 +31,8 @@ from .pushdown import PushdownRuntime
 
 __all__ = [
     "parse",
+    "ParseCache",
+    "PreparedStatement",
     "QuerySession",
     "QueryResult",
     "Planner",

@@ -19,6 +19,7 @@ __all__ = [
     "Expr",
     "ColumnRef",
     "Literal",
+    "Param",
     "BinOp",
     "UnaryOp",
     "Between",
@@ -84,6 +85,19 @@ class Literal(Expr):
 
     def eval(self, row: Dict[str, Any]) -> Any:
         return self.value
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A ``?`` placeholder, bound per execution by a prepared statement."""
+
+    index: int
+
+    def eval(self, row: Dict[str, Any]) -> Any:
+        raise QueryError(
+            "unbound parameter ?%d (execute via a prepared statement)"
+            % (self.index + 1)
+        )
 
 
 _BIN_OPS = {
@@ -259,7 +273,12 @@ class JoinClause:
     condition: Expr  # equi-join predicate (possibly AND of equalities)
 
 
-@dataclass
+# Statement nodes are frozen so parsed ASTs can be cached and shared
+# across sessions without defensive copying (the planner copies the list
+# fields it reshapes; nothing may rebind statement fields).
+
+
+@dataclass(frozen=True)
 class Select:
     items: List[SelectItem]
     table: TableRef
@@ -275,21 +294,21 @@ class Select:
         return any(item.expr.contains_aggregate() for item in self.items)
 
 
-@dataclass
+@dataclass(frozen=True)
 class Insert:
     table: str
     columns: Optional[List[str]]
     rows: List[List[Any]]
 
 
-@dataclass
+@dataclass(frozen=True)
 class Update:
     table: str
     assignments: Dict[str, Expr]
     where: Optional[Expr]
 
 
-@dataclass
+@dataclass(frozen=True)
 class Delete:
     table: str
     where: Optional[Expr]

@@ -11,6 +11,7 @@ per-page / per-batch quanta to keep event counts manageable.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -32,7 +33,7 @@ from .ast import (
     UnaryOp,
     Update,
 )
-from .parser import parse
+from .cache import ParseCache, bind_plan, bind_statement, parse_entry
 from .plan import (
     Aggregate,
     HashJoin,
@@ -45,9 +46,9 @@ from .plan import (
 )
 from .planner import Planner, PlannerConfig
 
-__all__ = ["QuerySession", "QueryResult", "AggAccumulator",
-           "new_agg_states", "update_agg_states", "merge_agg_states",
-           "finalize_agg_states"]
+__all__ = ["QuerySession", "QueryResult", "PreparedStatement",
+           "AggAccumulator", "new_agg_states", "update_agg_states",
+           "merge_agg_states", "finalize_agg_states"]
 
 #: CPU charged per row flowing through a tight operator loop.
 ROW_CPU = 0.25 * US
@@ -176,29 +177,92 @@ def eval_with_aggs(expr: Expr, row: Dict[str, Any],
 
 
 class QuerySession:
-    """One client session: parse -> plan -> execute."""
+    """One client session: parse -> plan -> execute.
+
+    ``parse_cache`` (usually shared across sessions by the proxy) avoids
+    re-tokenizing repeated SQL text; the session-local plan cache reuses
+    a SELECT's plan while a *stats token* — catalog size plus each
+    referenced table's ``(row_count, index count)`` — matches, so a
+    cached plan is always identical to what a fresh replan would build
+    (row counts drive scan estimates, join choice, and push-down marks).
+    """
 
     def __init__(
         self,
         engine: DBEngine,
         planner_config: Optional[PlannerConfig] = None,
         pushdown_runtime=None,
+        parse_cache: Optional[ParseCache] = None,
+        plan_cache_size: int = 128,
     ):
         self.engine = engine
         self.planner_config = planner_config or PlannerConfig()
         self.planner = Planner(engine.catalog, self.planner_config)
         self.pushdown_runtime = pushdown_runtime
+        self.parse_cache = parse_cache
         self.queries_executed = 0
         self.pages_scanned = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self._plan_cache_size = plan_cache_size
+        self._plan_cache: "OrderedDict[str, Tuple[tuple, PlanNode]]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    # Parse / plan caching
+    # ------------------------------------------------------------------
+    def _parse_entry(self, sql: str) -> Tuple[Any, int]:
+        cache = self.parse_cache
+        if cache is not None:
+            return cache.entry(sql)
+        return parse_entry(sql)
+
+    def _stats_token(self, select: Select) -> Optional[tuple]:
+        """Plan-validity token; None when a referenced table is unknown."""
+        catalog = self.engine.catalog
+        token = [len(catalog)]
+        try:
+            table = catalog.table(select.table.name)
+            token.append((table.row_count, len(table.secondary)))
+            for join in select.joins:
+                table = catalog.table(join.table.name)
+                token.append((table.row_count, len(table.secondary)))
+        except QueryError:
+            return None
+        return tuple(token)
+
+    def cached_plan(self, sql: str, statement: Select) -> PlanNode:
+        """The plan for ``statement``, reused while its stats token holds."""
+        token = self._stats_token(statement)
+        cache = self._plan_cache
+        if token is not None:
+            entry = cache.get(sql)
+            if entry is not None and entry[0] == token:
+                self.plan_cache_hits += 1
+                cache.move_to_end(sql)
+                return entry[1]
+        self.plan_cache_misses += 1
+        plan = self.planner.plan_select(statement)
+        if token is not None:
+            cache[sql] = (token, plan)
+            if len(cache) > self._plan_cache_size:
+                cache.popitem(last=False)
+        return plan
 
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
     def execute(self, sql: str):
         """Generator: run one SQL statement; returns a QueryResult."""
-        statement = parse(sql)
+        statement, nparams = self._parse_entry(sql)
+        if nparams:
+            raise QueryError(
+                "statement has %d unbound parameter(s); use prepare()"
+                % nparams
+            )
         if isinstance(statement, Select):
-            plan = self.planner.plan_select(statement)
+            plan = self.cached_plan(sql, statement)
             return (yield from self.execute_plan(plan))
         if isinstance(statement, Insert):
             return (yield from self._execute_insert(statement))
@@ -208,9 +272,14 @@ class QuerySession:
             return (yield from self._execute_delete(statement))
         raise QueryError("unsupported statement %r" % statement)
 
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """Parse once; returns a reusable handle with parameter binding."""
+        statement, nparams = self._parse_entry(sql)
+        return PreparedStatement(self, sql, statement, nparams)
+
     def plan(self, sql: str) -> PlanNode:
         """Plan without executing (EXPLAIN)."""
-        statement = parse(sql)
+        statement, _nparams = self._parse_entry(sql)
         if not isinstance(statement, Select):
             raise QueryError("only SELECT can be explained")
         return self.planner.plan_select(statement)
@@ -494,6 +563,64 @@ class QuerySession:
             yield from self.engine.delete(txn, stmt.table, key)
         yield from self.engine.commit(txn)
         return QueryResult(["deleted"], [(len(keys),)])
+
+
+class PreparedStatement:
+    """A parsed statement plus its reusable, parameter-bindable plan.
+
+    SELECTs are planned once as a *template* (Param placeholders stay in
+    the plan) and re-validated against the session's stats token; each
+    ``execute(*params)`` binds a cheap structural-sharing copy.  DML
+    binds at the AST level and runs the normal DML path.
+    """
+
+    __slots__ = ("session", "sql", "statement", "param_count",
+                 "is_select", "_template", "_template_token")
+
+    def __init__(self, session: QuerySession, sql: str, statement: Any,
+                 nparams: int):
+        self.session = session
+        self.sql = sql
+        self.statement = statement
+        self.param_count = nparams
+        self.is_select = isinstance(statement, Select)
+        self._template: Optional[PlanNode] = None
+        self._template_token: Optional[tuple] = None
+
+    def _select_plan(self, params: Tuple[Any, ...]) -> PlanNode:
+        session = self.session
+        token = session._stats_token(self.statement)
+        template = self._template
+        if template is None or token is None or token != self._template_token:
+            template = session.planner.plan_select(self.statement)
+            self._template = template
+            self._template_token = token
+        if not params:
+            return template
+        return bind_plan(template, params)
+
+    def execute(self, *params):
+        """Generator: run with ``params`` bound; returns a QueryResult."""
+        if len(params) != self.param_count:
+            raise QueryError(
+                "prepared statement wants %d parameter(s), got %d"
+                % (self.param_count, len(params))
+            )
+        session = self.session
+        if self.is_select:
+            plan = self._select_plan(params)
+            return (yield from session.execute_plan(plan))
+        statement = (
+            bind_statement(self.statement, params) if params
+            else self.statement
+        )
+        if isinstance(statement, Insert):
+            return (yield from session._execute_insert(statement))
+        if isinstance(statement, Update):
+            return (yield from session._execute_update(statement))
+        if isinstance(statement, Delete):
+            return (yield from session._execute_delete(statement))
+        raise QueryError("unsupported statement %r" % statement)
 
 
 class _Reversible:

@@ -17,7 +17,7 @@ KEYWORDS = {
 }
 
 _PUNCT = ("<=", ">=", "!=", "<>", "(", ")", ",", "*", "+", "-", "/", "=",
-          "<", ">", ".", ";")
+          "<", ">", ".", ";", "?")
 
 
 @dataclass(frozen=True)

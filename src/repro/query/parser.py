@@ -35,6 +35,7 @@ from .ast import (
     JoinClause,
     Like,
     Literal,
+    Param,
     Select,
     SelectItem,
     TableRef,
@@ -56,6 +57,13 @@ class Parser:
         self.sql = sql
         self.tokens = tokenize(sql)
         self.position = 0
+        #: Number of ``?`` placeholders seen (positional, left to right).
+        self.param_count = 0
+
+    def _param(self) -> Param:
+        param = Param(self.param_count)
+        self.param_count += 1
+        return param
 
     # -- token plumbing -----------------------------------------------------
     def _peek(self) -> Token:
@@ -225,6 +233,8 @@ class Parser:
             return token.value
         if token.is_keyword("null"):
             return None
+        if token.is_punct("?"):
+            return self._param()
         if token.is_punct("-"):
             inner = self._next()
             if inner.kind != "number":
@@ -328,6 +338,8 @@ class Parser:
             return Literal(token.value)
         if token.is_keyword("null"):
             return Literal(None)
+        if token.is_punct("?"):
+            return self._param()
         if token.is_punct("-"):
             return UnaryOp("-", self._factor())
         if token.is_punct("("):

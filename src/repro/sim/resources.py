@@ -228,9 +228,13 @@ class PriorityResource(Resource):
 
 
 class _StoreGet(Event):
-    """A pending take from a :class:`Store` (real slot for ``cancelled``)."""
+    """A pending take from a :class:`Store` (real slot for ``cancelled``).
 
-    __slots__ = ("cancelled",)
+    ``batched`` marks a :meth:`Store.get_upto` waiter, whose value is a
+    list of items rather than a single item.
+    """
+
+    __slots__ = ("cancelled", "batched")
 
     def __init__(self, env: Environment):
         self.env = env
@@ -239,6 +243,7 @@ class _StoreGet(Event):
         self._ok = True
         self._defused = False
         self.cancelled = False
+        self.batched = False
 
 
 class Store:
@@ -261,7 +266,7 @@ class Store:
             if getter.cancelled:
                 continue
             # Inlined succeed(): the getter is pending by construction.
-            getter._value = item
+            getter._value = [item] if getter.batched else item
             env = self.env
             seq = env._seq
             env._seq = seq + 1
@@ -272,6 +277,33 @@ class Store:
             return
         self._items.append(item)
 
+    def put_many(self, items) -> None:
+        """Deposit a batch of items in order; equivalent to repeated
+        :meth:`put` but with one call and (in the common uncontended
+        case) a single ``deque.extend`` instead of per-item appends."""
+        getters = self._getters
+        if not getters:
+            self._items.extend(items)
+            return
+        index = 0
+        count = len(items)
+        env = self.env
+        while getters and index < count:
+            getter = getters.popleft()
+            if getter.cancelled:
+                continue
+            item = items[index]
+            index += 1
+            getter._value = [item] if getter.batched else item
+            seq = env._seq
+            env._seq = seq + 1
+            if len(env._fast) < _FAST_BOUND:
+                env._fast.append((env._now, seq, getter, None))
+            else:
+                _heappush(env._queue, (env._now, seq, getter))
+        if index < count:
+            self._items.extend(items[index:] if index else items)
+
     def get(self, _new=object.__new__) -> Event:
         """Return an event that fires with the next item."""
         event = _new(_StoreGet)
@@ -281,9 +313,44 @@ class Store:
         event._ok = True
         event._defused = False
         event.cancelled = False
+        event.batched = False
         if self._items:
             # Inlined succeed() on the uncontended take.
             event._value = self._items.popleft()
+            env = event.env
+            seq = env._seq
+            env._seq = seq + 1
+            if len(env._fast) < _FAST_BOUND:
+                env._fast.append((env._now, seq, event, None))
+            else:
+                _heappush(env._queue, (env._now, seq, event))
+        else:
+            self._getters.append(event)
+        return event
+
+    def get_upto(self, limit: int, _new=object.__new__) -> Event:
+        """Return an event firing with a list of 1..``limit`` items.
+
+        Fires immediately (inline succeed) with everything queued, up to
+        ``limit``; otherwise parks like :meth:`get` and fires with a
+        single-item list on the next put.
+        """
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        event = _new(_StoreGet)
+        event.env = self.env
+        event.callbacks = []
+        event._value = _PENDING
+        event._ok = True
+        event._defused = False
+        event.cancelled = False
+        event.batched = True
+        items = self._items
+        if items:
+            take = len(items)
+            if take > limit:
+                take = limit
+            event._value = [items.popleft() for _ in range(take)]
             env = event.env
             seq = env._seq
             env._seq = seq + 1

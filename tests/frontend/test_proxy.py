@@ -178,3 +178,82 @@ def test_spec_validation_for_serving_fields():
     assert spec.replica_staleness_bound == 4096
     assert spec.admission_read_limit == 8
     assert spec.admission_queue_limit == 4
+
+
+def test_write_rolls_back_when_commit_fails():
+    dep = build()
+    session = dep.frontend_session("client")
+    insert_rows(dep, session, 5)
+    engine = dep.engine
+    rollbacks = []
+    real_commit = engine.commit
+    real_rollback = engine.rollback
+
+    def failing_commit(txn):
+        raise RuntimeError("simulated commit failure")
+        yield  # pragma: no cover
+
+    def recording_rollback(txn):
+        rollbacks.append(txn)
+        return (yield from real_rollback(txn))
+
+    engine.commit = failing_commit
+    engine.rollback = recording_rollback
+
+    def bump(txn):
+        yield from engine.update(txn, "kv", (2,), {"v": 111})
+        return True
+
+    def attempt():
+        try:
+            yield from session.write(bump)
+            return "committed"
+        except RuntimeError as exc:
+            return str(exc)
+
+    outcome = run(dep, attempt())
+    assert outcome == "simulated commit failure"
+    assert len(rollbacks) == 1  # commit failure must roll the txn back
+
+    engine.commit = real_commit
+    engine.rollback = real_rollback
+    # The failed transaction's locks were released: the same key is
+    # immediately writable again.
+    def bump2(txn):
+        yield from engine.update(txn, "kv", (2,), {"v": 222})
+        return True
+
+    assert run(dep, session.write(bump2)) is True
+    row = run(dep, session.read_row("kv", (2,)))
+    assert row[1] == 222
+
+
+def test_default_session_names_avoid_explicit_collisions():
+    dep = build()
+    proxy = dep.frontend
+    taken = proxy.session("session-1")
+    a = proxy.session()
+    b = proxy.session()
+    names = [taken.name, a.name, b.name]
+    assert len(set(names)) == 3
+    assert all(s.name in names for s in (taken, a, b))
+
+
+def test_proxy_prepared_statement_routes_like_plain_sql():
+    dep = build()
+    session = dep.frontend_session("client")
+    insert_rows(dep, session, 12)
+    dep.run_for(0.05)
+
+    select = session.prepare("SELECT k, v FROM kv WHERE k = ?")
+    assert select.param_count == 1
+    result = run(dep, select.execute(4))
+    assert [list(r) for r in result.rows] == [[4, 40]]
+    assert session.last_route.startswith("replica-")
+
+    update = session.prepare("UPDATE kv SET v = ? WHERE k = ?")
+    before = session.last_commit_lsn
+    run(dep, update.execute(777, 4))
+    assert session.last_commit_lsn > before  # DML went to the primary
+    row = run(dep, session.read_row("kv", (4,)))
+    assert row[1] == 777

@@ -212,3 +212,114 @@ def test_mutex_is_exclusive():
         env.process(critical(env))
     env.run()
     assert max(max_active) == 1
+
+
+def test_store_put_many_uncontended_extends_in_order():
+    env = Environment()
+    store = Store(env)
+    store.put_many([1, 2, 3])
+    store.put_many((4, 5))
+    got = []
+
+    def getter(env):
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(getter(env))
+    env.run()
+    assert got == [1, 2, 3, 4, 5]
+
+
+def test_store_put_many_wakes_waiting_getters_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def getter(env, name):
+        item = yield store.get()
+        got.append((name, item))
+
+    env.process(getter(env, "a"))
+    env.process(getter(env, "b"))
+
+    def putter(env):
+        yield env.timeout(1.0)
+        store.put_many([10, 20, 30])
+
+    env.process(putter(env))
+    env.run()
+    assert got == [("a", 10), ("b", 20)]
+    assert store.get_nowait() == 30
+
+
+def test_store_put_many_skips_cancelled_getters():
+    env = Environment()
+    store = Store(env)
+    first = store.get()
+    second = store.get()
+    first.cancelled = True
+    store.put_many(["x"])
+    env.run()
+    assert second.value == "x"
+
+
+def test_store_get_upto_takes_queued_batch():
+    env = Environment()
+    store = Store(env)
+    store.put_many([1, 2, 3, 4, 5])
+
+    def getter(env):
+        batch = yield store.get_upto(3)
+        rest = yield store.get_upto(10)
+        return batch, rest
+
+    p = env.process(getter(env))
+    env.run()
+    assert p.value == ([1, 2, 3], [4, 5])
+    assert len(store) == 0
+
+
+def test_store_get_upto_blocks_then_gets_single_item_list():
+    env = Environment()
+    store = Store(env)
+
+    def getter(env):
+        batch = yield store.get_upto(8)
+        return (env.now, batch)
+
+    def putter(env):
+        yield env.timeout(2.0)
+        store.put("solo")
+
+    p = env.process(getter(env))
+    env.process(putter(env))
+    env.run()
+    assert p.value == (2.0, ["solo"])
+
+
+def test_store_get_upto_woken_by_put_many():
+    env = Environment()
+    store = Store(env)
+
+    def getter(env):
+        batch = yield store.get_upto(4)
+        return batch
+
+    def putter(env):
+        yield env.timeout(1.0)
+        store.put_many(["a", "b"])
+
+    p = env.process(getter(env))
+    env.process(putter(env))
+    env.run()
+    # A parked batched getter is woken with one item; the rest stay queued.
+    assert p.value == ["a"]
+    assert store.get_nowait() == "b"
+
+
+def test_store_get_upto_rejects_bad_limit():
+    env = Environment()
+    store = Store(env)
+    with pytest.raises(ValueError):
+        store.get_upto(0)

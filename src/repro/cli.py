@@ -8,7 +8,9 @@ Usage::
     python -m repro fig14 --queries 1,6,13,22
     python -m repro trace --out trace.json
     python -m repro chaos --seed 7 --short
+    python -m repro chaos --shards 2
     python -m repro serve --seed 7 --replicas 2 --policy least-lag
+    python -m repro serve --shards 4
     python -m repro perf --quick
     python -m repro all
 
@@ -195,9 +197,14 @@ def cmd_chaos(args) -> int:
     """Run the seeded chaos soak and print its deterministic report."""
     import json
 
-    from .harness.soak import run_chaos_soak
+    from .harness.soak import run_chaos_soak, run_sharded_soak
 
-    report = run_chaos_soak(seed=args.seed, short=args.short)
+    if args.shards > 1:
+        report = run_sharded_soak(
+            seed=args.seed, shards=args.shards, short=args.short
+        )
+    else:
+        report = run_chaos_soak(seed=args.seed, short=args.short)
     print(json.dumps(report, sort_keys=True, indent=2))
     if not report["ok"]:
         print("chaos soak FAILED: %d invariant violation(s)"
@@ -217,6 +224,7 @@ def cmd_serve(args) -> int:
         replicas=args.replicas,
         policy=args.policy,
         duration=args.duration,
+        shards=args.shards,
         chaos=not args.no_chaos,
         read_limit=args.read_limit,
         queue_limit=args.queue_limit,
@@ -298,6 +306,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--short", action="store_true",
         help="smaller horizon/terminal count (CI smoke mode)"
     )
+    chaos_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="shard count; >1 runs the 2PC crash soak with the "
+             "in-doubt-transaction audit"
+    )
     serve_parser = sub.add_parser(
         "serve", help="serving layer: proxied reads over a replica fleet"
     )
@@ -309,6 +322,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument("--duration", type=float, default=1.5,
                               help="virtual seconds of mixed traffic")
+    serve_parser.add_argument("--shards", type=int, default=1,
+                              help="hash-shard the keyspace across N "
+                                   "primaries (cross-shard writes use 2PC)")
     serve_parser.add_argument("--no-chaos", action="store_true",
                               help="skip the replica crash/restart schedule")
     serve_parser.add_argument("--read-limit", type=int, default=None,

@@ -171,9 +171,16 @@ class DBEngine:
         self.ebp_writes_dropped = 0
         self.committed = 0
         self.aborted = 0
+        self.prepared = 0
+        self.decisions_logged = 0
         self.statements = 0
         self._daemons_started = False
         self.crashed = False
+        #: Restart epoch: bumped by crash().  Transactions are stamped at
+        #: begin(); any operation on a txn from an older epoch aborts -
+        #: a generator that slept through crash+recovery must not mutate
+        #: the rebuilt state.
+        self.epoch = 0
         #: Degraded mode: set while group commit is parked behind flush
         #: retries because the log backend is failing (all replicas down).
         self.degraded = False
@@ -401,11 +408,39 @@ class DBEngine:
     # Transactions
     # ------------------------------------------------------------------
     def begin(self) -> Transaction:
-        return Transaction(self.env)
+        self._check_up()
+        txn = Transaction(self.env)
+        txn.epoch = self.epoch
+        return txn
+
+    def _check_up(self) -> None:
+        if self.crashed:
+            raise StorageError("engine crashed")
+
+    def _check_epoch(self, txn: Transaction) -> None:
+        if getattr(txn, "epoch", self.epoch) != self.epoch:
+            raise TransactionAborted(
+                "txn %d predates engine restart" % txn.txn_id
+            )
 
     def _check_active(self, txn: Transaction) -> None:
+        self._check_up()
+        self._check_epoch(txn)
         if not txn.is_active:
             raise TransactionAborted("txn %d is %s" % (txn.txn_id, txn.status))
+
+    def _acquire(self, txn: Transaction, key) -> Generator:
+        """Generator: row lock with crash-window re-checks.
+
+        A crash may land while we sit in the lock queue; the wait then
+        completed against the pre-crash lock table, which was discarded.
+        Re-checking afterwards keeps stragglers from mutating rebuilt
+        state with locks nobody tracks.
+        """
+        self._check_up()
+        yield from self.locks.acquire(txn, key)
+        self._check_up()
+        self._check_epoch(txn)
 
     def _log_page_op(
         self,
@@ -427,6 +462,9 @@ class DBEngine:
         loser transactions.  Nobody waits here; the commit marker is what
         transactions block on.
         """
+        if txn.txn_id != 0:
+            self._check_up()
+            self._check_epoch(txn)
         lsn = self.lsn.allocate(op.log_bytes)
         apply_op(page, op, lsn)
         self.page_versions[page.page_id] = lsn
@@ -448,7 +486,7 @@ class DBEngine:
         table = self.catalog.table(table_name)
         yield from self.cpu.consume(self.config.stmt_cpu + self.config.row_cpu)
         key = table.key_of(values)
-        yield from self.locks.acquire(txn, (table_name, key))
+        yield from self._acquire(txn, (table_name, key))
         if table.lookup(key) is not None:
             raise QueryError("duplicate key %r in %s" % (key, table_name))
         row = table.schema.encode(list(values))
@@ -482,20 +520,30 @@ class DBEngine:
     def read_row(self, txn: Optional[Transaction], table_name: str,
                  key: Tuple[Any, ...], for_update: bool = False):
         """Generator: point read by primary key; returns values or None."""
+        self._check_up()
         table = self.catalog.table(table_name)
         yield from self.cpu.consume(self.config.stmt_cpu)
         if for_update:
             if txn is None:
                 raise QueryError("FOR UPDATE requires a transaction")
             self._check_active(txn)
-            yield from self.locks.acquire(txn, (table_name, key))
+            yield from self._acquire(txn, (table_name, key))
         for _attempt in range(4):
+            # The cpu/page yields may straddle a crash window: the wiped
+            # index must surface as an error, not a phantom miss (and a
+            # pre-crash locator must not decode rebuilt pages).
+            self._check_up()
+            if txn is not None:
+                self._check_epoch(txn)
             locator = table.lookup(key)
             if locator is None:
                 return None
             page_no, slot = locator
             page = yield from self.fetch_page(table.page_id(page_no))
             yield from self.cpu.consume(self.config.row_cpu)
+            self._check_up()
+            if txn is not None:
+                self._check_epoch(txn)
             try:
                 return table.schema.decode(page.get(slot))
             except KeyError:
@@ -510,7 +558,7 @@ class DBEngine:
         self._check_active(txn)
         table = self.catalog.table(table_name)
         yield from self.cpu.consume(self.config.stmt_cpu + self.config.row_cpu)
-        yield from self.locks.acquire(txn, (table_name, key))
+        yield from self._acquire(txn, (table_name, key))
         locator = table.lookup(key)
         if locator is None:
             raise QueryError("no row %r in %s" % (key, table_name))
@@ -593,7 +641,7 @@ class DBEngine:
         self._check_active(txn)
         table = self.catalog.table(table_name)
         yield from self.cpu.consume(self.config.stmt_cpu + self.config.row_cpu)
-        yield from self.locks.acquire(txn, (table_name, key))
+        yield from self._acquire(txn, (table_name, key))
         locator = table.lookup(key)
         if locator is None:
             raise QueryError("no row %r in %s" % (key, table_name))
@@ -656,6 +704,97 @@ class DBEngine:
                 span.finish()
             self.locks.release_all(txn)
 
+    # -- two-phase commit ------------------------------------------------------
+    def prepare(self, txn: Transaction, gtid: str):
+        """Generator: make this participant's vote durable (2PC phase 1).
+
+        The prepare marker rides group commit behind the transaction's
+        data records (FIFO), so once it is durable the whole write set is.
+        Locks are retained: a prepared transaction is in-doubt until the
+        coordinator's decision arrives (or recovery resolves it), and
+        nothing may observe its rows meanwhile.  Read-only participants
+        skip the marker - they have nothing to recover.
+        """
+        self._check_active(txn)
+        txn.gtid = gtid
+        if txn.records:
+            marker = RedoRecord(
+                lsn=self.lsn.allocate(24),
+                txn_id=txn.txn_id,
+                page_id=PageId(0, 0),
+                op=PageOp("format"),
+                prepare=True,
+                gtid=gtid,
+            )
+            txn.records.append(marker)
+            done = self.log.submit([marker], wait=True)
+            yield done
+        txn.status = "prepared"
+        self.prepared += 1
+
+    def commit_prepared(self, txn: Transaction):
+        """Generator: 2PC phase 2 commit of a prepared transaction."""
+        self._check_up()
+        if not txn.is_prepared:
+            raise TransactionAborted(
+                "txn %d is %s, not prepared" % (txn.txn_id, txn.status)
+            )
+        start = self.env.now
+        try:
+            if txn.records:
+                marker = RedoRecord(
+                    lsn=self.lsn.allocate(24),
+                    txn_id=txn.txn_id,
+                    page_id=PageId(0, 0),
+                    op=PageOp("format"),
+                    commit=True,
+                    gtid=txn.gtid,
+                )
+                txn.records.append(marker)
+                done = self.log.submit([marker], wait=True)
+                yield done
+            txn.status = "committed"
+            self.committed += 1
+            self._lat_commit.record(self.env.now - start)
+        finally:
+            self.locks.release_all(txn)
+
+    def abort_prepared(self, txn: Transaction):
+        """Generator: 2PC abort of a prepared transaction (presumed abort).
+
+        Reverts the txn to active and runs the normal logical rollback,
+        which compensates every logged record and closes the transaction
+        with an abort marker.
+        """
+        self._check_up()
+        if not txn.is_prepared:
+            raise TransactionAborted(
+                "txn %d is %s, not prepared" % (txn.txn_id, txn.status)
+            )
+        txn.status = "active"
+        yield from self.rollback(txn)
+
+    def log_decision(self, gtid: str):
+        """Generator: durably log the coordinator's commit decision.
+
+        Written to *this* engine's log (the coordinator shard); once
+        durable, the global transaction must commit everywhere - recovery
+        on any participant resolves the matching in-doubt txn to commit.
+        """
+        self._check_up()
+        marker = RedoRecord(
+            lsn=self.lsn.allocate(24),
+            txn_id=0,
+            page_id=PageId(0, 0),
+            op=PageOp("format"),
+            decision=True,
+            gtid=gtid,
+        )
+        done = self.log.submit([marker], wait=True)
+        yield done
+        self.decisions_logged += 1
+        return marker.lsn
+
     def rollback(self, txn: Transaction):
         """Generator: undo the transaction's effects, newest first.
 
@@ -667,6 +806,13 @@ class DBEngine:
         referencing the record it undoes; an abort marker closes the
         transaction so crash recovery knows it is fully resolved.
         """
+        if self.crashed or getattr(txn, "epoch", self.epoch) != self.epoch:
+            # Volatile state (locks, buffer pool) from the txn's epoch is
+            # already gone; its durable records become losers (or in-doubt
+            # txns) and recovery resolves them.  Nothing to do here.
+            txn.status = "aborted"
+            txn.locks.clear()
+            return
         if not txn.is_active:
             self.locks.release_all(txn)
             return
@@ -680,8 +826,18 @@ class DBEngine:
             else None
         )
         try:
-            for undo in reversed(entries):
-                yield from self._compensate(txn, undo)
+            try:
+                for undo in reversed(entries):
+                    yield from self._compensate(txn, undo)
+            except (StorageError, TransactionAborted):
+                if (not self.crashed
+                        and getattr(txn, "epoch", self.epoch) == self.epoch):
+                    raise
+                # Crash landed mid-rollback: the un-compensated records
+                # are durable losers and recovery undoes them.
+                txn.status = "aborted"
+                txn.locks.clear()
+                return
             if had_records:
                 marker = RedoRecord(
                     lsn=self.lsn.allocate(24),
@@ -767,25 +923,41 @@ class DBEngine:
     # Crash & recovery
     # ------------------------------------------------------------------
     def crash(self) -> None:
-        """Lose all volatile state (buffer pool, indexes, ship queue)."""
+        """Lose all volatile state (buffer pool, indexes, locks, queue)."""
         self.crashed = True
+        self.epoch += 1
         self.buffer_pool.clear()
         self._ship_queue.clear()
         for table in self.catalog.tables():
             table.clear_indexes()
             table.free_hints.clear()
         self.page_versions.clear()
+        # Locks are volatile.  Entry points reject traffic while crashed
+        # and recovery resolves every in-doubt txn before clearing the
+        # flag, so a fresh lock table cannot expose prepared writes.
+        # Counters carry over; stranded waiters on the old table abort
+        # via their own wait timeouts.
+        fresh = LockManager(self.env, wait_timeout=self.config.lock_wait_timeout)
+        fresh.waits = self.locks.waits
+        fresh.timeouts = self.locks.timeouts
+        fresh.deadlocks = self.locks.deadlocks
+        self.locks = fresh
 
-    def recover(self):
+    def recover(self, resolver=None):
         """Generator: ARIES-style restart using the log backend's tail.
 
         1. Fetch retained records from the log (SegmentRing binary search
            or LogStore scan).
         2. REDO everything into fresh page images via PageStore reads +
            local replay (PageStore already has most of it applied).
-        3. UNDO loser transactions (no commit marker).
-        4. Rebuild in-memory indexes by scanning table pages.
-        5. Optionally rebuild the EBP index from AStore server scans.
+        3. Resolve in-doubt transactions (durable prepare marker, no
+           commit/abort marker): commit if a matching decision marker is
+           in this log or ``resolver(gtid)`` affirms one is durable
+           elsewhere (the coordinator shard); otherwise presumed abort.
+        4. UNDO loser transactions (no commit marker) and presumed-abort
+           in-doubt transactions.
+        5. Rebuild in-memory indexes by scanning table pages.
+        6. Optionally rebuild the EBP index from AStore server scans.
         Returns statistics about the recovery.
         """
         records = yield from self.log_backend.recover()
@@ -793,6 +965,47 @@ class DBEngine:
             self.lsn.advance_to(max(r.lsn for r in records))
         committed_txns = {r.txn_id for r in records if r.commit}
         resolved_txns = {r.txn_id for r in records if r.abort}
+        #: Durable commit decisions this engine logged as a coordinator.
+        decisions_seen = sorted(
+            {r.gtid for r in records if r.decision and r.gtid is not None}
+        )
+        # In-doubt: prepared but neither committed nor aborted.
+        in_doubt: Dict[int, str] = {}
+        for record in records:
+            if not record.prepare or record.gtid is None:
+                continue
+            if record.txn_id in committed_txns or record.txn_id in resolved_txns:
+                continue
+            in_doubt[record.txn_id] = record.gtid
+        in_doubt_committed: List[str] = []
+        in_doubt_aborted: List[str] = []
+        resolution_markers: List[RedoRecord] = []
+        decided_here = set(decisions_seen)
+        for txn_id in sorted(in_doubt):
+            gtid = in_doubt[txn_id]
+            commit = gtid in decided_here or bool(resolver and resolver(gtid))
+            if commit:
+                # The decision is durable: finish phase 2 locally.
+                committed_txns.add(txn_id)
+                in_doubt_committed.append(gtid)
+            else:
+                # Presumed abort: no durable decision anywhere.  The txn
+                # joins the losers below and is undone; the abort marker
+                # resolves it for any later recovery.
+                in_doubt_aborted.append(gtid)
+            resolution_markers.append(
+                RedoRecord(
+                    lsn=self.lsn.allocate(24),
+                    txn_id=txn_id,
+                    page_id=PageId(0, 0),
+                    op=PageOp("format"),
+                    commit=commit,
+                    abort=not commit,
+                    gtid=gtid,
+                )
+            )
+        if resolution_markers:
+            self.log.submit(resolution_markers, wait=False)
         data_records = [r for r in records if not r.is_marker]
         if data_records:
             # Re-ship everything durable (PageStore dedups what it already
@@ -856,6 +1069,10 @@ class DBEngine:
             "committed_txns": len(committed_txns),
             "losers_undone": undone,
             "ebp_entries": ebp_entries,
+            "decisions": decisions_seen,
+            "in_doubt": len(in_doubt),
+            "in_doubt_committed": in_doubt_committed,
+            "in_doubt_aborted": in_doubt_aborted,
         }
 
     def warmup_from_ebp(self, limit: Optional[int] = None):

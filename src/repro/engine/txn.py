@@ -59,7 +59,12 @@ class Transaction:
         self.txn_id = next(ids)
         self.env = env
         self.start_time = env.now
-        self.status = "active"  # active -> committed | aborted
+        # active -> committed | aborted, or (two-phase commit participants)
+        # active -> prepared -> committed | aborted.
+        self.status = "active"
+        #: Global transaction id, set when this txn is prepared as a 2PC
+        #: participant; recovery matches it against decision markers.
+        self.gtid: Optional[str] = None
         self.records: List[RedoRecord] = []
         self.undo: List[UndoEntry] = []
         self.locks: List[Tuple[Any, Any]] = []  # (key, request) pairs
@@ -67,6 +72,10 @@ class Transaction:
     @property
     def is_active(self) -> bool:
         return self.status == "active"
+
+    @property
+    def is_prepared(self) -> bool:
+        return self.status == "prepared"
 
     def add_record(self, record: RedoRecord, undo: Optional[UndoEntry]) -> None:
         self.records.append(record)

@@ -49,11 +49,20 @@ class RedoRecord:
     #: For CLRs: the LSN of the original record this compensates.
     compensates: int = -1
     undo_row: Optional[bytes] = None
+    #: Two-phase commit markers.  A prepare marker makes a participant's
+    #: vote durable (its data records are flushed no later than the marker,
+    #: FIFO group commit); a decision marker is the coordinator's durable
+    #: commit decision for a global transaction.  Both carry the global
+    #: transaction id so recovery can match in-doubt participants against
+    #: decisions.
+    prepare: bool = False
+    decision: bool = False
+    gtid: Optional[str] = None
 
     @property
     def is_marker(self) -> bool:
         """Markers live in the log only; PageStore never applies them."""
-        return self.commit or self.abort
+        return self.commit or self.abort or self.prepare or self.decision
 
     @property
     def log_bytes(self) -> int:

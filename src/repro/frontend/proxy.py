@@ -38,10 +38,11 @@ from typing import Dict, Optional
 
 from ..common import QueryError, StorageError
 from ..obs import obs_of
-from ..query.ast import Select
-from ..query.cache import ParseCache
-from ..query.executor import QuerySession
+from ..query.ast import Delete, Insert, Select, Update
+from ..query.cache import ParseCache, bind_statement
+from ..query.executor import QueryResult, QuerySession
 from ..query.planner import PlannerConfig
+from ..shard import ShardVectorToken, merge_select_results
 from .admission import AdmissionController
 from .fleet import ReplicaFleet, ReplicaHandle
 
@@ -57,9 +58,11 @@ class ProxySession:
     def __init__(self, proxy: "SqlProxy", name: str):
         self.proxy = proxy
         self.name = name
-        #: Wait-for-LSN token: the durable LSN of this session's last
-        #: commit.  Routed reads must not observe anything older.
-        self.last_commit_lsn = 0
+        #: Wait-for-LSN token: one durable commit LSN per shard.  A read
+        #: routed to shard k must not observe anything older than
+        #: component k; single-shard proxies carry a one-entry vector,
+        #: so the scalar ``last_commit_lsn`` surface survives as a view.
+        self.token = ShardVectorToken(proxy.nshards)
         #: Where the last read landed ("primary" or a replica id).
         self.last_route: Optional[str] = None
         self.reads = 0
@@ -72,8 +75,17 @@ class ProxySession:
         self._replica_select = self._select_on_replica
         self._primary_select = self._select_on_primary
 
-    def note_commit_lsn(self, lsn: int) -> None:
-        self.last_commit_lsn = max(self.last_commit_lsn, lsn)
+    @property
+    def last_commit_lsn(self) -> int:
+        """Scalar view of the token (max component; exact on 1 shard)."""
+        return self.token.max_lsn()
+
+    def note_commit_lsn(self, lsn: int, shard: int = 0) -> None:
+        self.token.note(shard, lsn)
+
+    def note_commit_map(self, lsns) -> None:
+        """Advance the token by a ``{shard: lsn}`` commit map."""
+        self.token.note_map(lsns)
 
     # -- read path -----------------------------------------------------
     def _read_row_on_replica(self, handle: ReplicaHandle, table: str, key):
@@ -90,17 +102,44 @@ class ProxySession:
 
     def read_row(self, table: str, key):
         """Routed point read honouring the session token (generator)."""
-        return self.proxy.routed_read(
-            self, self._replica_read_row, self._primary_read_row, table, key
+        proxy = self.proxy
+        if proxy.nshards == 1:
+            return proxy.routed_read(
+                self, self._replica_read_row, self._primary_read_row,
+                table, key
+            )
+        shard = proxy.shardmap.read_shard_of(table, key)
+
+        def replica_leg(handle, table, key):
+            return handle.replica.read_row(table, key)
+
+        def primary_leg(table, key, shard=shard):
+            return proxy.engines[shard].read_row(None, table, key)
+
+        return proxy._routed_read(
+            self, replica_leg, primary_leg, (table, key), shard
         )
 
     def execute(self, sql: str):
         """Classify one SQL statement and route it (generator)."""
-        if type(self.proxy.parse_cache.get(sql)) is Select:
-            return self.proxy.routed_read(
-                self, self._replica_select, self._primary_select, sql
+        proxy = self.proxy
+        statement = proxy.parse_cache.get(sql)
+        if type(statement) is Select:
+            if proxy.nshards == 1:
+                return proxy.routed_read(
+                    self, self._replica_select, self._primary_select, sql
+                )
+            shards = proxy.shardmap.shards_for_select(
+                statement, proxy.engine.catalog
             )
-        return self.run_write(self._primary_execute(sql))
+            if len(shards) == 1:
+                return proxy.single_shard_select(
+                    self, sql, next(iter(shards))
+                )
+            return proxy.scatter_select(self, sql, statement, sorted(shards))
+        if proxy.nshards == 1:
+            return self.run_write(self._primary_execute(sql))
+        return proxy.distributed_dml(self, statement)
 
     def prepare(self, sql: str) -> "PreparedProxyStatement":
         """Parse/classify once; returns a routable prepared handle."""
@@ -125,7 +164,7 @@ class ProxySession:
         ticket = None
         if admission is not None:
             ticket = yield from admission.admit(SqlProxy.WRITE_CLASS)
-        engine = proxy.engine
+        engine = proxy.write_engine
         start = proxy.env.now
         try:
             txn = engine.begin()
@@ -139,10 +178,14 @@ class ProxySession:
             except Exception:
                 yield from engine.rollback(txn)
                 raise
-            self.note_commit_lsn(
-                max((record.lsn for record in txn.records),
-                    default=engine.log.persistent_lsn)
-            )
+            commit_lsns = getattr(txn, "commit_lsns", None)
+            if commit_lsns is not None:
+                self.note_commit_map(commit_lsns)
+            else:
+                self.note_commit_lsn(
+                    max((record.lsn for record in txn.records),
+                        default=engine.log.persistent_lsn)
+                )
             self.writes += 1
             proxy.writes += 1
             return result
@@ -163,7 +206,15 @@ class ProxySession:
         start = proxy.env.now
         try:
             result = yield from gen
-            self.note_commit_lsn(proxy.engine.log.persistent_lsn)
+            if proxy.nshards == 1:
+                self.note_commit_lsn(proxy.engine.log.persistent_lsn)
+            else:
+                # Opaque writes may have touched any shard: advance the
+                # token to every durable tail (conservative but correct).
+                self.note_commit_map({
+                    shard: engine.log.persistent_lsn
+                    for shard, engine in enumerate(proxy.engines)
+                })
             self.writes += 1
             proxy.writes += 1
             return result
@@ -184,6 +235,7 @@ class PreparedProxyStatement:
     def __init__(self, session: ProxySession, sql: str, statement):
         self.session = session
         self.sql = sql
+        self.statement = statement
         self.is_select = type(statement) is Select
         self._prepared: Dict[str, object] = {}
         self._replica_leg = self._execute_on_replica
@@ -217,8 +269,11 @@ class PreparedProxyStatement:
     def execute(self, *params):
         """Route one execution with ``params`` bound (generator)."""
         session = self.session
+        proxy = session.proxy
+        if proxy.nshards > 1:
+            return proxy.prepared_execute(self, session, params)
         if self.is_select:
-            return session.proxy.routed_read(
+            return proxy.routed_read(
                 session, self._replica_leg, self._primary_leg, params
             )
         return session.run_write(self._prepared["primary"].execute(*params))
@@ -238,6 +293,9 @@ class SqlProxy:
         admission: Optional[AdmissionController] = None,
         wait_timeout: float = 0.02,
         parse_cache_size: int = 256,
+        shardmap=None,
+        coordinator=None,
+        shard_targets=None,
     ):
         if wait_timeout <= 0:
             raise ValueError("wait_timeout must be positive")
@@ -246,6 +304,21 @@ class SqlProxy:
         self.fleet = fleet
         self.admission = admission
         self.wait_timeout = wait_timeout
+        # Shard routing: one (engine, fleet, admission) target per shard.
+        # An unsharded proxy is the one-target degenerate case, so every
+        # routing path below is uniform over shard indices.
+        if shard_targets is None:
+            shard_targets = [(engine, fleet, admission)]
+        self.nshards = len(shard_targets)
+        if self.nshards > 1 and (shardmap is None or coordinator is None):
+            raise ValueError(
+                "a sharded proxy needs both a shardmap and a coordinator"
+            )
+        self.shardmap = shardmap
+        self.coordinator = coordinator
+        self.engines = [target[0] for target in shard_targets]
+        self.fleets = [target[1] for target in shard_targets]
+        self.admissions = [target[2] for target in shard_targets]
         self.parse_cache = ParseCache(capacity=parse_cache_size)
         self.sessions = []
         self._session_names = set()
@@ -253,14 +326,20 @@ class SqlProxy:
         self.reads_primary = 0
         self.writes = 0
         self.reroutes = 0
+        self.scatter_selects = 0
+        self.distributed_writes = 0
         self.bounces = {reason: 0 for reason in BOUNCE_REASONS}
         self.per_replica_reads: Dict[str, int] = {}
-        if fleet is not None:
-            self.per_replica_reads = {
-                handle.replica_id: 0 for handle in fleet.handles
-            }
+        for shard, shard_fleet in enumerate(self.fleets):
+            if shard_fleet is not None:
+                for handle in shard_fleet.handles:
+                    key = self._replica_key(shard, handle.replica_id)
+                    self.per_replica_reads[key] = 0
         self._replica_sessions: Dict[str, QuerySession] = {}
-        self._primary_session_cache: Optional[QuerySession] = None
+        self._primary_sessions: Dict[int, QuerySession] = {}
+        # Unsharded proxies write straight at the primary; sharded ones
+        # build a CoordinatorSession lazily on first write.
+        self._write_engine = engine if self.nshards == 1 else None
         registry = obs_of(env).registry
         self._read_latency = registry.latency("frontend.proxy_read")
         self._write_latency = registry.latency("frontend.proxy_write")
@@ -270,9 +349,17 @@ class SqlProxy:
             "reads_primary": self.reads_primary,
             "writes": self.writes,
             "reroutes": self.reroutes,
+            "scatter_selects": self.scatter_selects,
+            "distributed_writes": self.distributed_writes,
             "bounces": dict(self.bounces),
             "per_replica_reads": dict(self.per_replica_reads),
         })
+
+    def _replica_key(self, shard: int, replica_id: str) -> str:
+        """Stable id for one replica; unprefixed on a 1-shard proxy."""
+        if self.nshards == 1:
+            return replica_id
+        return "s%d:%s" % (shard, replica_id)
 
     # ------------------------------------------------------------------
     # Sessions
@@ -293,23 +380,44 @@ class SqlProxy:
 
     @property
     def primary_session(self) -> QuerySession:
-        """A plain (no push-down) SQL session against the primary."""
-        if self._primary_session_cache is None:
-            self._primary_session_cache = QuerySession(
-                self.engine,
+        """A plain (no push-down) SQL session against shard 0's primary."""
+        return self.primary_session_for(0)
+
+    @property
+    def write_engine(self):
+        """The engine-shaped surface session writes run against.
+
+        Unsharded: the primary DBEngine.  Sharded: a cached
+        CoordinatorSession, so ``ProxySession.write`` transactions route
+        rows to their home shards (and 2PC when they cross shards)."""
+        if self._write_engine is None:
+            from ..shard import CoordinatorSession
+
+            self._write_engine = CoordinatorSession(self.coordinator, home=0)
+        return self._write_engine
+
+    def primary_session_for(self, shard: int) -> QuerySession:
+        """The cached SQL session against one shard's primary."""
+        session = self._primary_sessions.get(shard)
+        if session is None:
+            session = QuerySession(
+                self.engines[shard],
                 planner_config=PlannerConfig(enable_pushdown=False),
                 parse_cache=self.parse_cache,
             )
-        return self._primary_session_cache
+            self._primary_sessions[shard] = session
+        return session
 
-    def replica_session(self, handle: ReplicaHandle) -> QuerySession:
+    def replica_session(self, handle: ReplicaHandle,
+                        shard: int = 0) -> QuerySession:
         """The per-replica SQL session (SELECT-only, replica-local).
 
         ``QuerySession``'s read path only touches ``engine.catalog``,
         ``engine.fetch_page``, and ``engine.cpu``, all of which the
         standby provides, so the same executor serves replica reads.
         """
-        session = self._replica_sessions.get(handle.replica_id)
+        key = self._replica_key(shard, handle.replica_id)
+        session = self._replica_sessions.get(key)
         if session is None:
             handle.replica.sync_catalog()
             session = QuerySession(
@@ -317,7 +425,7 @@ class SqlProxy:
                 planner_config=PlannerConfig(enable_pushdown=False),
                 parse_cache=self.parse_cache,
             )
-            self._replica_sessions[handle.replica_id] = session
+            self._replica_sessions[key] = session
         return session
 
     # ------------------------------------------------------------------
@@ -337,20 +445,26 @@ class SqlProxy:
     # ------------------------------------------------------------------
     def routed_read(self, session: ProxySession, replica_fn, primary_fn,
                     *args):
-        """Generator: admit, route, and consistency-gate one read.
+        """Admit, route, and consistency-gate one read (shard 0).
 
         ``replica_fn(handle, *args)`` / ``primary_fn(*args)`` are
         generator factories for the two destinations; ``args`` carry the
         statement so the factories can be reusable bound methods.
+        Returns the routing generator directly - no wrapper frame on the
+        per-read hot path.
         """
-        admission = self.admission
+        return self._routed_read(session, replica_fn, primary_fn, args, 0)
+
+    def _routed_read(self, session: ProxySession, replica_fn, primary_fn,
+                     args, shard: int):
+        admission = self.admissions[shard]
         ticket = None
         if admission is not None:
             ticket = yield from admission.admit(self.READ_CLASS)
         start = self.env.now
         try:
             result = yield from self._route(
-                session, replica_fn, primary_fn, args
+                session, replica_fn, primary_fn, args, shard
             )
             session.reads += 1
             return result
@@ -359,9 +473,10 @@ class SqlProxy:
             if ticket is not None:
                 admission.release(self.READ_CLASS, ticket)
 
-    def _route(self, session: ProxySession, replica_fn, primary_fn, args):
-        fleet = self.fleet
-        token = session.last_commit_lsn
+    def _route(self, session: ProxySession, replica_fn, primary_fn, args,
+               shard: int = 0):
+        fleet = self.fleets[shard]
+        token = session.token.lsns[shard]
         for _attempt in range(2):
             handle = fleet.choose(session) if fleet else None
             if handle is None:
@@ -403,8 +518,12 @@ class SqlProxy:
                 continue
             handle.reads_served += 1
             self.reads_replica += 1
-            self.per_replica_reads[handle.replica_id] += 1
-            session.last_route = handle.replica_id
+            if self.nshards == 1:
+                key = handle.replica_id
+            else:
+                key = "s%d:%s" % (shard, handle.replica_id)
+            self.per_replica_reads[key] += 1
+            session.last_route = key
             return result
         return (
             yield from self._primary_read(session, primary_fn, "rerouted",
@@ -417,3 +536,235 @@ class SqlProxy:
         self.reads_primary += 1
         session.last_route = "primary"
         return (yield from primary_fn(*args))
+
+    # ------------------------------------------------------------------
+    # Sharded routing (nshards > 1)
+    # ------------------------------------------------------------------
+    def single_shard_select(self, session: ProxySession, sql: str,
+                            shard: int):
+        """A SELECT pinned to one shard: the classic routed read, aimed
+        at that shard's fleet/primary (generator)."""
+
+        def replica_leg(handle, sql):
+            return self.replica_session(handle, shard).execute(sql)
+
+        def primary_leg(sql):
+            return self.primary_session_for(shard).execute(sql)
+
+        return self._routed_read(
+            session, replica_leg, primary_leg, (sql,), shard
+        )
+
+    def scatter_select(self, session: ProxySession, sql: str, statement,
+                       shards):
+        """Generator: fan one SELECT out to ``shards`` and merge."""
+        return (
+            yield from self._scatter(session, statement, shards, sql=sql)
+        )
+
+    def scatter_statement(self, session: ProxySession, statement, shards):
+        """Generator: scatter an already-bound SELECT AST (prepared path)."""
+        return (
+            yield from self._scatter(session, statement, shards, sql=None)
+        )
+
+    def _scatter(self, session: ProxySession, statement, shards, sql):
+        """Generator: run one SELECT per target shard, merge the results.
+
+        Admission is charged once (on the lowest target shard), not once
+        per shard; each per-shard leg still gets the full routed-read
+        treatment (token wait, reroute, primary bounce).
+        """
+        admission = self.admissions[shards[0]]
+        ticket = None
+        if admission is not None:
+            ticket = yield from admission.admit(self.READ_CLASS)
+        start = self.env.now
+        try:
+            results = []
+            for shard in shards:
+                if sql is not None:
+                    def replica_leg(handle, arg, shard=shard):
+                        return self.replica_session(handle, shard).execute(arg)
+
+                    def primary_leg(arg, shard=shard):
+                        return self.primary_session_for(shard).execute(arg)
+
+                    arg = sql
+                else:
+                    def replica_leg(handle, arg, shard=shard):
+                        return self.replica_session(
+                            handle, shard).execute_statement(arg)
+
+                    def primary_leg(arg, shard=shard):
+                        return self.primary_session_for(
+                            shard).execute_statement(arg)
+
+                    arg = statement
+                results.append((
+                    yield from self._route(
+                        session, replica_leg, primary_leg, (arg,), shard
+                    )
+                ))
+            self.scatter_selects += 1
+            session.reads += 1
+            return merge_select_results(statement, results)
+        finally:
+            self._read_latency.record(self.env.now - start)
+            if ticket is not None:
+                admission.release(self.READ_CLASS, ticket)
+
+    def prepared_execute(self, prepared: "PreparedProxyStatement",
+                         session: ProxySession, params):
+        """Route one sharded prepared execution (generator).
+
+        Binding must precede classification - the shard column is
+        usually a parameter - so sharded prepared statements dispatch
+        the bound AST and re-plan per execution instead of using the
+        per-destination plan templates of the unsharded path.
+        """
+        statement = (
+            bind_statement(prepared.statement, params) if params
+            else prepared.statement
+        )
+        if prepared.is_select:
+            shards = self.shardmap.shards_for_select(
+                statement, self.engine.catalog
+            )
+            if len(shards) == 1:
+                shard = next(iter(shards))
+
+                def replica_leg(handle, statement):
+                    return self.replica_session(
+                        handle, shard).execute_statement(statement)
+
+                def primary_leg(statement):
+                    return self.primary_session_for(
+                        shard).execute_statement(statement)
+
+                return self._routed_read(
+                    session, replica_leg, primary_leg, (statement,), shard
+                )
+            return self.scatter_statement(session, statement, sorted(shards))
+        return self.distributed_dml(session, statement)
+
+    def distributed_dml(self, session: ProxySession, statement):
+        """Generator: route one DML statement by its shard set.
+
+        A statement pinned to one shard runs as a plain local
+        transaction there - no prepare, no decision record - while
+        anything touching several shards runs through the coordinator as
+        two-phase commit.  Admission is charged once, on the lowest
+        target shard, so a multi-shard statement does not consume a
+        write slot per participant.
+        """
+        shards = sorted(self.shardmap.shards_for_dml(
+            statement, self.engine.catalog
+        ))
+        admission = self.admissions[shards[0]]
+        ticket = None
+        if admission is not None:
+            ticket = yield from admission.admit(self.WRITE_CLASS)
+        start = self.env.now
+        try:
+            if len(shards) == 1:
+                shard = shards[0]
+                result = yield from self.primary_session_for(
+                    shard).execute_statement(statement)
+                session.note_commit_lsn(
+                    self.engines[shard].log.persistent_lsn, shard
+                )
+            else:
+                result = yield from self._two_phase_dml(
+                    session, statement, shards
+                )
+            session.writes += 1
+            self.writes += 1
+            return result
+        finally:
+            self._write_latency.record(self.env.now - start)
+            if ticket is not None:
+                admission.release(self.WRITE_CLASS, ticket)
+
+    def _two_phase_dml(self, session: ProxySession, statement, shards):
+        """Generator: run one multi-shard DML as a distributed txn.
+
+        INSERT rows route individually through the coordinator (which
+        broadcasts replicated tables); UPDATE/DELETE first collect
+        matching primary keys from every target shard's scan, then apply
+        the writes through the coordinator so each row lands on - and
+        locks - its home shard.
+        """
+        coordinator = self.coordinator
+        catalog = self.engine.catalog
+        dtxn = coordinator.begin()
+        try:
+            if isinstance(statement, Insert):
+                table = catalog.table(statement.table)
+                inserted = 0
+                for row in statement.rows:
+                    if statement.columns is not None:
+                        values = [None] * len(table.schema)
+                        for column, value in zip(statement.columns, row):
+                            values[table.schema.position(column)] = value
+                    else:
+                        values = list(row)
+                    yield from coordinator.insert(
+                        dtxn, statement.table, values
+                    )
+                    inserted += 1
+                result = QueryResult(["inserted"], [(inserted,)])
+            elif isinstance(statement, (Update, Delete)):
+                table = catalog.table(statement.table)
+                # Replicated tables hold the same rows everywhere: scan
+                # one shard for keys, let the coordinator broadcast.
+                scan_shards = (
+                    shards[:1]
+                    if self.shardmap.spec_of(statement.table).replicated
+                    else shards
+                )
+                keys = []
+                seen = set()
+                for shard in scan_shards:
+                    found = yield from self.primary_session_for(
+                        shard)._matching_keys(table, statement.where)
+                    for key in found:
+                        if key not in seen:
+                            seen.add(key)
+                            keys.append(key)
+                if isinstance(statement, Update):
+                    for key in keys:
+                        current = yield from coordinator.read_row(
+                            dtxn, statement.table, key, for_update=True
+                        )
+                        row = {
+                            "%s.%s" % (table.name, name): value
+                            for name, value in zip(
+                                table.schema.names, current
+                            )
+                        }
+                        changes = {
+                            column: expr.eval(row)
+                            for column, expr in statement.assignments.items()
+                        }
+                        yield from coordinator.update(
+                            dtxn, statement.table, key, changes
+                        )
+                    result = QueryResult(["updated"], [(len(keys),)])
+                else:
+                    for key in keys:
+                        yield from coordinator.delete(
+                            dtxn, statement.table, key
+                        )
+                    result = QueryResult(["deleted"], [(len(keys),)])
+            else:
+                raise QueryError("unsupported statement %r" % statement)
+            yield from coordinator.commit(dtxn)
+        except BaseException:
+            # Harmless for decided txns: coordinator.rollback leaves
+            # those to resume_decided()/recovery.
+            yield from coordinator.rollback(dtxn)
+            raise
+        self.distributed_writes += 1
+        session.note_commit_map(dtxn.commit_lsns)
+        return result

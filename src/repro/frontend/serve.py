@@ -17,6 +17,7 @@ them).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from ..common import KB, MS, OverloadError, QueryError, TransactionAborted
@@ -38,9 +39,26 @@ SERVE_TPCC = TpccConfig(
 )
 
 
+def _stacked_stat(snapshot, dep, *path):
+    """Read a per-stack metric: unprefixed on one shard, summed over the
+    ``shardK.`` subtrees otherwise."""
+    if dep.config.shards == 1:
+        node = snapshot
+        for part in path:
+            node = node[part]
+        return node
+    total = 0
+    for index in range(dep.config.shards):
+        node = snapshot.get("shard%d" % index, {})
+        for part in path:
+            node = node.get(part, 0) if isinstance(node, dict) else 0
+        total += node
+    return total
+
+
 def _load_serve_table(dep) -> None:
     """Create and preload the ``sbserve`` read table (version 0 rows)."""
-    engine = dep.engine
+    engine = dep.shard_session(0) if dep.config.shards > 1 else dep.engine
     engine.create_table(
         "sbserve",
         Schema([
@@ -153,6 +171,7 @@ def run_serving(
     replicas: int = 2,
     policy: str = "least-lag",
     duration: float = 1.5,
+    shards: int = 1,
     write_terminals: int = 2,
     mixed_sessions: int = 3,
     read_sessions: int = 4,
@@ -173,10 +192,18 @@ def run_serving(
     etc.) let overload experiments force shedding.  ``_bench`` is a
     private sink the perf harness passes to collect kernel counters
     (event count, statement totals) without touching the report schema.
+
+    ``shards > 1`` runs the same scenario over a hash-sharded deployment:
+    each shard gets its own primary, log, and replica fleet; TPC-C
+    terminals pin to warehouse home shards, single-shard statements route
+    directly, cross-shard writes run 2PC, and range SELECTs
+    scatter-gather.  Session tokens become per-shard vectors, so the
+    read-your-writes audit checks the vector-token path end to end.
+    ``shards == 1`` is byte-identical to the pre-sharding scenario.
     """
     spec = DeploymentSpec.astore_ebp(
         seed=seed, astore_servers=4
-    ).with_engine(
+    ).with_shards(shards).with_engine(
         buffer_pool_bytes=48 * 16 * KB
     ).with_replicas(
         replicas,
@@ -197,15 +224,34 @@ def run_serving(
     env = dep.env
     proxy = dep.frontend
 
-    database = TpccDatabase(dep.engine, SERVE_TPCC,
+    tpcc_config = SERVE_TPCC
+    if shards > 1:
+        # Warehouse-partitioned TPC-C plus the sbserve read table
+        # hash-sharded on its key; loads route through the coordinator.
+        from ..shard import ShardKeySpec
+        from ..workloads.tpcc import register_tpcc_sharding
+
+        tpcc_config = dataclasses.replace(
+            SERVE_TPCC, warehouses=2 * shards, remote_item_prob=0.10
+        )
+        register_tpcc_sharding(dep.shardmap)
+        dep.shardmap.set_table("sbserve", ShardKeySpec(column_pos=0))
+        load_engine = dep.shard_session(0)
+    else:
+        load_engine = dep.engine
+    database = TpccDatabase(load_engine, tpcc_config,
                             dep.seeds.stream("serve-tpcc-load"))
     load = env.process(database.load(), name="serve-tpcc-load")
     env.run_until_event(load)
     _load_serve_table(dep)
-    dep.fleet.sync_catalogs()
+    for stack in dep.shards:
+        stack.fleet.sync_catalogs()
     # Sessions inherit the preload as their consistency floor: every
     # routed read must at least see the version-0 rows.
-    preload_lsn = dep.engine.log.persistent_lsn
+    preload_lsns = {
+        index: stack.engine.log.persistent_lsn
+        for index, stack in enumerate(dep.shards)
+    }
 
     injector = None
     victim = "replica-%d" % (replicas - 1)
@@ -216,10 +262,21 @@ def run_serving(
         injector = ChaosInjector(dep, schedule)
         injector.start()
 
-    terminals = [
-        TpccClient(database, dep.seeds.stream("serve-terminal-%d" % i))
-        for i in range(write_terminals)
-    ]
+    terminals = []
+    for i in range(write_terminals):
+        if shards > 1:
+            w_id = (i % tpcc_config.warehouses) + 1
+            terminals.append(TpccClient(
+                database, dep.seeds.stream("serve-terminal-%d" % i),
+                home_warehouse=w_id,
+                engine=dep.shard_session(
+                    dep.shardmap.read_shard_of("warehouse", (w_id,))
+                ),
+            ))
+        else:
+            terminals.append(TpccClient(
+                database, dep.seeds.stream("serve-terminal-%d" % i)
+            ))
     tpcc_stats = {"shed": 0}
     mixed_stats = [
         {"writes": 0, "aborted": 0, "checks": 0, "stale_reads": 0,
@@ -234,23 +291,23 @@ def run_serving(
     procs = []
     for index, client in enumerate(terminals):
         session = proxy.session("tpcc-%d" % index)
-        session.note_commit_lsn(preload_lsn)
+        session.note_commit_map(preload_lsns)
         procs.append(env.process(
             _tpcc_driver(env, session, client, duration, tpcc_stats),
             name="serve-tpcc-%d" % index,
         ))
     for index, stats in enumerate(mixed_stats):
         session = proxy.session("mixed-%d" % index)
-        session.note_commit_lsn(preload_lsn)
+        session.note_commit_map(preload_lsns)
         procs.append(env.process(
-            _mixed_driver(env, session, dep.engine,
+            _mixed_driver(env, session, proxy.write_engine,
                           dep.seeds.stream("serve-mixed-%d" % index),
                           duration, stats),
             name="serve-mixed-%d" % index,
         ))
     for index, stats in enumerate(read_stats):
         session = proxy.session("read-%d" % index)
-        session.note_commit_lsn(preload_lsn)
+        session.note_commit_map(preload_lsns)
         procs.append(env.process(
             _read_driver(env, session,
                          dep.seeds.stream("serve-read-%d" % index),
@@ -349,13 +406,24 @@ def run_serving(
         "counters": {
             "detector_replicas_drained":
                 dep.detector.replicas_drained if dep.detector else 0,
-            "ebp_hits": stats_snapshot["ebp"]["hits"],
-            "pagestore_page_reads":
-                stats_snapshot["pagestore"]["page_reads"],
+            "ebp_hits": _stacked_stat(stats_snapshot, dep, "ebp", "hits"),
+            "pagestore_page_reads": _stacked_stat(
+                stats_snapshot, dep, "pagestore", "page_reads"),
         },
         "violations": violations,
         "ok": stale_reads == 0 and missing_rows == 0,
     }
+    if shards > 1:
+        report["sharding"] = {
+            "shards": shards,
+            "scatter_selects": proxy.scatter_selects,
+            "distributed_writes": proxy.distributed_writes,
+            "coordinator": dep.coordinator.counters(),
+            "per_shard_committed": {
+                "shard%d" % index: stack.engine.committed
+                for index, stack in enumerate(dep.shards)
+            },
+        }
     if _bench is not None:
         _bench["events"] = env._seq
         _bench["statements"] = (

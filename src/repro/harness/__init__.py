@@ -1,6 +1,6 @@
 """Experiment harness: deployments, runners, chaos injection, stats."""
 from .chaos import ChaosEvent, ChaosInjector, ChaosMonkey, ChaosSchedule
-from .deployment import Deployment, DeploymentConfig, DeploymentSpec
+from .deployment import Deployment, DeploymentConfig, DeploymentSpec, ShardStack
 from .soak import run_chaos_soak
 from .stats import collect_stats, format_stats
 
@@ -8,6 +8,7 @@ __all__ = [
     "Deployment",
     "DeploymentSpec",
     "DeploymentConfig",
+    "ShardStack",
     "ChaosEvent",
     "ChaosSchedule",
     "ChaosInjector",

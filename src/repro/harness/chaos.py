@@ -51,7 +51,17 @@ class ChaosEvent:
       the failure detector drains it and the proxy reroutes its reads,
       and a restart rebuilds from PageStore in the background;
     - ``network_spike`` - for ``duration`` seconds, multiply the RPC
-      network's scheduling-stall probability by ``factor``.
+      network's scheduling-stall probability by ``factor``;
+    - ``shard_crash`` / ``shard_recover`` - power-fail the shard primary
+      whose index is ``target`` (e.g. ``"1"``) / run the coordinator's
+      full recovery choreography for it (decision harvest, redo with
+      in-doubt resolution, resume of decided 2PC transactions);
+    - ``twopc_failpoint`` - arm the 2PC coordinator to crash a shard at
+      protocol instant ``target`` (one of
+      :data:`repro.shard.coordinator.FAILPOINTS`); ``peer`` names the
+      participant shard index, or ``"*"`` for the statement's
+      coordinator shard.  The crash fires on the next cross-shard
+      commit; pair with a later ``shard_recover``.
     """
 
     at: float
@@ -73,6 +83,9 @@ class ChaosEvent:
         "replica_crash",
         "replica_restart",
         "network_spike",
+        "shard_crash",
+        "shard_recover",
+        "twopc_failpoint",
     )
 
     def __post_init__(self):
@@ -184,6 +197,29 @@ class ChaosInjector:
                 env, "restarted replica %s (rebuild in background)"
                 % event.target
             )
+        elif event.kind == "shard_crash":
+            shard = int(event.target)
+            dep.engines[shard].crash()
+            self._note(env, "crashed shard %d primary" % shard)
+        elif event.kind == "shard_recover":
+            shard = int(event.target)
+            if dep.engines[shard].crashed:
+                stats = yield from self._coordinator().recover_shard(shard)
+                self._note(
+                    env,
+                    "recovered shard %d (%d redo, %d in-doubt committed)"
+                    % (shard, stats.get("redone", 0),
+                       len(stats.get("in_doubt_committed", ()))),
+                )
+            else:
+                self._note(env, "shard %d already up" % shard)
+        elif event.kind == "twopc_failpoint":
+            shard = None if event.peer == "*" else int(event.peer)
+            self._coordinator().arm_failpoint(event.target, shard)
+            self._note(
+                env, "armed 2PC failpoint %s (shard %s)"
+                % (event.target, "coord" if shard is None else shard)
+            )
         elif event.kind == "network_spike":
             network = dep.pagestore.network
             if not self._spike_factors:
@@ -208,6 +244,15 @@ class ChaosInjector:
         for factor in self._spike_factors:
             probability *= factor
         network.spike_probability = min(1.0, probability)
+
+    def _coordinator(self):
+        coordinator = getattr(self.deployment, "coordinator", None)
+        if coordinator is None:
+            raise ValueError(
+                "shard chaos needs a sharded deployment "
+                "(DeploymentSpec.with_shards)"
+            )
+        return coordinator
 
     def _fleet(self):
         fleet = getattr(self.deployment, "fleet", None)

@@ -52,7 +52,7 @@ from ..sim.rand import SeedSequence
 from ..storage.logstore import LogStore
 from ..storage.pagestore import PageStoreService
 
-__all__ = ["Deployment", "DeploymentSpec", "DeploymentConfig"]
+__all__ = ["Deployment", "DeploymentSpec", "DeploymentConfig", "ShardStack"]
 
 
 @dataclass
@@ -71,6 +71,11 @@ class DeploymentSpec:
     enable_pushdown: bool = False
     #: Record virtual-time spans (Chrome trace export) for this deployment.
     trace: bool = False
+    #: Hash-shard the keyspace across this many independent primaries,
+    #: each with its own REDO log, PageStore and replica chain (1 = the
+    #: classic single-primary deployment, byte-identical to the
+    #: pre-sharding construction).
+    shards: int = 1
     # Engine.
     engine: EngineConfig = field(default_factory=EngineConfig)
     # EBP.
@@ -151,6 +156,8 @@ class DeploymentSpec:
                 "ebp_capacity_bytes (%d) below one segment (%d)"
                 % (self.ebp_capacity_bytes, self.ebp_segment_bytes)
             )
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1, got %r" % self.shards)
         if self.log_replication > self.astore_servers:
             raise ValueError(
                 "log_replication (%d) exceeds astore_servers (%d)"
@@ -200,6 +207,17 @@ class DeploymentSpec:
     # ------------------------------------------------------------------
     def with_seed(self, seed: int) -> "DeploymentSpec":
         return dataclasses.replace(self, seed=seed)
+
+    def with_shards(self, n: int) -> "DeploymentSpec":
+        """Hash-shard the keyspace across ``n`` primaries.
+
+        Each shard gets its own full vertical stack (REDO log, PageStore,
+        engine, and - with ``with_replicas`` - its own standby chain);
+        cross-shard transactions run as two-phase commit through
+        ``deployment.coordinator``.  ``n=1`` is the classic single-primary
+        deployment, unchanged.
+        """
+        return dataclasses.replace(self, shards=n)
 
     def with_astore(
         self,
@@ -352,7 +370,37 @@ class DeploymentConfig(DeploymentSpec):
 
     Kept so pre-redesign call sites (``Deployment(DeploymentConfig.astore_pq())``)
     run unchanged; new code should use :class:`DeploymentSpec`.
+
+    .. deprecated::
+        Wiring engines directly through ``DeploymentConfig`` is
+        deprecated: use the :class:`DeploymentSpec` builders
+        (``with_shards`` / ``with_replicas`` / ``with_astore`` / ...),
+        which are the only constructors that understand sharded stacks.
     """
+
+
+class ShardStack:
+    """One shard's full vertical stack, constructed by :class:`Deployment`.
+
+    Fields are populated in construction order, so ``engine`` is still
+    None while the log ring's recycle callback is being wired (the
+    callback tolerates that, exactly like the single-shard path).
+    """
+
+    __slots__ = ("index", "seeds", "pagestore", "astore", "logstore",
+                 "ring", "ebp", "engine", "fleet", "admission")
+
+    def __init__(self, index: int, seeds: SeedSequence):
+        self.index = index
+        self.seeds = seeds
+        self.pagestore: Optional[PageStoreService] = None
+        self.astore: Optional[AStoreCluster] = None
+        self.logstore: Optional[LogStore] = None
+        self.ring: Optional[SegmentRing] = None
+        self.ebp: Optional[ExtendedBufferPool] = None
+        self.engine: Optional[DBEngine] = None
+        self.fleet = None
+        self.admission = None
 
 
 class Deployment:
@@ -365,122 +413,170 @@ class Deployment:
         if self.config.trace:
             self.obs.enable_tracing(self.env)
         self.seeds = SeedSequence(self.config.seed)
-        self.pagestore = PageStoreService(
-            self.env,
-            self.seeds,
-            num_servers=self.config.pagestore_servers,
-            num_segments=self.config.pagestore_segments,
-        )
-        self.astore: Optional[AStoreCluster] = None
-        self.logstore: Optional[LogStore] = None
-        self.ring: Optional[SegmentRing] = None
-        self.ebp: Optional[ExtendedBufferPool] = None
-        self.engine: Optional[DBEngine] = None
         self._needs_astore = self.config.use_astore_log or self.config.use_ebp
-        if self._needs_astore:
-            self.astore = AStoreCluster(
-                self.env,
-                self.seeds,
-                num_servers=self.config.astore_servers,
-                pmem_capacity=self.config.astore_pmem_bytes,
-                segment_slot_size=max(
-                    self.config.astore_segment_slot_bytes,
-                    self.config.log_segment_bytes,
-                    self.config.ebp_segment_bytes,
-                ),
-                server_cpu_cores=self.config.astore_server_cores,
-                lease_duration=self.config.astore_lease_duration,
-                route_refresh_period=self.config.astore_route_refresh_period,
-                heartbeat_interval=self.config.astore_heartbeat_interval,
-                failure_timeout=self.config.astore_failure_timeout,
-                retry_policy=self.config.retry_policy,
-            )
-        if self.config.use_astore_log:
-            client = self.astore.new_client("log-client")
-            self.ring = SegmentRing(
-                client,
-                ring_size=self.config.log_ring_segments,
-                segment_size=self.config.log_segment_bytes,
-                replication=self.config.log_replication,
-                can_recycle=self._can_recycle,
-            )
-            log_backend = AStoreLogBackend(self.ring)
-        else:
-            self.logstore = LogStore(
-                self.env, self.seeds, replicas=self.config.logstore_replicas
-            )
-            log_backend = SsdLogBackend(self.logstore)
-        if self.config.use_ebp:
-            ebp_client = self.astore.new_client("ebp-client")
-            self.ebp = ExtendedBufferPool(
-                self.env,
-                ebp_client,
-                capacity_bytes=self.config.ebp_capacity_bytes,
-                segment_size=self.config.ebp_segment_bytes,
-                page_size=self.config.engine.page_size,
-                policy=self.config.ebp_policy,
-                space_priorities=self.config.ebp_space_priorities,
-                compaction_enabled=self.config.ebp_compaction,
-            )
-        self.engine = DBEngine(
-            self.env,
-            self.seeds,
-            self.config.engine,
-            log_backend,
-            self.pagestore,
-            ebp=self.ebp,
+        # Local import: repro.shard pulls in the query layer, which must
+        # not import the harness back at module load.
+        from ..shard import Coordinator, ShardMap
+
+        #: One vertical stack (log + PageStore + engine + fleet) per shard.
+        self.shards = []
+        for index in range(self.config.shards):
+            if index == 0 and self.config.shards == 1:
+                # A single-shard deployment consumes self.seeds directly,
+                # keeping construction byte-identical to the pre-sharding
+                # builder; sharded stacks derive independent sequences.
+                seeds = self.seeds
+            else:
+                seeds = SeedSequence(self.seeds.seed_for("shard-%d" % index))
+            self.shards.append(self._build_stack(index, seeds))
+        primary = self.shards[0]
+        # Shard-0 aliases: the single-shard API surface is unchanged.
+        self.pagestore = primary.pagestore
+        self.astore = primary.astore
+        self.logstore = primary.logstore
+        self.ring = primary.ring
+        self.ebp = primary.ebp
+        self.engine = primary.engine
+        self.fleet = primary.fleet
+        self.admission = primary.admission
+        self.shardmap = ShardMap(self.config.shards)
+        self.coordinator = Coordinator(
+            self.env, self.shardmap, [stack.engine for stack in self.shards]
         )
-        self.fleet = None
-        self.admission = None
         self.frontend = None
         if self.config.replicas > 0:
-            # Local imports: repro.frontend pulls in the query layer,
-            # which must not import the harness back at module load.
-            from ..frontend.admission import AdmissionController
-            from ..frontend.fleet import ReplicaFleet
-            from ..frontend.policies import make_policy
             from ..frontend.proxy import SqlProxy
 
-            policy = make_policy(
-                self.config.replica_policy,
-                rng=self.seeds.stream("frontend-policy"),
-                staleness_bound=self.config.replica_staleness_bound,
-            )
-            self.fleet = ReplicaFleet(
-                self.env,
-                self.engine,
-                count=self.config.replicas,
-                policy=policy,
-                use_ebp=self.config.use_ebp,
-                buffer_pool_bytes=self.config.replica_buffer_pool_bytes,
-                cores=self.config.replica_cores,
-                apply_intervals=self.config.replica_apply_intervals,
-                wait_poll=self.config.replica_wait_poll,
-            )
-            self.admission = AdmissionController(
-                self.env,
-                limits={
-                    "read": self.config.admission_read_limit,
-                    "write": self.config.admission_write_limit,
-                },
-                queue_limit=self.config.admission_queue_limit,
-                queue_timeout=self.config.admission_queue_timeout,
-            )
             self.frontend = SqlProxy(
                 self.env,
                 self.engine,
                 self.fleet,
                 admission=self.admission,
                 wait_timeout=self.config.replica_wait_timeout,
+                shardmap=self.shardmap,
+                coordinator=self.coordinator,
+                shard_targets=[
+                    (stack.engine, stack.fleet, stack.admission)
+                    for stack in self.shards
+                ],
             )
         self.detector: Optional[FailureDetector] = None
         self._started = False
         self._register_gauges()
 
+    def _build_stack(self, index: int, seeds: SeedSequence) -> ShardStack:
+        """Construct one shard's stack on the shared environment."""
+        config = self.config
+        stack = ShardStack(index, seeds)
+        stack.pagestore = PageStoreService(
+            self.env,
+            seeds,
+            num_servers=config.pagestore_servers,
+            num_segments=config.pagestore_segments,
+        )
+        if self._needs_astore:
+            stack.astore = AStoreCluster(
+                self.env,
+                seeds,
+                num_servers=config.astore_servers,
+                pmem_capacity=config.astore_pmem_bytes,
+                segment_slot_size=max(
+                    config.astore_segment_slot_bytes,
+                    config.log_segment_bytes,
+                    config.ebp_segment_bytes,
+                ),
+                server_cpu_cores=config.astore_server_cores,
+                lease_duration=config.astore_lease_duration,
+                route_refresh_period=config.astore_route_refresh_period,
+                heartbeat_interval=config.astore_heartbeat_interval,
+                failure_timeout=config.astore_failure_timeout,
+                retry_policy=config.retry_policy,
+            )
+        if config.use_astore_log:
+            client = stack.astore.new_client("log-client")
+
+            def can_recycle(start_lsn: int, stack: ShardStack = stack) -> bool:
+                # A FULL segment recycles once this shard's REDO reached
+                # its PageStore (engine is None mid-construction).
+                return (stack.engine is None
+                        or stack.engine.shipped_lsn >= start_lsn)
+
+            stack.ring = SegmentRing(
+                client,
+                ring_size=config.log_ring_segments,
+                segment_size=config.log_segment_bytes,
+                replication=config.log_replication,
+                can_recycle=can_recycle,
+            )
+            log_backend = AStoreLogBackend(stack.ring)
+        else:
+            stack.logstore = LogStore(
+                self.env, seeds, replicas=config.logstore_replicas
+            )
+            log_backend = SsdLogBackend(stack.logstore)
+        if config.use_ebp:
+            ebp_client = stack.astore.new_client("ebp-client")
+            stack.ebp = ExtendedBufferPool(
+                self.env,
+                ebp_client,
+                capacity_bytes=config.ebp_capacity_bytes,
+                segment_size=config.ebp_segment_bytes,
+                page_size=config.engine.page_size,
+                policy=config.ebp_policy,
+                space_priorities=config.ebp_space_priorities,
+                compaction_enabled=config.ebp_compaction,
+            )
+        stack.engine = DBEngine(
+            self.env,
+            seeds,
+            config.engine,
+            log_backend,
+            stack.pagestore,
+            ebp=stack.ebp,
+        )
+        if config.replicas > 0:
+            # Local imports: repro.frontend pulls in the query layer,
+            # which must not import the harness back at module load.
+            from ..frontend.admission import AdmissionController
+            from ..frontend.fleet import ReplicaFleet
+            from ..frontend.policies import make_policy
+
+            policy = make_policy(
+                config.replica_policy,
+                rng=seeds.stream("frontend-policy"),
+                staleness_bound=config.replica_staleness_bound,
+            )
+            stack.fleet = ReplicaFleet(
+                self.env,
+                stack.engine,
+                count=config.replicas,
+                policy=policy,
+                use_ebp=config.use_ebp,
+                buffer_pool_bytes=config.replica_buffer_pool_bytes,
+                cores=config.replica_cores,
+                apply_intervals=config.replica_apply_intervals,
+                wait_poll=config.replica_wait_poll,
+            )
+            stack.admission = AdmissionController(
+                self.env,
+                limits={
+                    "read": config.admission_read_limit,
+                    "write": config.admission_write_limit,
+                },
+                queue_limit=config.admission_queue_limit,
+                queue_timeout=config.admission_queue_timeout,
+            )
+        return stack
+
     @property
     def registry(self):
         """The deployment-wide :class:`repro.obs.MetricsRegistry`."""
         return self.obs.registry
+
+    @property
+    def engines(self):
+        """Per-shard primary engines (``engines[0] is deployment.engine``)."""
+        return [stack.engine for stack in self.shards]
 
     @property
     def tracer(self):
@@ -492,73 +588,14 @@ class Deployment:
 
         This is the single rendering of deployment state:
         ``harness.stats.collect_stats`` is just ``registry.snapshot()``.
+        A single-shard deployment keeps the historical unprefixed names;
+        a sharded one nests each stack under ``shardK.`` and re-exposes
+        cross-shard engine totals at the historical names.
         """
         reg = self.obs.registry
-        engine = self.engine
-        reg.gauge("engine.committed", lambda: engine.committed)
-        reg.gauge("engine.aborted", lambda: engine.aborted)
-        reg.gauge("engine.statements", lambda: engine.statements)
-        reg.gauge("engine.shipped_lsn", lambda: engine.shipped_lsn)
-        reg.gauge("engine.persistent_lsn", lambda: engine.log.persistent_lsn)
-        reg.gauge("engine.log_flushes", lambda: engine.log.flushes)
-        reg.gauge("engine.records_flushed", lambda: engine.log.records_flushed)
-        reg.gauge("engine.ebp_writes_dropped", lambda: engine.ebp_writes_dropped)
-        reg.gauge("engine.lock_waits", lambda: engine.locks.waits)
-        reg.gauge("engine.lock_timeouts", lambda: engine.locks.timeouts)
-        reg.gauge("engine.deadlocks", lambda: engine.locks.deadlocks)
-        reg.gauge("engine.degraded", lambda: engine.degraded)
-        reg.gauge("engine.flush_retries", lambda: engine.flush_retries)
-        reg.gauge("engine.degraded_episodes", lambda: engine.degraded_episodes)
-        bp = engine.buffer_pool
-        reg.gauge("buffer_pool.hits", lambda: bp.hits)
-        reg.gauge("buffer_pool.misses", lambda: bp.misses)
-        reg.gauge("buffer_pool.hit_ratio", lambda: round(bp.hit_ratio, 4))
-        reg.gauge("buffer_pool.evictions", lambda: bp.evictions)
-        reg.gauge("buffer_pool.used_pages", lambda: bp.used_pages)
-        reg.gauge("buffer_pool.capacity_pages", lambda: bp.capacity_pages)
-        ps = self.pagestore
-        reg.gauge("pagestore.page_reads", lambda: ps.page_reads)
-        reg.gauge("pagestore.ships", lambda: ps.ships)
-        reg.gauge("pagestore.gossip_rounds", lambda: ps.gossip_rounds)
-        for server in ps.servers:
-            reg.gauge(
-                "pagestore.servers.%s" % server.server_id,
-                lambda s=server: {
-                    "records_received": s.records_received,
-                    "gossip_served": s.gossip_served,
-                    "cpu_busy_s": round(s.cpu.busy_time, 6),
-                },
-            )
-        if self.ebp is not None:
-            ebp = self.ebp
-            reg.gauge("ebp.hits", lambda: ebp.hits)
-            reg.gauge("ebp.misses", lambda: ebp.misses)
-            reg.gauge("ebp.stale_hits", lambda: ebp.stale_hits)
-            reg.gauge("ebp.hit_ratio", lambda: round(ebp.hit_ratio, 4))
-            reg.gauge("ebp.pages_written", lambda: ebp.pages_written)
-            reg.gauge("ebp.evictions", lambda: ebp.evictions)
-            reg.gauge("ebp.compactions", lambda: ebp.compactions)
-            reg.gauge("ebp.segments_released", lambda: ebp.segments_released)
-            reg.gauge("ebp.index_entries", lambda: len(ebp.index))
-            reg.gauge("ebp.live_bytes", lambda: ebp.live_bytes)
-            reg.gauge("ebp.allocated_bytes", lambda: ebp.allocated_bytes)
-            reg.gauge("ebp.pages_purged", lambda: ebp.pages_purged)
-            reg.gauge("ebp.pages_reclaimed", lambda: ebp.pages_reclaimed)
-        if self.astore is not None:
-            astore = self.astore
-            reg.gauge("astore.rebuilds", lambda: astore.cm.rebuilds)
-            for server in astore.servers.values():
-                reg.gauge(
-                    "astore.servers.%s" % server.server_id,
-                    lambda s=server: dict(
-                        {"alive": s.alive},
-                        **s.capacity_report,
-                        pmem_reads=s.pmem.reads,
-                        pmem_writes=s.pmem.writes,
-                        rdma_verbs=s.fabric.verbs_posted,
-                        cpu_busy_s=round(s.cpu.busy_time, 6),
-                    ),
-                )
+        for stack in self.shards:
+            prefix = "" if self.config.shards == 1 else "shard%d." % stack.index
+            self._register_stack_gauges(reg, prefix, stack)
         if self.config.enable_pushdown:
             # PushdownRuntime increments these; pre-register so the report
             # shows zeros even before the first PQ session runs.
@@ -572,9 +609,100 @@ class Deployment:
                 "cost_rejected",
             ):
                 reg.incr("query.pushdown." + name, 0)
-        if self.fleet is not None:
-            fleet = self.fleet
-            reg.gauge("frontend.fleet", lambda: {
+        if self.config.shards > 1:
+            engines = [stack.engine for stack in self.shards]
+            coordinator = self.coordinator
+            reg.gauge("engine.committed",
+                      lambda: sum(e.committed for e in engines))
+            reg.gauge("engine.aborted",
+                      lambda: sum(e.aborted for e in engines))
+            reg.gauge("engine.statements",
+                      lambda: sum(e.statements for e in engines))
+            reg.gauge("coordinator", lambda: coordinator.counters())
+
+    def _register_stack_gauges(self, reg, prefix: str,
+                               stack: ShardStack) -> None:
+        engine = stack.engine
+        reg.gauge(prefix + "engine.committed", lambda: engine.committed)
+        reg.gauge(prefix + "engine.aborted", lambda: engine.aborted)
+        reg.gauge(prefix + "engine.statements", lambda: engine.statements)
+        reg.gauge(prefix + "engine.shipped_lsn", lambda: engine.shipped_lsn)
+        reg.gauge(prefix + "engine.persistent_lsn",
+                  lambda: engine.log.persistent_lsn)
+        reg.gauge(prefix + "engine.log_flushes", lambda: engine.log.flushes)
+        reg.gauge(prefix + "engine.records_flushed",
+                  lambda: engine.log.records_flushed)
+        reg.gauge(prefix + "engine.ebp_writes_dropped",
+                  lambda: engine.ebp_writes_dropped)
+        reg.gauge(prefix + "engine.lock_waits", lambda: engine.locks.waits)
+        reg.gauge(prefix + "engine.lock_timeouts",
+                  lambda: engine.locks.timeouts)
+        reg.gauge(prefix + "engine.deadlocks", lambda: engine.locks.deadlocks)
+        reg.gauge(prefix + "engine.degraded", lambda: engine.degraded)
+        reg.gauge(prefix + "engine.flush_retries",
+                  lambda: engine.flush_retries)
+        reg.gauge(prefix + "engine.degraded_episodes",
+                  lambda: engine.degraded_episodes)
+        bp = engine.buffer_pool
+        reg.gauge(prefix + "buffer_pool.hits", lambda: bp.hits)
+        reg.gauge(prefix + "buffer_pool.misses", lambda: bp.misses)
+        reg.gauge(prefix + "buffer_pool.hit_ratio",
+                  lambda: round(bp.hit_ratio, 4))
+        reg.gauge(prefix + "buffer_pool.evictions", lambda: bp.evictions)
+        reg.gauge(prefix + "buffer_pool.used_pages", lambda: bp.used_pages)
+        reg.gauge(prefix + "buffer_pool.capacity_pages",
+                  lambda: bp.capacity_pages)
+        ps = stack.pagestore
+        reg.gauge(prefix + "pagestore.page_reads", lambda: ps.page_reads)
+        reg.gauge(prefix + "pagestore.ships", lambda: ps.ships)
+        reg.gauge(prefix + "pagestore.gossip_rounds",
+                  lambda: ps.gossip_rounds)
+        for server in ps.servers:
+            reg.gauge(
+                prefix + "pagestore.servers.%s" % server.server_id,
+                lambda s=server: {
+                    "records_received": s.records_received,
+                    "gossip_served": s.gossip_served,
+                    "cpu_busy_s": round(s.cpu.busy_time, 6),
+                },
+            )
+        if stack.ebp is not None:
+            ebp = stack.ebp
+            reg.gauge(prefix + "ebp.hits", lambda: ebp.hits)
+            reg.gauge(prefix + "ebp.misses", lambda: ebp.misses)
+            reg.gauge(prefix + "ebp.stale_hits", lambda: ebp.stale_hits)
+            reg.gauge(prefix + "ebp.hit_ratio",
+                      lambda: round(ebp.hit_ratio, 4))
+            reg.gauge(prefix + "ebp.pages_written", lambda: ebp.pages_written)
+            reg.gauge(prefix + "ebp.evictions", lambda: ebp.evictions)
+            reg.gauge(prefix + "ebp.compactions", lambda: ebp.compactions)
+            reg.gauge(prefix + "ebp.segments_released",
+                      lambda: ebp.segments_released)
+            reg.gauge(prefix + "ebp.index_entries", lambda: len(ebp.index))
+            reg.gauge(prefix + "ebp.live_bytes", lambda: ebp.live_bytes)
+            reg.gauge(prefix + "ebp.allocated_bytes",
+                      lambda: ebp.allocated_bytes)
+            reg.gauge(prefix + "ebp.pages_purged", lambda: ebp.pages_purged)
+            reg.gauge(prefix + "ebp.pages_reclaimed",
+                      lambda: ebp.pages_reclaimed)
+        if stack.astore is not None:
+            astore = stack.astore
+            reg.gauge(prefix + "astore.rebuilds", lambda: astore.cm.rebuilds)
+            for server in astore.servers.values():
+                reg.gauge(
+                    prefix + "astore.servers.%s" % server.server_id,
+                    lambda s=server: dict(
+                        {"alive": s.alive},
+                        **s.capacity_report,
+                        pmem_reads=s.pmem.reads,
+                        pmem_writes=s.pmem.writes,
+                        rdma_verbs=s.fabric.verbs_posted,
+                        cpu_busy_s=round(s.cpu.busy_time, 6),
+                    ),
+                )
+        if stack.fleet is not None:
+            fleet = stack.fleet
+            reg.gauge(prefix + "frontend.fleet", lambda: {
                 "size": len(fleet.handles),
                 "routable": len(fleet.routable_handles()),
                 "drains": fleet.drains,
@@ -586,9 +714,9 @@ class Deployment:
             # Per-replica lag is first-class observability (satellite of
             # the paper's standby future-work): applied/lag LSN gauges
             # land in every harness.stats snapshot.
-            for handle in self.fleet.handles:
+            for handle in fleet.handles:
                 reg.gauge(
-                    "frontend.replicas.%s" % handle.replica_id,
+                    prefix + "frontend.replicas.%s" % handle.replica_id,
                     lambda h=handle: {
                         "alive": h.replica.alive,
                         "admitted": h.admitted,
@@ -600,15 +728,17 @@ class Deployment:
                         "recoveries": h.replica.recoveries,
                     },
                 )
-        if self.ring is not None:
-            ring = self.ring
-            reg.gauge("segment_ring.appends", lambda: ring.appends)
-            reg.gauge("segment_ring.advances", lambda: ring.segment_advances)
-            reg.gauge("segment_ring.segments", lambda: len(ring.segment_ids))
-        if self.logstore is not None:
-            ls = self.logstore
-            reg.gauge("logstore.appends", lambda: ls.appends)
-            reg.gauge("logstore.bytes", lambda: ls.bytes_appended)
+        if stack.ring is not None:
+            ring = stack.ring
+            reg.gauge(prefix + "segment_ring.appends", lambda: ring.appends)
+            reg.gauge(prefix + "segment_ring.advances",
+                      lambda: ring.segment_advances)
+            reg.gauge(prefix + "segment_ring.segments",
+                      lambda: len(ring.segment_ids))
+        if stack.logstore is not None:
+            ls = stack.logstore
+            reg.gauge(prefix + "logstore.appends", lambda: ls.appends)
+            reg.gauge(prefix + "logstore.bytes", lambda: ls.bytes_appended)
 
     def _can_recycle(self, start_lsn: int) -> bool:
         """A FULL log segment is recyclable once its REDO reached PageStore."""
@@ -626,25 +756,27 @@ class Deployment:
         if self._started:
             return
         self._started = True
-        if self.ring is not None:
-            init = self.env.process(self.ring.initialize(first_lsn=0))
-            self.env.run_until_event(init)
-        self.engine.start()
-        self.pagestore.start_apply_daemon()
+        for stack in self.shards:
+            if stack.ring is not None:
+                init = self.env.process(stack.ring.initialize(first_lsn=0))
+                self.env.run_until_event(init)
+            stack.engine.start()
+            stack.pagestore.start_apply_daemon()
+            if stack.astore is not None:
+                stack.astore.start_maintenance(
+                    cleanup_period=self.config.astore_cleanup_period,
+                    ebp=stack.ebp,
+                    fleet=stack.fleet,
+                )
+            if stack.fleet is not None:
+                # Without a failure detector (stock deployments) the fleet
+                # sweeps its own health on the heartbeat cadence.
+                stack.fleet.start(
+                    self_sweep_interval=None if stack.astore is not None
+                    else self.config.astore_heartbeat_interval
+                )
         if self.astore is not None:
-            self.astore.start_maintenance(
-                cleanup_period=self.config.astore_cleanup_period,
-                ebp=self.ebp,
-                fleet=self.fleet,
-            )
             self.detector = self.astore.detector
-        if self.fleet is not None:
-            # Without a failure detector (stock deployments) the fleet
-            # sweeps its own health on the heartbeat cadence.
-            self.fleet.start(
-                self_sweep_interval=None if self.detector is not None
-                else self.config.astore_heartbeat_interval
-            )
 
     def run_until(self, event) -> None:
         self.env.run_until_event(event)
@@ -664,14 +796,26 @@ class Deployment:
             )
         return self.frontend.session(name)
 
+    def shard_session(self, home: int = 0):
+        """An engine-shaped session routing DML through the coordinator.
+
+        ``home`` picks the shard that answers local reads of replicated
+        tables and engine-level scans (TPC-C pins it to the client's
+        home warehouse's shard).
+        """
+        from ..shard import CoordinatorSession
+
+        return CoordinatorSession(self.coordinator, home=home)
+
     def new_session(
         self,
         enable_pushdown: Optional[bool] = None,
         force_hash_joins: Optional[bool] = None,
         pushdown_row_threshold: int = 200,
         pushdown_cost_based: bool = False,
+        shard: int = 0,
     ):
-        """A SQL session against this deployment's engine.
+        """A SQL session against one shard's engine (default: shard 0).
 
         Push-down defaults to the deployment's ``enable_pushdown`` flag;
         ``force_hash_joins`` defaults to following push-down (the paper's
@@ -681,6 +825,7 @@ class Deployment:
         from ..query.planner import PlannerConfig
         from ..query.pushdown import PushdownRuntime
 
+        stack = self.shards[shard]
         pushdown = (
             self.config.enable_pushdown if enable_pushdown is None else enable_pushdown
         )
@@ -689,13 +834,13 @@ class Deployment:
         if pushdown:
             runtime = PushdownRuntime(
                 self.env,
-                self.engine,
-                self.pagestore,
-                ebp=self.ebp,
+                stack.engine,
+                stack.pagestore,
+                ebp=stack.ebp,
                 cost_based=pushdown_cost_based,
             )
         return QuerySession(
-            self.engine,
+            stack.engine,
             planner_config=PlannerConfig(
                 enable_pushdown=pushdown,
                 force_hash_joins=hash_joins,

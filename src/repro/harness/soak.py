@@ -24,12 +24,17 @@ from typing import Dict, List, Tuple
 
 from ..common import KB
 from ..sim.core import AllOf
-from ..workloads.tpcc import TpccClient, TpccConfig, TpccDatabase
+from ..workloads.tpcc import (
+    TpccClient,
+    TpccConfig,
+    TpccDatabase,
+    register_tpcc_sharding,
+)
 from .chaos import ChaosInjector, ChaosMonkey
 from .deployment import DeploymentSpec
 from .stats import collect_stats
 
-__all__ = ["run_chaos_soak"]
+__all__ = ["run_chaos_soak", "run_sharded_soak"]
 
 #: Float tolerance for YTD sums (amounts are rounded to cents on both
 #: sides; anything above this is a real lost or phantom update).
@@ -135,6 +140,228 @@ def run_chaos_soak(
         "ok": not violations,
     }
     return report
+
+
+def run_sharded_soak(
+    seed: int = 7,
+    shards: int = 2,
+    short: bool = False,
+    horizon: float = None,
+    terminals: int = None,
+) -> Dict:
+    """TPC-C across shards under 2PC crash chaos, then an in-doubt audit.
+
+    Seeded failpoints crash shard primaries at every 2PC protocol
+    instant (before/after prepare-all, around the decision, mid phase 2)
+    while terminals keep running; each crash is followed by the
+    coordinator's recovery choreography.  At the end every primary is
+    crashed and recovered participant-first, then the audit checks:
+
+    - zero unresolved in-doubt participants and zero pending decisions;
+    - per-district counters bounded by the client ledgers:
+      committed <= actual <= committed + maybe (the maybe side collects
+      InDoubtTransaction outcomes whose ack was cut off - those commit
+      at recovery, so they may legitimately appear);
+    - W_YTD == sum(D_YTD) per warehouse.
+
+    Same seed => byte-identical report.
+    """
+    from ..shard import FAILPOINTS
+
+    horizon = (3.0 if short else 8.0) if horizon is None else horizon
+    terminals_n = (2 * shards if short else 4 * shards
+                   ) if terminals is None else terminals
+    tpcc = TpccConfig(
+        warehouses=2 * shards, districts_per_warehouse=3,
+        customers_per_district=8, items=40,
+        remote_item_prob=0.25,
+    )
+    spec = DeploymentSpec.astore_ebp(
+        seed=seed, astore_servers=4
+    ).with_shards(shards).with_engine(
+        buffer_pool_bytes=48 * 16 * KB
+    )
+    dep = spec.build()
+    dep.start()
+    env = dep.env
+    coordinator = dep.coordinator
+
+    register_tpcc_sharding(dep.shardmap)
+    database = TpccDatabase(
+        dep.shard_session(home=0), tpcc, dep.seeds.stream("soak-load")
+    )
+    load = env.process(database.load())
+    env.run_until_event(load)
+
+    chaos_log: List[str] = []
+    rng = dep.seeds.stream("shard-chaos")
+    soak_start = env.now
+
+    def note(message):
+        chaos_log.append("t=%.4f %s" % (env.now - soak_start, message))
+
+    def chaos():
+        round_no = 0
+        while env.now - soak_start < horizon * 0.80:
+            yield env.timeout(horizon * rng.uniform(0.04, 0.08))
+            point = FAILPOINTS[round_no % len(FAILPOINTS)]
+            victim = (rng.randint(0, shards - 1)
+                      if rng.random() < 0.5 else None)
+            coordinator.arm_failpoint(point, victim)
+            note("armed failpoint %s (shard %s)"
+                 % (point, "coord" if victim is None else victim))
+            # Wait for the next 2PC to trip it (bounded: a quiet mix may
+            # not produce a cross-shard commit in time).
+            deadline = env.now + horizon * 0.12
+            while (env.now < deadline
+                   and not any(e.crashed for e in dep.engines)):
+                yield env.timeout(0.02)
+            # Let in-doubt transactions sit while traffic keeps failing
+            # over, then run the recovery choreography.
+            yield env.timeout(rng.uniform(0.05, 0.15))
+            for shard in range(shards):
+                if dep.engines[shard].crashed:
+                    stats = yield from coordinator.recover_shard(shard)
+                    note("recovered shard %d (in-doubt committed: %d)"
+                         % (shard, len(stats.get("in_doubt_committed", ()))))
+            round_no += 1
+
+    env.process(chaos(), name="shard-chaos")
+
+    clients = []
+    for index in range(terminals_n):
+        w_id = (index % tpcc.warehouses) + 1
+        home = dep.shardmap.read_shard_of("warehouse", (w_id,))
+        clients.append(TpccClient(
+            database, dep.seeds.stream("soak-client-%d" % index),
+            home_warehouse=w_id, engine=dep.shard_session(home=home),
+        ))
+    procs = [env.process(c.run_for(horizon)) for c in clients]
+    env.run_until_event(AllOf(env, procs))
+
+    # Final blow: power-fail every primary, then recover participant
+    # shards before shard 0 so in-doubt resolution must harvest the
+    # durable decision markers instead of asking a live coordinator.
+    for engine in dep.engines:
+        if not engine.crashed:
+            engine.crash()
+    for shard in range(shards - 1, -1, -1):
+        recovery = env.process(coordinator.recover_shard(shard))
+        env.run_until_event(recovery)
+    note("final crash: recovered all %d shards participant-first" % shards)
+
+    violations = _audit_sharded(dep, tpcc, clients)
+    counters = coordinator.counters()
+    if counters["unresolved_in_doubt"]:
+        violations.append(
+            "%d unresolved in-doubt participant(s) after recovery"
+            % counters["unresolved_in_doubt"]
+        )
+    if counters["pending_decided"]:
+        violations.append(
+            "%d decided transaction(s) never finished phase 2"
+            % counters["pending_decided"]
+        )
+    report = {
+        "seed": seed,
+        "shards": shards,
+        "short": short,
+        "horizon": horizon,
+        "virtual_end": round(env.now, 6),
+        "committed": sum(c.committed for c in clients),
+        "aborted": sum(c.aborted for c in clients),
+        "in_doubt": sum(c.in_doubt for c in clients),
+        "chaos_log": chaos_log,
+        "coordinator": counters,
+        "violations": violations,
+        "ok": not violations,
+    }
+    return report
+
+
+def _ledgers(terminals: List[TpccClient]):
+    """Aggregate per-district committed and maybe ledgers."""
+    payments: Dict[Tuple[int, int], float] = {}
+    new_orders: Dict[Tuple[int, int], int] = {}
+    maybe_payments: Dict[Tuple[int, int], float] = {}
+    maybe_new_orders: Dict[Tuple[int, int], int] = {}
+    for terminal in terminals:
+        for key, amount in terminal.committed_payments.items():
+            payments[key] = round(payments.get(key, 0.0) + amount, 2)
+        for key, count in terminal.committed_new_orders.items():
+            new_orders[key] = new_orders.get(key, 0) + count
+        for key, amount in terminal.maybe_payments.items():
+            maybe_payments[key] = round(
+                maybe_payments.get(key, 0.0) + amount, 2
+            )
+        for key, count in terminal.maybe_new_orders.items():
+            maybe_new_orders[key] = maybe_new_orders.get(key, 0) + count
+    return payments, new_orders, maybe_payments, maybe_new_orders
+
+
+def _audit_sharded(dep, tpcc: TpccConfig,
+                   terminals: List[TpccClient]) -> List[str]:
+    """Durability audit with in-doubt tolerance: for every district the
+    database state must sit between the committed ledger and committed
+    plus maybe (in-doubt outcomes that commit at recovery)."""
+    payments, new_orders, maybe_payments, maybe_new_orders = (
+        _ledgers(terminals)
+    )
+    session = dep.shard_session(home=0)
+    violations: List[str] = []
+
+    def check():
+        for w_id in range(1, tpcc.warehouses + 1):
+            warehouse = yield from session.read_row(None, "warehouse", (w_id,))
+            district_total = 0.0
+            floor_total = 0.0
+            ceil_total = 0.0
+            for d_id in range(1, tpcc.districts_per_warehouse + 1):
+                district = yield from session.read_row(
+                    None, "district", (w_id, d_id)
+                )
+                district_total += district[6]
+                floor_ytd = payments.get((w_id, d_id), 0.0)
+                ceil_ytd = round(
+                    floor_ytd + maybe_payments.get((w_id, d_id), 0.0), 2
+                )
+                floor_total += floor_ytd
+                ceil_total += ceil_ytd
+                if not (floor_ytd - CENTS <= district[6]
+                        <= ceil_ytd + CENTS):
+                    violations.append(
+                        "district (%d,%d): D_YTD %.2f outside committed "
+                        "%.2f .. committed+maybe %.2f"
+                        % (w_id, d_id, district[6], floor_ytd, ceil_ytd)
+                    )
+                floor_orders = new_orders.get((w_id, d_id), 0)
+                ceil_orders = (
+                    floor_orders + maybe_new_orders.get((w_id, d_id), 0)
+                )
+                if not (floor_orders <= district[7] - 1 <= ceil_orders):
+                    violations.append(
+                        "district (%d,%d): d_next_o_id-1 = %d outside "
+                        "committed %d .. committed+maybe %d"
+                        % (w_id, d_id, district[7] - 1, floor_orders,
+                           ceil_orders)
+                    )
+            if abs(warehouse[7] - district_total) > CENTS:
+                violations.append(
+                    "warehouse %d: W_YTD %.2f != sum(D_YTD) %.2f"
+                    % (w_id, warehouse[7], district_total)
+                )
+            if not (floor_total - CENTS <= warehouse[7]
+                    <= ceil_total + CENTS):
+                violations.append(
+                    "warehouse %d: W_YTD %.2f outside committed %.2f .. "
+                    "committed+maybe %.2f"
+                    % (w_id, warehouse[7], floor_total, ceil_total)
+                )
+        return None
+
+    proc = dep.env.process(check())
+    dep.env.run_until_event(proc)
+    return violations
 
 
 def _audit(dep, tpcc: TpccConfig, terminals: List[TpccClient]) -> List[str]:

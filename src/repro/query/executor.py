@@ -277,6 +277,24 @@ class QuerySession:
         statement, nparams = self._parse_entry(sql)
         return PreparedStatement(self, sql, statement, nparams)
 
+    def execute_statement(self, statement):
+        """Generator: run one already-parsed, fully-bound statement.
+
+        The sharded proxy classifies statements at the AST level and
+        dispatches the same bound AST to several shards' sessions; this
+        entry point skips SQL-text caching (SELECTs re-plan each call).
+        """
+        if isinstance(statement, Select):
+            plan = self.planner.plan_select(statement)
+            return (yield from self.execute_plan(plan))
+        if isinstance(statement, Insert):
+            return (yield from self._execute_insert(statement))
+        if isinstance(statement, Update):
+            return (yield from self._execute_update(statement))
+        if isinstance(statement, Delete):
+            return (yield from self._execute_delete(statement))
+        raise QueryError("unsupported statement %r" % statement)
+
     def plan(self, sql: str) -> PlanNode:
         """Plan without executing (EXPLAIN)."""
         statement, _nparams = self._parse_entry(sql)

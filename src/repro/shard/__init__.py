@@ -1,0 +1,34 @@
+"""Sharded multi-primary support: routing, vector tokens, and 2PC.
+
+- :mod:`repro.shard.shardmap` - hash key->shard routing + statement
+  shard-set classification
+- :mod:`repro.shard.token` - per-shard commit-LSN vector tokens for
+  session read-your-writes
+- :mod:`repro.shard.coordinator` - cross-shard transactions as
+  two-phase commit with presumed abort and in-doubt recovery
+- :mod:`repro.shard.router` - scatter-gather SELECT result merging
+"""
+
+from .coordinator import (
+    FAILPOINTS,
+    Coordinator,
+    CoordinatorSession,
+    DistributedTxn,
+    InDoubtTransaction,
+)
+from .router import merge_select_results, scatter_unsupported_reason
+from .shardmap import ShardKeySpec, ShardMap
+from .token import ShardVectorToken
+
+__all__ = [
+    "Coordinator",
+    "CoordinatorSession",
+    "DistributedTxn",
+    "InDoubtTransaction",
+    "FAILPOINTS",
+    "ShardKeySpec",
+    "ShardMap",
+    "ShardVectorToken",
+    "merge_select_results",
+    "scatter_unsupported_reason",
+]

@@ -1,0 +1,130 @@
+"""Scatter-gather SELECT merging for the sharded proxy.
+
+A multi-shard SELECT runs independently on every target shard; the
+per-shard :class:`~repro.query.executor.QueryResult`\\ s are merged here:
+
+- plain selects concatenate (in shard order), then re-apply ORDER BY and
+  LIMIT globally;
+- ungrouped aggregates merge column-wise (COUNT/SUM add, MIN/MAX fold);
+- grouped aggregates merge rows sharing the same group key.
+
+AVG and DISTINCT aggregates are not decomposable from finalized
+per-shard values (they need partial states), so cross-shard use raises;
+single-shard statements are never affected.  Joins scatter under the
+co-location assumption the ShardMap sets up: join partners either share
+the shard key (co-partitioned) or are replicated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..common import QueryError
+from ..query import ast
+from ..query.executor import QueryResult
+
+__all__ = ["merge_select_results", "scatter_unsupported_reason"]
+
+#: Aggregate functions whose finalized values merge across shards.
+_MERGEABLE = {"count", "sum", "min", "max"}
+
+
+def scatter_unsupported_reason(stmt: ast.Select) -> Optional[str]:
+    """Why this SELECT cannot scatter-gather, or None if it can."""
+    for item in stmt.items:
+        expr = item.expr
+        if isinstance(expr, ast.AggCall):
+            if expr.distinct:
+                return "DISTINCT aggregates are not mergeable across shards"
+            if expr.func not in _MERGEABLE:
+                return "%s() is not mergeable across shards" % expr.func
+        elif expr.contains_aggregate():
+            return "composite aggregate expressions do not merge across shards"
+        elif stmt.has_aggregates and not stmt.group_by:
+            return "mixing aggregates and columns does not merge across shards"
+    return None
+
+
+def _merge_cell(func: str, mine: Any, theirs: Any) -> Any:
+    if theirs is None:
+        return mine
+    if mine is None:
+        return theirs
+    if func in ("count", "sum"):
+        return mine + theirs
+    if func == "min":
+        return min(mine, theirs)
+    return max(mine, theirs)
+
+
+def _agg_positions(stmt: ast.Select) -> Dict[int, str]:
+    return {
+        index: item.expr.func
+        for index, item in enumerate(stmt.items)
+        if isinstance(item.expr, ast.AggCall)
+    }
+
+
+def _resort(stmt: ast.Select, columns: List[str],
+            rows: List[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
+    if stmt.order_by:
+        try:
+            for expr, desc in reversed(stmt.order_by):
+                rows.sort(
+                    key=lambda row: expr.eval(dict(zip(columns, row))),
+                    reverse=desc,
+                )
+        except (QueryError, TypeError):
+            pass  # unorderable across shards: keep shard-order concat
+    if stmt.limit is not None:
+        rows = rows[: stmt.limit]
+    return rows
+
+
+def merge_select_results(stmt: ast.Select,
+                         results: Sequence[QueryResult]) -> QueryResult:
+    """Combine per-shard results of one SELECT into the global answer."""
+    if not results:
+        return QueryResult([], [])
+    columns = results[0].columns
+    if not stmt.has_aggregates:
+        rows: List[Tuple[Any, ...]] = []
+        for result in results:
+            rows.extend(result.rows)
+        return QueryResult(columns, _resort(stmt, columns, rows))
+    reason = scatter_unsupported_reason(stmt)
+    if reason:
+        raise QueryError("cannot scatter-gather: %s" % reason)
+    aggs = _agg_positions(stmt)
+    if not stmt.group_by:
+        # One row per shard; fold into one global row.  A shard with no
+        # matches still yields its identity row (COUNT 0 / SUM NULL).
+        merged: Optional[List[Any]] = None
+        for result in results:
+            for row in result.rows:
+                if merged is None:
+                    merged = list(row)
+                    continue
+                for index, func in aggs.items():
+                    merged[index] = _merge_cell(
+                        func, merged[index], row[index]
+                    )
+        return QueryResult(columns, [tuple(merged)] if merged else [])
+    # Grouped: merge rows by their non-aggregate output columns.
+    key_positions = [i for i in range(len(stmt.items)) if i not in aggs]
+    groups: Dict[Tuple[Any, ...], List[Any]] = {}
+    order: List[Tuple[Any, ...]] = []
+    for result in results:
+        for row in result.rows:
+            key = tuple(row[i] for i in key_positions)
+            merged_row = groups.get(key)
+            if merged_row is None:
+                groups[key] = list(row)
+                order.append(key)
+                continue
+            for index, func in aggs.items():
+                merged_row[index] = _merge_cell(
+                    func, merged_row[index], row[index]
+                )
+    rows = [tuple(groups[key]) for key in order]
+    return QueryResult(columns, _resort(stmt, columns, rows))

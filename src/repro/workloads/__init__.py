@@ -14,7 +14,14 @@ from .lookup import LookupClient, LookupConfig, LookupDatabase
 from .microbench import MicrobenchResult, run_astore_micro, run_logstore_micro
 from .orders import OrdersClient, OrdersConfig, OrdersDatabase
 from .sysbench import SysbenchClient, SysbenchConfig, SysbenchDatabase
-from .tpcc import TpccClient, TpccConfig, TpccDatabase, run_tpcc
+from .tpcc import (
+    TpccClient,
+    TpccConfig,
+    TpccDatabase,
+    register_tpcc_sharding,
+    run_tpcc,
+    run_tpcc_sharded,
+)
 from .tpcch import CH_QUERIES, TpcchConfig, TpcchDatabase, ch_query_sql
 
 __all__ = [
@@ -37,6 +44,8 @@ __all__ = [
     "TpccConfig",
     "TpccDatabase",
     "run_tpcc",
+    "run_tpcc_sharded",
+    "register_tpcc_sharding",
     "CH_QUERIES",
     "TpcchConfig",
     "TpcchDatabase",

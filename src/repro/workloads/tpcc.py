@@ -23,7 +23,14 @@ from ..sim.core import Environment
 from ..sim.metrics import LatencyRecorder, ThroughputMeter
 from ..sim.rand import Rng, nurand
 
-__all__ = ["TpccConfig", "TpccDatabase", "TpccClient", "run_tpcc"]
+__all__ = [
+    "TpccConfig",
+    "TpccDatabase",
+    "TpccClient",
+    "run_tpcc",
+    "run_tpcc_sharded",
+    "register_tpcc_sharding",
+]
 
 
 @dataclass
@@ -37,6 +44,11 @@ class TpccConfig:
     initial_orders_per_district: int = 0
     #: Fraction of string filler retained (1.0 = spec-size padding).
     string_scale: float = 0.25
+    #: Probability that a NewOrder line is supplied by a *remote*
+    #: warehouse (the spec uses 1%).  On a sharded deployment with
+    #: warehouse->shard affinity this turns NewOrder into a cross-shard
+    #: two-phase commit.
+    remote_item_prob: float = 0.0
 
     def filler(self, spec_len: int) -> str:
         return "x" * max(4, int(spec_len * self.string_scale))
@@ -344,10 +356,20 @@ class TpccClient:
         ("stock_level", 0.04),
     )
 
+    #: Retry backoff when an abort consumed no virtual time (the home
+    #: shard is down and rejects at the first statement); keeps retry
+    #: loops from spinning at a frozen clock.  Healthy transactions
+    #: always advance the clock, so this never fires for them.
+    ABORT_BACKOFF = 0.005
+
     def __init__(self, database: TpccDatabase, rng: Rng,
-                 home_warehouse: Optional[int] = None):
+                 home_warehouse: Optional[int] = None,
+                 engine=None):
         self.db = database
-        self.engine = database.engine
+        # Sharded drivers hand each terminal its own CoordinatorSession
+        # (pinned to the home warehouse's shard) while sharing one
+        # database object for the schema and the history-id counter.
+        self.engine = engine if engine is not None else database.engine
         self.config = database.config
         self.rng = rng
         self.home_warehouse = home_warehouse
@@ -362,6 +384,13 @@ class TpccClient:
         # slot into these dicts only after commit() returns.
         self.committed_payments: Dict[Tuple[int, int], float] = {}
         self.committed_new_orders: Dict[Tuple[int, int], int] = {}
+        # In-doubt 2PC outcomes: the coordinator durably decided commit
+        # but the client saw the crash before phase 2 finished.  The
+        # effect lands after recovery, so the audit treats these as
+        # "maybe applied" (committed <= actual <= committed + maybe).
+        self.maybe_payments: Dict[Tuple[int, int], float] = {}
+        self.maybe_new_orders: Dict[Tuple[int, int], int] = {}
+        self.in_doubt = 0
         self._pending_effect: Optional[Tuple] = None
 
     # -- key pickers ---------------------------------------------------------
@@ -405,9 +434,19 @@ class TpccClient:
         except (TransactionAborted, QueryError):
             # Deadlock victim, lock timeout, or a lost race (e.g. two
             # Delivery transactions picking the same oldest new-order).
+            # A distributed txn whose commit decision was already
+            # durable ("decided") surfaces here as InDoubtTransaction;
+            # its effect will apply at recovery, so keep it in the
+            # maybe ledger instead of dropping it.
+            decided = getattr(txn, "status", None) in ("decided", "committed")
             yield from self.engine.rollback(txn)
+            if decided:
+                self.in_doubt += 1
+                self._apply_effect(self.maybe_payments, self.maybe_new_orders)
             self.aborted += 1
             self._pending_effect = None
+            if self.engine.env.now == start:
+                yield self.engine.env.timeout(self.ABORT_BACKOFF)
             return (kind, None)
         self._apply_committed_effect()
         latency = self.engine.env.now - start
@@ -417,6 +456,9 @@ class TpccClient:
         return (kind, latency)
 
     def _apply_committed_effect(self) -> None:
+        self._apply_effect(self.committed_payments, self.committed_new_orders)
+
+    def _apply_effect(self, payments, new_orders) -> None:
         effect = self._pending_effect
         self._pending_effect = None
         if effect is None:
@@ -424,15 +466,11 @@ class TpccClient:
         if effect[0] == "payment":
             _, w_id, d_id, amount = effect
             key = (w_id, d_id)
-            self.committed_payments[key] = round(
-                self.committed_payments.get(key, 0.0) + amount, 2
-            )
+            payments[key] = round(payments.get(key, 0.0) + amount, 2)
         elif effect[0] == "new_order":
             _, w_id, d_id = effect
             key = (w_id, d_id)
-            self.committed_new_orders[key] = (
-                self.committed_new_orders.get(key, 0) + 1
-            )
+            new_orders[key] = new_orders.get(key, 0) + 1
 
     def run_for(self, duration: float, meter: Optional[ThroughputMeter] = None):
         """Generator: issue transactions back to back until the deadline."""
@@ -454,6 +492,22 @@ class TpccClient:
         # slightly below the 5-15 draw.
         item_ids = sorted({self._item() for _ in range(rng.randint(5, 15))})
         ol_cnt = len(item_ids)
+        # Draw supply warehouses up front so all_local is known before
+        # the orders insert.  The draw order follows the sorted item
+        # list, keeping same-seed runs deterministic.
+        supply = {}
+        for i_id in item_ids:
+            supply_w = w_id
+            if (
+                self.config.remote_item_prob > 0.0
+                and self.config.warehouses > 1
+                and rng.random() < self.config.remote_item_prob
+            ):
+                supply_w = rng.randint(1, self.config.warehouses - 1)
+                if supply_w >= w_id:
+                    supply_w += 1
+            supply[i_id] = supply_w
+        all_local = 1 if all(s == w_id for s in supply.values()) else 0
         warehouse = yield from engine.read_row(txn, "warehouse", (w_id,))
         district = yield from engine.read_row(
             txn, "district", (w_id, d_id), for_update=True
@@ -463,7 +517,6 @@ class TpccClient:
             txn, "district", (w_id, d_id), {"d_next_o_id": o_id + 1}
         )
         customer = yield from engine.read_row(txn, "customer", (w_id, d_id, c_id))
-        all_local = 1
         yield from engine.insert(
             txn,
             "orders",
@@ -471,7 +524,7 @@ class TpccClient:
         )
         yield from engine.insert(txn, "new_order", [w_id, d_id, o_id])
         for number, i_id in enumerate(item_ids, start=1):
-            supply_w = w_id
+            supply_w = supply[i_id]
             item = yield from engine.read_row(txn, "item", (i_id,))
             stock = yield from engine.read_row(
                 txn, "stock", (supply_w, i_id), for_update=True
@@ -652,6 +705,12 @@ def run_tpcc(
         TpccClient(database, seeds.stream("%s-client-%d" % (seed_tag, index)))
         for index in range(clients)
     ]
+    throughput, aggregate = _drive_terminals(deployment, terminals, duration, warmup)
+    return throughput, aggregate, terminals
+
+
+def _drive_terminals(deployment, terminals, duration: float, warmup: float):
+    """Drive loaded terminals concurrently; returns (tps, aggregate)."""
     meter = ThroughputMeter()
 
     def drive(client):
@@ -671,4 +730,85 @@ def run_tpcc(
     aggregate = LatencyRecorder()
     for terminal in terminals:
         aggregate.samples.extend(terminal.latencies.samples)
+    return throughput, aggregate
+
+
+# ---------------------------------------------------------------------------
+# Sharded TPC-C
+# ---------------------------------------------------------------------------
+
+
+def register_tpcc_sharding(shardmap) -> None:
+    """Partition the TPC-C schema by warehouse on ``shardmap``.
+
+    Every warehouse-keyed table shards on its leading warehouse column;
+    ``history`` packs the warehouse into the low digits of ``h_id``;
+    the read-only ``item`` table is replicated to every shard so
+    NewOrder's item lookups stay local.
+    """
+    from ..shard import ShardKeySpec
+
+    for table in (
+        "warehouse",
+        "district",
+        "customer",
+        "orders",
+        "new_order",
+        "order_line",
+        "stock",
+    ):
+        shardmap.set_table(table, ShardKeySpec(column_pos=0))
+    shardmap.set_table(
+        "history", ShardKeySpec(extractor=lambda key: key[0] % 10000)
+    )
+    shardmap.set_replicated("item")
+
+
+def run_tpcc_sharded(
+    deployment,
+    config: TpccConfig,
+    clients: int,
+    duration: float,
+    warmup: float = 0.0,
+    seed_tag: str = "tpcc",
+    after_load: Optional[Dict[str, int]] = None,
+):
+    """Run TPC-C against a sharded deployment.
+
+    Terminals pin to home warehouses round-robin and run over a
+    CoordinatorSession homed on that warehouse's shard, so the five
+    transactions stay single-shard except for NewOrder lines drawn
+    remote via ``config.remote_item_prob`` (those commit through 2PC).
+    Returns (throughput_tps, aggregate LatencyRecorder, clients list).
+
+    ``after_load``, when given a dict, is filled with a snapshot of the
+    coordinator counters taken between load and drive: the load itself
+    broadcast-inserts replicated tables (a legitimate cross-shard
+    write), so workload-attributable 2PC traffic is the delta from this
+    snapshot, not the raw counter.
+    """
+    seeds = deployment.seeds
+    register_tpcc_sharding(deployment.shardmap)
+    database = TpccDatabase(
+        deployment.shard_session(home=0),
+        config,
+        seeds.stream("%s-load" % seed_tag),
+    )
+    load = deployment.env.process(database.load())
+    deployment.run_until(load)
+    if after_load is not None:
+        after_load.update(deployment.coordinator.counters())
+    terminals = []
+    for index in range(clients):
+        w_id = (index % config.warehouses) + 1
+        home = deployment.shardmap.read_shard_of("warehouse", (w_id,))
+        terminals.append(
+            TpccClient(
+                database,
+                seeds.stream("%s-client-%d" % (seed_tag, index)),
+                home_warehouse=w_id,
+                engine=deployment.shard_session(home=home),
+            )
+        )
+    throughput, aggregate = _drive_terminals(deployment, terminals, duration, warmup)
     return throughput, aggregate, terminals

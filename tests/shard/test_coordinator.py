@@ -1,0 +1,229 @@
+"""2PC coordinator tests: the crash-point matrix and in-doubt recovery.
+
+Every test drives a cross-shard transaction into a specific protocol
+instant via the coordinator's failpoints, then checks the presumed-abort
+contract: without a durable decision the transaction vanishes; with one
+it commits, no matter which side crashed or in which order the shards
+recover.
+"""
+
+import pytest
+
+from repro.common import TransactionAborted
+from repro.engine.codec import INT, Column, Schema
+from repro.harness.deployment import DeploymentSpec
+from repro.shard import InDoubtTransaction, ShardKeySpec
+
+
+def build(shards=2, seed=17):
+    dep = DeploymentSpec.stock(seed=seed).with_shards(shards).build()
+    dep.start()
+    session = dep.shard_session()
+    session.create_table(
+        "kv", Schema([Column("k", INT()), Column("v", INT())]), ["k"]
+    )
+    dep.shardmap.set_table("kv", ShardKeySpec(column_pos=0))
+    return dep, session
+
+
+def run(dep, gen):
+    proc = dep.env.process(gen)
+    dep.env.run_until_event(proc)
+    return proc.value
+
+
+def commit_keys(session, txn, keys):
+    for k in keys:
+        yield from session.insert(txn, "kv", [k, k + 100])
+    yield from session.commit(txn)
+
+
+def read(dep, session, k):
+    return run(dep, session.read_row(None, "kv", (k,)))
+
+
+def test_single_shard_statements_skip_2pc():
+    dep, session = build()
+    txn = session.begin()
+    run(dep, commit_keys(session, txn, [0, 2]))  # both on shard 0
+    counters = dep.coordinator.counters()
+    assert counters["two_phase_commits"] == 0
+    assert counters["single_shard_commits"] == 1
+    assert read(dep, session, 0) == [0, 100]
+    assert txn.status == "committed"
+    assert set(txn.commit_lsns) == {0}
+
+
+def test_read_only_remote_participant_skips_2pc():
+    dep, session = build()
+    txn = session.begin()
+    run(dep, commit_keys(session, txn, [1]))  # seed shard 1
+
+    txn2 = session.begin()
+
+    def work():
+        yield from session.read_row(txn2, "kv", (1,), for_update=True)
+        yield from session.insert(txn2, "kv", [0, 7])
+        yield from session.commit(txn2)
+
+    run(dep, work())
+    counters = dep.coordinator.counters()
+    assert counters["two_phase_commits"] == 0
+    assert counters["single_shard_commits"] == 2
+
+
+def test_cross_shard_commit_runs_2pc_atomically():
+    dep, session = build()
+    txn = session.begin()
+    run(dep, commit_keys(session, txn, [0, 1]))
+    counters = dep.coordinator.counters()
+    assert counters["two_phase_commits"] == 1
+    assert counters["unresolved_in_doubt"] == 0
+    assert read(dep, session, 0) == [0, 100]
+    assert read(dep, session, 1) == [1, 101]
+    assert txn.status == "committed"
+    # The vector-token feed: one durable LSN per participant shard.
+    assert set(txn.commit_lsns) == {0, 1}
+
+
+@pytest.mark.parametrize("point", [
+    "before_prepare_all", "after_prepare_all", "before_decision",
+])
+def test_coordinator_crash_without_decision_presumes_abort(point):
+    dep, session = build()
+    dep.coordinator.arm_failpoint(point)
+    txn = session.begin()
+    with pytest.raises(TransactionAborted) as err:
+        run(dep, commit_keys(session, txn, [0, 1]))
+    # No durable decision anywhere: this must NOT surface as in-doubt.
+    assert not isinstance(err.value, InDoubtTransaction)
+    assert dep.engines[0].crashed
+    run(dep, dep.coordinator.recover_shard(0))
+    assert read(dep, session, 0) is None
+    assert read(dep, session, 1) is None
+    counters = dep.coordinator.counters()
+    assert counters["unresolved_in_doubt"] == 0
+    assert counters["pending_decided"] == 0
+
+
+def test_participant_in_doubt_commits_from_durable_prepare_marker():
+    dep, session = build()
+    dep.coordinator.arm_failpoint("participant_prepared", 1)
+    txn = session.begin()
+    # Shard 1 dies right after its prepare is durable.  The coordinator
+    # (shard 0, still up) holds an affirmative vote, so it decides
+    # commit; the transaction is in doubt only on the dead participant.
+    with pytest.raises(InDoubtTransaction):
+        run(dep, commit_keys(session, txn, [0, 1]))
+    assert txn.status == "decided"
+    assert dep.engines[1].crashed
+    run(dep, dep.coordinator.recover_shard(1))
+    assert txn.status == "committed"
+    assert read(dep, session, 0) == [0, 100]
+    assert read(dep, session, 1) == [1, 101]
+    counters = dep.coordinator.counters()
+    assert counters["in_doubt_commits"] >= 1
+    assert counters["unresolved_in_doubt"] == 0
+    assert counters["pending_decided"] == 0
+
+
+def test_participant_down_at_prepare_presumes_abort():
+    dep, session = build()
+    txn = session.begin()
+
+    def work():
+        yield from session.insert(txn, "kv", [0, 1])
+        yield from session.insert(txn, "kv", [1, 2])
+        dep.engines[1].crash()
+        yield from session.commit(txn)
+
+    # The participant never voted: no prepare marker, no decision.
+    with pytest.raises(TransactionAborted) as err:
+        run(dep, work())
+    assert not isinstance(err.value, InDoubtTransaction)
+    run(dep, dep.coordinator.recover_shard(1))
+    assert read(dep, session, 0) is None
+    assert read(dep, session, 1) is None
+    counters = dep.coordinator.counters()
+    assert counters["presumed_aborts"] == 1
+    assert counters["unresolved_in_doubt"] == 0
+
+
+def test_coordinator_crash_after_decision_commits_at_recovery():
+    dep, session = build()
+    dep.coordinator.arm_failpoint("after_decision")
+    txn = session.begin()
+    with pytest.raises(InDoubtTransaction):
+        run(dep, commit_keys(session, txn, [0, 1]))
+    assert txn.status == "decided"
+    # Decided transactions are not abortable: rollback is a no-op.
+    run(dep, session.rollback(txn))
+    assert txn.status == "decided"
+    run(dep, dep.coordinator.recover_shard(0))
+    assert txn.status == "committed"
+    assert read(dep, session, 0) == [0, 100]
+    assert read(dep, session, 1) == [1, 101]
+    counters = dep.coordinator.counters()
+    assert counters["unresolved_in_doubt"] == 0
+    assert counters["pending_decided"] == 0
+    assert counters["in_doubt_commits"] >= 1
+
+
+def test_participant_recovers_before_coordinator_via_decision_harvest():
+    dep, session = build()
+    dep.coordinator.arm_failpoint("after_decision")
+    txn = session.begin()
+    with pytest.raises(InDoubtTransaction):
+        run(dep, commit_keys(session, txn, [0, 1]))
+    # Both sides go down before phase 2 reaches shard 1.
+    dep.engines[1].crash()
+    # Participant first: its in-doubt prepare must resolve by harvesting
+    # the durable decision marker from the (still crashed) coordinator.
+    run(dep, dep.coordinator.recover_shard(1))
+    run(dep, dep.coordinator.recover_shard(0))
+    assert read(dep, session, 0) == [0, 100]
+    assert read(dep, session, 1) == [1, 101]
+    counters = dep.coordinator.counters()
+    assert counters["unresolved_in_doubt"] == 0
+    assert counters["pending_decided"] == 0
+
+
+def test_explicit_rollback_aborts_all_parts():
+    dep, session = build()
+    txn = session.begin()
+
+    def work():
+        yield from session.insert(txn, "kv", [0, 1])
+        yield from session.insert(txn, "kv", [1, 2])
+        yield from session.rollback(txn)
+
+    run(dep, work())
+    assert txn.status == "aborted"
+    assert read(dep, session, 0) is None
+    assert read(dep, session, 1) is None
+    assert dep.coordinator.counters()["aborts"] == 1
+
+
+def test_in_doubt_is_a_transaction_aborted():
+    # Existing retry loops treat unknown outcomes as aborts; ledgers
+    # distinguish them via txn.status == "decided".
+    assert issubclass(InDoubtTransaction, TransactionAborted)
+
+
+def test_replicated_table_broadcasts_and_reads_locally():
+    dep, session = build()
+    session.create_table(
+        "ref", Schema([Column("r", INT()), Column("x", INT())]), ["r"]
+    )
+    dep.shardmap.set_replicated("ref")
+    txn = session.begin()
+
+    def work():
+        yield from session.insert(txn, "ref", [1, 42])
+        yield from session.commit(txn)
+
+    run(dep, work())
+    # Present on every shard without routing.
+    for shard, engine in enumerate(dep.engines):
+        row = run(dep, engine.read_row(None, "ref", (1,)))
+        assert row == [1, 42], "shard %d" % shard

@@ -1,0 +1,76 @@
+"""Unit tests for the per-shard commit-LSN vector token."""
+
+import pytest
+
+from repro.shard import ShardVectorToken
+
+
+def test_starts_at_zero():
+    token = ShardVectorToken(3)
+    assert token.shards == 3
+    assert token.lsns == [0, 0, 0]
+    assert token.max_lsn() == 0
+    assert token.as_dict() == {}
+
+
+def test_note_is_monotone():
+    token = ShardVectorToken(2)
+    token.note(0, 10)
+    token.note(0, 5)  # must not move backwards
+    token.note(1, 7)
+    assert token.get(0) == 10
+    assert token.get(1) == 7
+    assert token.max_lsn() == 10
+    assert token.as_dict() == {0: 10, 1: 7}
+
+
+def test_note_map():
+    token = ShardVectorToken(3)
+    token.note_map({0: 4, 2: 9})
+    token.note_map({0: 2, 1: 1})  # shard 0 stays at 4
+    assert token.lsns == [4, 1, 9]
+
+
+def test_merge_is_componentwise_max():
+    a = ShardVectorToken(lsns=[5, 1, 8])
+    b = ShardVectorToken(lsns=[3, 7, 8])
+    assert a.merge(b) is a
+    assert a.lsns == [5, 7, 8]
+    # The merged-from token is untouched.
+    assert b.lsns == [3, 7, 8]
+
+
+def test_merge_rejects_width_mismatch():
+    with pytest.raises(ValueError):
+        ShardVectorToken(2).merge(ShardVectorToken(3))
+
+
+def test_covered_by():
+    token = ShardVectorToken(lsns=[5, 0, 8])
+    assert token.covered_by([5, 0, 8])
+    assert token.covered_by([9, 9, 9])
+    assert not token.covered_by([4, 0, 8])
+    assert not token.covered_by([5, 0, 7])
+    with pytest.raises(ValueError):
+        token.covered_by([5, 0])
+
+
+def test_copy_and_eq():
+    token = ShardVectorToken(lsns=[1, 2])
+    clone = token.copy()
+    assert clone == token
+    clone.note(0, 99)
+    assert clone != token
+    assert token.lsns == [1, 2]
+
+
+def test_single_shard_vector_is_the_scalar():
+    token = ShardVectorToken(1)
+    token.note(0, 42)
+    assert token.max_lsn() == 42
+    assert token.get(0) == 42
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ShardVectorToken(0)

@@ -17,8 +17,13 @@ Usage::
 ``chaos`` runs the seeded chaos soak (:mod:`repro.harness.soak`): TPC-C
 terminals under randomized server crashes, a CM outage, and a partial
 partition, followed by an engine crash/recovery and a durability audit.
-It prints a deterministic JSON report (same seed, byte-identical) and
-exits non-zero if any invariant was violated.
+With ``--shards N`` the soak runs the sharded 2PC variant instead:
+failpoint crashes at every protocol instant (including in-flight
+coordinator crashes), coordination-plane shard partitions, and audits
+for zero unresolved in-doubt transactions, zero hung transactions, and
+zero scatter-read atomicity violations.  It prints a deterministic JSON
+report (same seed, byte-identical) and exits non-zero if any invariant
+was violated.
 
 ``serve`` drives mixed TPC-C write + sysbench-style read traffic through
 the serving frontend (:mod:`repro.frontend`): a SQL proxy routes reads
@@ -308,8 +313,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_parser.add_argument(
         "--shards", type=int, default=1,
-        help="shard count; >1 runs the 2PC crash soak with the "
-             "in-doubt-transaction audit"
+        help="shard count; >1 runs the 2PC crash/partition soak with "
+             "the in-doubt, hung-transaction, and scatter-atomicity "
+             "audits"
     )
     serve_parser = sub.add_parser(
         "serve", help="serving layer: proxied reads over a replica fleet"

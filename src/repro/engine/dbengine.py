@@ -413,6 +413,18 @@ class DBEngine:
         txn.epoch = self.epoch
         return txn
 
+    def lock_wait_edges(self):
+        """Local wait-for edges for the global deadlock detector.
+
+        Delegates to the *live* lock manager (``crash()`` swaps it out),
+        so sweeping through the engine always reads current state.
+        """
+        return self.locks.wait_edges()
+
+    def kill_lock_waiter(self, txn_id: int) -> bool:
+        """Abort one waiting transaction (global deadlock victim)."""
+        return self.locks.kill_waiter(txn_id)
+
     def _check_up(self) -> None:
         if self.crashed:
             raise StorageError("engine crashed")

@@ -10,7 +10,12 @@ benefit grows with concurrency (Section VII-A).
 
 Lock waits time out (default 2 s of virtual time) and abort the waiter -
 a simple, deadlock-free discipline matching MySQL's
-``innodb_lock_wait_timeout``.
+``innodb_lock_wait_timeout``.  Same-engine cycles are additionally
+refused up front (:meth:`LockManager._would_deadlock`); cycles that span
+*engines* (shards) are invisible locally, so the lock manager exports
+its wait-for edges (:meth:`LockManager.wait_edges`) and an external
+abort hook (:meth:`LockManager.kill_waiter`) for the global deadlock
+detector in :mod:`repro.shard.robustness`.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..common import PageId, TransactionAborted
-from ..sim.core import AnyOf, Environment
+from ..sim.core import AnyOf, Environment, Event
 from ..sim.resources import Resource
 from .page import PageOp
 from .wal import RedoRecord
@@ -93,6 +98,9 @@ class LockManager:
         self._locks: Dict[Any, Resource] = {}
         self._held: Dict[Any, int] = {}  # key -> owner txn_id
         self._waiting_on: Dict[int, Any] = {}  # txn_id -> key it waits for
+        #: txn_id -> kill event for its in-flight wait; an external
+        #: deadlock detector fires it to abort the waiter immediately.
+        self._kill_events: Dict[int, Event] = {}
         self.timeouts = 0
         self.waits = 0
         self.deadlocks = 0
@@ -143,15 +151,24 @@ class LockManager:
         if not request.triggered:
             self.waits += 1
             self._waiting_on[txn.txn_id] = key
+            kill = Event(self.env)
+            self._kill_events[txn.txn_id] = kill
             timeout = self.env.timeout(self.wait_timeout)
-            yield AnyOf(self.env, [request, timeout])
+            yield AnyOf(self.env, [request, timeout, kill])
             self._waiting_on.pop(txn.txn_id, None)
+            self._kill_events.pop(txn.txn_id, None)
             if not request.triggered:
                 # Lost the race: withdraw (or release, if granted in the
                 # same instant we timed out) and abort.
                 request.cancel()
                 if request.triggered:
                     lock.release(request)
+                if kill.triggered:
+                    self.deadlocks += 1
+                    raise TransactionAborted(
+                        "deadlock: txn %d chosen as global victim waiting "
+                        "on %r" % (txn.txn_id, key)
+                    )
                 self.timeouts += 1
                 raise TransactionAborted(
                     "lock wait timeout on %r (txn %d)" % (key, txn.txn_id)
@@ -169,6 +186,35 @@ class LockManager:
             if lock is not None:
                 lock.release(request)
         txn.locks.clear()
+
+    # -- global deadlock detection hooks -------------------------------
+    def wait_edges(self) -> List[Tuple[int, int, Any]]:
+        """Local wait-for edges: ``(waiter_txn_id, owner_txn_id, key)``.
+
+        Only edges whose lock has a current owner appear (a waiter racing
+        a just-released lock has no owner to wait on).  Iteration order is
+        insertion order, so sweeps are deterministic.
+        """
+        edges: List[Tuple[int, int, Any]] = []
+        for waiter, key in self._waiting_on.items():
+            owner = self._held.get(key)
+            if owner is not None and owner != waiter:
+                edges.append((waiter, owner, key))
+        return edges
+
+    def kill_waiter(self, txn_id: int) -> bool:
+        """Abort a *waiting* transaction's in-flight lock acquisition.
+
+        The external-abort hook for the global deadlock detector: the
+        waiter wakes immediately and raises TransactionAborted (counted
+        as a deadlock) instead of stalling into the wait timeout.
+        Returns False when ``txn_id`` is not currently waiting.
+        """
+        kill = self._kill_events.get(txn_id)
+        if kill is None or kill.triggered:
+            return False
+        kill.succeed()
+        return True
 
     def owner_of(self, key: Any) -> Optional[int]:
         return self._held.get(key)

@@ -36,13 +36,22 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..common import QueryError, StorageError
+from ..common import (
+    QueryError,
+    RetryPolicy,
+    StorageError,
+    TransactionAborted,
+)
 from ..obs import obs_of
 from ..query.ast import Delete, Insert, Select, Update
 from ..query.cache import ParseCache, bind_statement
 from ..query.executor import QueryResult, QuerySession
 from ..query.planner import PlannerConfig
-from ..shard import ShardVectorToken, merge_select_results
+from ..shard import (
+    InDoubtTransaction,
+    ShardVectorToken,
+    merge_select_results,
+)
 from .admission import AdmissionController
 from .fleet import ReplicaFleet, ReplicaHandle
 
@@ -158,7 +167,38 @@ class ProxySession:
         record's LSN), rolls back and re-raises on failure - including a
         failure of the commit itself, which must not leave the
         transaction open holding locks.
+
+        With a proxy-level :class:`repro.common.RetryPolicy`
+        (``write_retry``), transient aborts - lock timeouts, deadlock
+        victims, 2PC presumed aborts - are retried with bounded, seeded
+        backoff, re-running ``work`` against a fresh transaction.
+        :class:`InDoubtTransaction` is **never** retried: its outcome is
+        a durable commit, so re-running ``work`` would double-apply.
         """
+        proxy = self.proxy
+        policy = proxy.write_retry
+        if policy is None:
+            return (yield from self._write_once(work))
+        deadline = proxy.env.now + policy.deadline
+        attempt = 0
+        while True:
+            try:
+                return (yield from self._write_once(work))
+            except InDoubtTransaction:
+                raise
+            except TransactionAborted:
+                attempt += 1
+                if (attempt >= policy.max_attempts
+                        or proxy.env.now >= deadline):
+                    proxy.write_retry_giveups += 1
+                    raise
+                proxy.write_retries += 1
+                yield proxy.env.timeout(
+                    policy.backoff(attempt - 1, proxy.retry_rng)
+                )
+
+    def _write_once(self, work):
+        """Generator: one attempt of the transactional write path."""
         proxy = self.proxy
         admission = proxy.admission
         ticket = None
@@ -296,14 +336,31 @@ class SqlProxy:
         shardmap=None,
         coordinator=None,
         shard_targets=None,
+        consistent_scatter: bool = True,
+        scatter_fence_timeout: float = 0.5,
+        write_retry: Optional[RetryPolicy] = None,
+        retry_rng=None,
     ):
         if wait_timeout <= 0:
             raise ValueError("wait_timeout must be positive")
+        if scatter_fence_timeout <= 0:
+            raise ValueError("scatter_fence_timeout must be positive")
+        if write_retry is not None and retry_rng is None:
+            raise ValueError(
+                "write_retry needs a retry_rng (a seeded Rng stream) so "
+                "backoff jitter stays deterministic"
+            )
         self.env = env
         self.engine = engine
         self.fleet = fleet
         self.admission = admission
         self.wait_timeout = wait_timeout
+        #: Scatter SELECTs take the coordinator's commit fence plus a
+        #: per-shard durable-LSN cut, making them atomic w.r.t. 2PC.
+        self.consistent_scatter = consistent_scatter
+        self.scatter_fence_timeout = scatter_fence_timeout
+        self.write_retry = write_retry
+        self.retry_rng = retry_rng
         # Shard routing: one (engine, fleet, admission) target per shard.
         # An unsharded proxy is the one-target degenerate case, so every
         # routing path below is uniform over shard indices.
@@ -327,7 +384,11 @@ class SqlProxy:
         self.writes = 0
         self.reroutes = 0
         self.scatter_selects = 0
+        self.scatter_fenced = 0
+        self.scatter_cut_waits = 0
         self.distributed_writes = 0
+        self.write_retries = 0
+        self.write_retry_giveups = 0
         self.bounces = {reason: 0 for reason in BOUNCE_REASONS}
         self.per_replica_reads: Dict[str, int] = {}
         for shard, shard_fleet in enumerate(self.fleets):
@@ -350,7 +411,11 @@ class SqlProxy:
             "writes": self.writes,
             "reroutes": self.reroutes,
             "scatter_selects": self.scatter_selects,
+            "scatter_fenced": self.scatter_fenced,
+            "scatter_cut_waits": self.scatter_cut_waits,
             "distributed_writes": self.distributed_writes,
+            "write_retries": self.write_retries,
+            "write_retry_giveups": self.write_retry_giveups,
             "bounces": dict(self.bounces),
             "per_replica_reads": dict(self.per_replica_reads),
         })
@@ -474,9 +539,16 @@ class SqlProxy:
                 admission.release(self.READ_CLASS, ticket)
 
     def _route(self, session: ProxySession, replica_fn, primary_fn, args,
-               shard: int = 0):
+               shard: int = 0, min_lsn: Optional[int] = None):
         fleet = self.fleets[shard]
         token = session.token.lsns[shard]
+        # A scatter cut can demand more than the session's own writes:
+        # the leg must observe at least the shard's durable tail as of
+        # the fence acquisition, or a lagging replica could hide one
+        # side of an already-committed cross-shard transaction.
+        cut_forced = min_lsn is not None and min_lsn > token
+        if cut_forced:
+            token = min_lsn
         for _attempt in range(2):
             handle = fleet.choose(session) if fleet else None
             if handle is None:
@@ -487,6 +559,8 @@ class SqlProxy:
                 )
             replica = handle.replica
             if replica.applied_lsn < token:
+                if cut_forced:
+                    self.scatter_cut_waits += 1
                 # Only pay the wait generator when actually behind; the
                 # caught-up case records no wait metrics either way.
                 caught_up = yield from fleet.wait_for_lsn(
@@ -574,13 +648,41 @@ class SqlProxy:
         Admission is charged once (on the lowest target shard), not once
         per shard; each per-shard leg still gets the full routed-read
         treatment (token wait, reroute, primary bounce).
+
+        With ``consistent_scatter`` the fan-out is *atomic* w.r.t. every
+        multi-shard commit: the read side of the coordinator's
+        :class:`repro.shard.CommitFence` is held across all legs (no 2PC
+        commit can land between them), and each leg is forced to observe
+        at least its shard's durable tail as captured at fence entry (a
+        per-shard LSN cut), so a commit that completed *before* the
+        scatter cannot be visible on one shard's leg yet missing on
+        another's lagging replica.  A scatter that cannot enter the
+        fence within ``scatter_fence_timeout`` (a 2PC write is stuck in
+        doubt) fails with :class:`repro.shard.FenceTimeout` rather than
+        returning a torn result.
         """
         admission = self.admissions[shards[0]]
         ticket = None
         if admission is not None:
             ticket = yield from admission.admit(self.READ_CLASS)
         start = self.env.now
+        fence = (
+            self.coordinator.fence
+            if self.consistent_scatter and self.coordinator is not None
+            else None
+        )
+        fenced = False
         try:
+            cut = None
+            if fence is not None:
+                yield from fence.acquire_read(
+                    max_wait=self.scatter_fence_timeout
+                )
+                fenced = True
+                self.scatter_fenced += 1
+                cut = [
+                    engine.log.persistent_lsn for engine in self.engines
+                ]
             results = []
             for shard in shards:
                 if sql is not None:
@@ -603,13 +705,16 @@ class SqlProxy:
                     arg = statement
                 results.append((
                     yield from self._route(
-                        session, replica_leg, primary_leg, (arg,), shard
+                        session, replica_leg, primary_leg, (arg,), shard,
+                        min_lsn=None if cut is None else cut[shard],
                     )
                 ))
             self.scatter_selects += 1
             session.reads += 1
             return merge_select_results(statement, results)
         finally:
+            if fenced:
+                fence.release_read()
             self._read_latency.record(self.env.now - start)
             if ticket is not None:
                 admission.release(self.READ_CLASS, ticket)

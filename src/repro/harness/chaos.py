@@ -26,7 +26,7 @@ __all__ = ["ChaosEvent", "ChaosSchedule", "ChaosInjector", "ChaosMonkey"]
 #: Kinds that hold for ``duration`` and then revert; the injector runs
 #: them as child processes so later events stay on schedule and windows
 #: may overlap.
-WINDOWED_KINDS = ("network_spike", "partition")
+WINDOWED_KINDS = ("network_spike", "partition", "shard_partition")
 
 
 @dataclass(frozen=True)
@@ -61,7 +61,16 @@ class ChaosEvent:
       :data:`repro.shard.coordinator.FAILPOINTS`); ``peer`` names the
       participant shard index, or ``"*"`` for the statement's
       coordinator shard.  The crash fires on the next cross-shard
-      commit; pair with a later ``shard_recover``.
+      commit; pair with a later ``shard_recover``;
+    - ``shard_partition`` - for ``duration`` seconds, sever the
+      coordination-plane link to shard ``target``: 2PC legs to it abort
+      (prepare) or go in doubt (phase 2) while the shard's own storage
+      stays intact; on heal the injector runs
+      :meth:`Coordinator.resume_decided` so interrupted phase 2s finish;
+    - ``coordinator_crash_inflight`` - arm the failpoint named by
+      ``target`` (default ``after_decision``) with no shard pinned, so
+      the *next* cross-shard commit crashes at that instant, whichever
+      shard it lands on - the coordinator-dies-mid-flight scenario.
     """
 
     at: float
@@ -86,6 +95,8 @@ class ChaosEvent:
         "shard_crash",
         "shard_recover",
         "twopc_failpoint",
+        "shard_partition",
+        "coordinator_crash_inflight",
     )
 
     def __post_init__(self):
@@ -219,6 +230,31 @@ class ChaosInjector:
             self._note(
                 env, "armed 2PC failpoint %s (shard %s)"
                 % (event.target, "coord" if shard is None else shard)
+            )
+        elif event.kind == "shard_partition":
+            coordinator = self._coordinator()
+            shard = int(event.target)
+            coordinator.partition(shard)
+            self._note(
+                env, "partitioned shard %d from the coordination plane "
+                "for %.3fs" % (shard, event.duration)
+            )
+            try:
+                yield env.timeout(event.duration)
+            finally:
+                coordinator.heal(shard)
+                resumed_before = coordinator.resumed_commits
+                yield from coordinator.resume_decided()
+                self._note(
+                    env, "healed shard %d (%d phase-2 commits resumed)"
+                    % (shard, coordinator.resumed_commits - resumed_before)
+                )
+        elif event.kind == "coordinator_crash_inflight":
+            point = event.target or "after_decision"
+            self._coordinator().arm_failpoint(point, None)
+            self._note(
+                env,
+                "armed in-flight coordinator crash at %s" % point,
             )
         elif event.kind == "network_spike":
             network = dep.pagestore.network

@@ -123,6 +123,18 @@ class DeploymentSpec:
     admission_write_limit: int = 32
     admission_queue_limit: int = 64
     admission_queue_timeout: float = 0.02
+    # Distributed robustness (active whenever shards > 1).
+    #: Run the global deadlock detector daemon (cross-shard lock cycles
+    #: abort a victim in one sweep instead of the 2 s wait timeout).
+    deadlock_detection: bool = True
+    deadlock_detect_interval: float = 0.05
+    #: Scatter SELECTs hold the coordinator's commit fence + LSN cut,
+    #: making them atomic w.r.t. cross-shard 2PC commits.
+    scatter_consistency: bool = True
+    #: Proxy write-retry policy for transient aborts (deadlock victims,
+    #: lock timeouts).  None = a default policy on sharded deployments,
+    #: no retries on single-shard ones (their historical behaviour).
+    proxy_write_retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.ebp_policy not in ("flat", "priority"):
@@ -158,6 +170,11 @@ class DeploymentSpec:
             )
         if self.shards < 1:
             raise ValueError("shards must be >= 1, got %r" % self.shards)
+        if self.deadlock_detect_interval <= 0:
+            raise ValueError(
+                "deadlock_detect_interval must be positive, got %r"
+                % self.deadlock_detect_interval
+            )
         if self.log_replication > self.astore_servers:
             raise ValueError(
                 "log_replication (%d) exceeds astore_servers (%d)"
@@ -320,6 +337,31 @@ class DeploymentSpec:
             changes["replica_wait_timeout"] = wait_timeout
         return dataclasses.replace(self, **changes)
 
+    def with_robustness(
+        self,
+        deadlock_detection: Optional[bool] = None,
+        detect_interval: Optional[float] = None,
+        scatter_consistency: Optional[bool] = None,
+        write_retry: Optional[RetryPolicy] = None,
+    ) -> "DeploymentSpec":
+        """Tune the sharded plane's robustness mechanisms.
+
+        Turning ``deadlock_detection`` or ``scatter_consistency`` off
+        reverts to PR 6 semantics (timeout-resolved global deadlocks,
+        unfenced scatter reads) - mainly useful for regression tests and
+        overhead measurements.
+        """
+        changes: Dict[str, object] = {}
+        if deadlock_detection is not None:
+            changes["deadlock_detection"] = deadlock_detection
+        if detect_interval is not None:
+            changes["deadlock_detect_interval"] = detect_interval
+        if scatter_consistency is not None:
+            changes["scatter_consistency"] = scatter_consistency
+        if write_retry is not None:
+            changes["proxy_write_retry"] = write_retry
+        return dataclasses.replace(self, **changes)
+
     def with_admission(
         self,
         read_limit: Optional[int] = None,
@@ -447,6 +489,12 @@ class Deployment:
         if self.config.replicas > 0:
             from ..frontend.proxy import SqlProxy
 
+            write_retry = self.config.proxy_write_retry
+            if write_retry is None and self.config.shards > 1:
+                # Sharded planes see transient aborts a single primary
+                # never produces (global deadlock victims, presumed
+                # aborts), so retries default on there.
+                write_retry = RetryPolicy()
             self.frontend = SqlProxy(
                 self.env,
                 self.engine,
@@ -459,8 +507,15 @@ class Deployment:
                     (stack.engine, stack.fleet, stack.admission)
                     for stack in self.shards
                 ],
+                consistent_scatter=self.config.scatter_consistency,
+                write_retry=write_retry,
+                retry_rng=(
+                    self.seeds.stream("proxy-write-retry")
+                    if write_retry is not None else None
+                ),
             )
         self.detector: Optional[FailureDetector] = None
+        self.deadlock_detector = None
         self._started = False
         self._register_gauges()
 
@@ -618,7 +673,23 @@ class Deployment:
                       lambda: sum(e.aborted for e in engines))
             reg.gauge("engine.statements",
                       lambda: sum(e.statements for e in engines))
+            # Contention totals next to the coordinator block: lock
+            # timeouts and deadlock aborts are the sharded plane's
+            # primary robustness signals.
+            reg.gauge("engine.lock_waits",
+                      lambda: sum(e.locks.waits for e in engines))
+            reg.gauge("engine.lock_timeouts",
+                      lambda: sum(e.locks.timeouts for e in engines))
+            reg.gauge("engine.deadlocks",
+                      lambda: sum(e.locks.deadlocks for e in engines))
             reg.gauge("coordinator", lambda: coordinator.counters())
+            reg.gauge("shard.commit_fence",
+                      lambda: coordinator.fence.counters())
+            reg.gauge("shard.deadlock_detector", lambda: (
+                self.deadlock_detector.counters()
+                if self.deadlock_detector is not None
+                else {"sweeps": 0, "cycles_found": 0, "victims_aborted": 0}
+            ))
 
     def _register_stack_gauges(self, reg, prefix: str,
                                stack: ShardStack) -> None:
@@ -777,6 +848,15 @@ class Deployment:
                 )
         if self.astore is not None:
             self.detector = self.astore.detector
+        if self.config.shards > 1 and self.config.deadlock_detection:
+            from ..shard import GlobalDeadlockDetector
+
+            self.deadlock_detector = GlobalDeadlockDetector(
+                self.env,
+                self.coordinator,
+                interval=self.config.deadlock_detect_interval,
+            )
+            self.deadlock_detector.start()
 
     def run_until(self, event) -> None:
         self.env.run_until_event(event)

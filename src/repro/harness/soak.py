@@ -22,8 +22,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Tuple
 
-from ..common import KB
-from ..sim.core import AllOf
+from ..common import KB, QueryError, StorageError, TransactionAborted
+from ..sim.core import AllOf, AnyOf
 from ..workloads.tpcc import (
     TpccClient,
     TpccConfig,
@@ -162,11 +162,31 @@ def run_sharded_soak(
       committed <= actual <= committed + maybe (the maybe side collects
       InDoubtTransaction outcomes whose ack was cut off - those commit
       at recovery, so they may legitimately appear);
-    - W_YTD == sum(D_YTD) per warehouse.
+    - W_YTD == sum(D_YTD) per warehouse;
+    - **zero hung transactions**: every terminal finishes within a
+      bounded grace past the horizon (the global deadlock detector and
+      the fence/lock timeouts make all waits finite);
+    - **zero scatter-atomicity violations**: a probe transaction bumps
+      one counter row per shard inside a fenced 2PC while a scatter
+      SELECT polls all of them; every observation must see a single
+      value across shards, never going backwards, and the final state
+      must agree across shards after full crash recovery.
+
+    Chaos now also severs shards from the coordination plane
+    (``shard_partition`` windows: prepares abort, phase 2 goes in doubt
+    until heal + resume) on top of the failpoint crash rotation -
+    which includes the in-flight coordinator crashes
+    (``coordinator_crash_inflight`` arms the same instants).
 
     Same seed => byte-identical report.
     """
-    from ..shard import FAILPOINTS
+    from ..engine.codec import INT, Column, Schema
+    from ..frontend.proxy import SqlProxy
+    from ..shard import (
+        FAILPOINTS,
+        InDoubtTransaction,
+        ShardKeySpec,
+    )
 
     horizon = (3.0 if short else 8.0) if horizon is None else horizon
     terminals_n = (2 * shards if short else 4 * shards
@@ -187,11 +207,28 @@ def run_sharded_soak(
     coordinator = dep.coordinator
 
     register_tpcc_sharding(dep.shardmap)
-    database = TpccDatabase(
-        dep.shard_session(home=0), tpcc, dep.seeds.stream("soak-load")
-    )
+    session0 = dep.shard_session(home=0)
+    database = TpccDatabase(session0, tpcc, dep.seeds.stream("soak-load"))
     load = env.process(database.load())
     env.run_until_event(load)
+
+    # Scatter-atomicity probe table: one counter row per shard (key k
+    # hashes to shard k % shards for small ints), bumped in lock-step by
+    # a fenced 2PC writer and polled by an unmerged scatter SELECT.
+    session0.create_table(
+        "scatter_probe",
+        Schema([Column("k", INT()), Column("seq", INT())]), ["k"],
+    )
+    dep.shardmap.set_table("scatter_probe", ShardKeySpec(column_pos=0))
+
+    def seed_probe():
+        txn = coordinator.begin()
+        for k in range(shards):
+            yield from coordinator.insert(txn, "scatter_probe", [k, 0])
+        yield from coordinator.commit(txn)
+
+    seeding = env.process(seed_probe())
+    env.run_until_event(seeding)
 
     chaos_log: List[str] = []
     rng = dep.seeds.stream("shard-chaos")
@@ -204,6 +241,22 @@ def run_sharded_soak(
         round_no = 0
         while env.now - soak_start < horizon * 0.80:
             yield env.timeout(horizon * rng.uniform(0.04, 0.08))
+            if round_no % 3 == 2:
+                # A partition round: sever one shard's coordination
+                # link for a window, then heal and resume phase 2.
+                victim = rng.randint(0, shards - 1)
+                window = horizon * rng.uniform(0.03, 0.06)
+                coordinator.partition(victim)
+                note("partitioned shard %d for %.3fs" % (victim, window))
+                yield env.timeout(window)
+                coordinator.heal(victim)
+                resumed_before = coordinator.resumed_commits
+                yield from coordinator.resume_decided()
+                note("healed shard %d (%d phase-2 commits resumed)"
+                     % (victim,
+                        coordinator.resumed_commits - resumed_before))
+                round_no += 1
+                continue
             point = FAILPOINTS[round_no % len(FAILPOINTS)]
             victim = (rng.randint(0, shards - 1)
                       if rng.random() < 0.5 else None)
@@ -228,6 +281,85 @@ def run_sharded_soak(
 
     env.process(chaos(), name="shard-chaos")
 
+    # -- scatter-atomicity probe processes -----------------------------
+    probe_stats = {
+        "writer_commits": 0, "writer_in_doubt": 0, "writer_aborts": 0,
+        "observations": 0, "reader_skips": 0,
+    }
+    scatter_violations: List[str] = []
+    probe_proxy = SqlProxy(
+        env, dep.engine, None,
+        shardmap=dep.shardmap, coordinator=coordinator,
+        shard_targets=[(stack.engine, None, None) for stack in dep.shards],
+    )
+    probe_session = probe_proxy.session("scatter-probe")
+    wrng = dep.seeds.stream("scatter-probe-writer")
+    rrng = dep.seeds.stream("scatter-probe-reader")
+
+    def probe_writer():
+        while env.now - soak_start < horizon * 0.85:
+            yield env.timeout(wrng.uniform(0.01, 0.05))
+            # fenced=True: even the first shard's (read-uncommitted)
+            # write is invisible to scatter reads, so every observation
+            # of the probe rows is all-or-nothing.
+            dtxn = coordinator.begin(fenced=True)
+            try:
+                seqs = []
+                for k in range(shards):
+                    row = yield from coordinator.read_row(
+                        dtxn, "scatter_probe", (k,), for_update=True
+                    )
+                    seqs.append(row[1])
+                bumped = max(seqs) + 1
+                for k in range(shards):
+                    yield from coordinator.update(
+                        dtxn, "scatter_probe", (k,), {"seq": bumped}
+                    )
+                yield from coordinator.commit(dtxn)
+                probe_stats["writer_commits"] += 1
+            except InDoubtTransaction:
+                # Will commit at heal/recovery - still atomic.
+                probe_stats["writer_in_doubt"] += 1
+            except (TransactionAborted, StorageError):
+                probe_stats["writer_aborts"] += 1
+                yield from coordinator.rollback(dtxn)
+
+    def probe_reader():
+        last_seen = 0
+        while env.now - soak_start < horizon * 0.95:
+            yield env.timeout(rrng.uniform(0.005, 0.03))
+            try:
+                result = yield from probe_session.execute(
+                    "SELECT k, seq FROM scatter_probe"
+                )
+            except (QueryError, StorageError, TransactionAborted,
+                    KeyError):
+                # Crashed leg or fence timeout (an in-doubt 2PC held
+                # the write side): a refused read, never a torn one.
+                probe_stats["reader_skips"] += 1
+                continue
+            if len(result.rows) != shards:
+                probe_stats["reader_skips"] += 1
+                continue
+            seqs = sorted({row[1] for row in result.rows})
+            probe_stats["observations"] += 1
+            if len(seqs) != 1:
+                scatter_violations.append(
+                    "t=%.4f torn scatter read: per-shard seqs %s"
+                    % (env.now - soak_start, seqs)
+                )
+            elif seqs[0] < last_seen:
+                scatter_violations.append(
+                    "t=%.4f scatter read went backwards: %d after %d"
+                    % (env.now - soak_start, seqs[0], last_seen)
+                )
+            last_seen = max(last_seen, seqs[-1])
+
+    probe_procs = [
+        env.process(probe_writer(), name="scatter-probe-writer"),
+        env.process(probe_reader(), name="scatter-probe-reader"),
+    ]
+
     clients = []
     for index in range(terminals_n):
         w_id = (index % tpcc.warehouses) + 1
@@ -237,7 +369,15 @@ def run_sharded_soak(
             home_warehouse=w_id, engine=dep.shard_session(home=home),
         ))
     procs = [env.process(c.run_for(horizon)) for c in clients]
-    env.run_until_event(AllOf(env, procs))
+
+    # Hung-transaction audit: every terminal and probe must finish
+    # within a bounded grace (all waits are finite by construction -
+    # lock timeouts, fence timeouts, one detector sweep interval).
+    grace = 4.0
+    all_procs = procs + probe_procs
+    done = AllOf(env, all_procs)
+    env.run_until_event(AnyOf(env, [done, env.timeout(horizon + grace)]))
+    hung = sum(1 for proc in all_procs if not proc.triggered)
 
     # Final blow: power-fail every primary, then recover participant
     # shards before shard 0 so in-doubt resolution must harvest the
@@ -250,7 +390,29 @@ def run_sharded_soak(
         env.run_until_event(recovery)
     note("final crash: recovered all %d shards participant-first" % shards)
 
+    # Post-recovery probe state: one agreed value on every shard.
+    def final_probe():
+        seqs = []
+        for k in range(shards):
+            row = yield from session0.read_row(None, "scatter_probe", (k,))
+            seqs.append(row[1])
+        return seqs
+
+    final = env.process(final_probe())
+    env.run_until_event(final)
+    final_seqs = final.value
+    if len(set(final_seqs)) != 1:
+        scatter_violations.append(
+            "final probe state disagrees across shards: %s" % final_seqs
+        )
+
     violations = _audit_sharded(dep, tpcc, clients)
+    if hung:
+        violations.append(
+            "%d transaction process(es) still running %.1fs past the "
+            "horizon (hung)" % (hung, grace)
+        )
+    violations.extend(scatter_violations)
     counters = coordinator.counters()
     if counters["unresolved_in_doubt"]:
         violations.append(
@@ -262,6 +424,7 @@ def run_sharded_soak(
             "%d decided transaction(s) never finished phase 2"
             % counters["pending_decided"]
         )
+    detector = dep.deadlock_detector
     report = {
         "seed": seed,
         "shards": shards,
@@ -271,8 +434,15 @@ def run_sharded_soak(
         "committed": sum(c.committed for c in clients),
         "aborted": sum(c.aborted for c in clients),
         "in_doubt": sum(c.in_doubt for c in clients),
+        "hung_transactions": hung,
         "chaos_log": chaos_log,
         "coordinator": counters,
+        "deadlock_detector": (
+            detector.counters() if detector is not None
+            else {"sweeps": 0, "cycles_found": 0, "victims_aborted": 0}
+        ),
+        "commit_fence": coordinator.fence.counters(),
+        "scatter_audit": dict(probe_stats, final_seqs=final_seqs),
         "violations": violations,
         "ok": not violations,
     }

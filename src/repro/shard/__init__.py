@@ -7,6 +7,8 @@
 - :mod:`repro.shard.coordinator` - cross-shard transactions as
   two-phase commit with presumed abort and in-doubt recovery
 - :mod:`repro.shard.router` - scatter-gather SELECT result merging
+- :mod:`repro.shard.robustness` - global deadlock detection + the
+  commit fence that makes scatter reads atomic w.r.t. 2PC commits
 """
 
 from .coordinator import (
@@ -16,14 +18,18 @@ from .coordinator import (
     DistributedTxn,
     InDoubtTransaction,
 )
+from .robustness import CommitFence, FenceTimeout, GlobalDeadlockDetector
 from .router import merge_select_results, scatter_unsupported_reason
 from .shardmap import ShardKeySpec, ShardMap
 from .token import ShardVectorToken
 
 __all__ = [
+    "CommitFence",
     "Coordinator",
     "CoordinatorSession",
     "DistributedTxn",
+    "FenceTimeout",
+    "GlobalDeadlockDetector",
     "InDoubtTransaction",
     "FAILPOINTS",
     "ShardKeySpec",

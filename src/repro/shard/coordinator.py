@@ -43,6 +43,7 @@ from ..common import QueryError, StorageError, TransactionAborted
 from ..engine.dbengine import DBEngine
 from ..engine.txn import Transaction
 from ..sim.core import Environment
+from .robustness import CommitFence
 from .shardmap import ShardMap
 
 __all__ = [
@@ -54,12 +55,16 @@ __all__ = [
 ]
 
 #: Protocol instants a failpoint can crash a shard at.
+#: ``before_participant_commit`` fires per participant *inside* phase 2,
+#: so an armed crash leaves a decided transaction partially committed -
+#: the nastiest in-doubt shape recovery must converge from.
 FAILPOINTS = (
     "before_prepare_all",
     "participant_prepared",
     "after_prepare_all",
     "before_decision",
     "after_decision",
+    "before_participant_commit",
 )
 
 
@@ -75,9 +80,10 @@ class InDoubtTransaction(TransactionAborted):
 class DistributedTxn:
     """Client-side handle for one (possibly) cross-shard transaction."""
 
-    __slots__ = ("coordinator", "parts", "status", "gtid", "commit_lsns")
+    __slots__ = ("coordinator", "parts", "status", "gtid", "commit_lsns",
+                 "dtid", "write_set", "wants_fence", "fence_held")
 
-    def __init__(self, coordinator: "Coordinator"):
+    def __init__(self, coordinator: "Coordinator", fenced: bool = False):
         self.coordinator = coordinator
         #: shard index -> local Transaction (lazily opened).
         self.parts: Dict[int, Transaction] = {}
@@ -88,6 +94,18 @@ class DistributedTxn:
         #: shard -> durable LSN covering this txn's commit (vector token
         #: material).
         self.commit_lsns: Dict[int, int] = {}
+        #: Begin-order identity (the global deadlock detector's victim
+        #: rule aborts the cycle member with the *highest* dtid).
+        self.dtid = next(coordinator._dtid_seq)
+        #: Shards this transaction has written on (fence upgrade state).
+        self.write_set: set = set()
+        #: ``begin(fenced=True)``: enter the commit fence before the
+        #: *first* write, so even the first shard's uncommitted effect is
+        #: invisible to scatter reads.  The default (lazy) upgrade enters
+        #: at the second writer shard, which still makes the *commit*
+        #: atomic w.r.t. scatter reads.
+        self.wants_fence = fenced
+        self.fence_held = False
 
     @property
     def is_active(self) -> bool:
@@ -120,6 +138,20 @@ class Coordinator:
         #: time is an unresolved in-doubt transaction.
         self._prepared_parts: Set[Tuple[str, int]] = set()
         self._gtid_seq = itertools.count(1)
+        self._dtid_seq = itertools.count(1)
+        #: Live distributed transactions by dtid - the global deadlock
+        #: detector's registry for stitching local wait-for edges into
+        #: global identities.  Entries retire at commit/abort.
+        self.active_dtxns: Dict[int, DistributedTxn] = {}
+        #: Serialises scatter reads against multi-shard commits (held
+        #: across in-doubt windows until phase 2 fully completes).
+        self.fence = CommitFence(env)
+        #: Bound on how long a 2PC write waits for scatter readers.
+        self.fence_write_timeout = 1.0
+        #: Shards currently unreachable from the coordination plane
+        #: (chaos ``shard_partition``): 2PC legs to them fail like
+        #: crashes, but shard-local state stays intact.
+        self.partitioned: Set[int] = set()
         # Counters for reports / benchmarks.
         self.single_shard_commits = 0
         self.two_phase_commits = 0
@@ -128,6 +160,7 @@ class Coordinator:
         self.presumed_aborts = 0
         self.in_doubt_commits = 0
         self.resumed_commits = 0
+        self.partition_rejects = 0
         # Failpoint: (point, shard | None); fires once.
         self._failpoint: Optional[Tuple[str, Optional[int]]] = None
         self.fired_failpoints: List[Tuple[str, int]] = []
@@ -154,14 +187,61 @@ class Coordinator:
         return True
 
     # ------------------------------------------------------------------
+    # Partitions (chaos: sever the coordination-plane link to a shard)
+    # ------------------------------------------------------------------
+    def partition(self, shard: int) -> None:
+        """Sever the coordination-plane link to ``shard``.
+
+        The shard itself stays up (its storage, replicas, and home-shard
+        clients keep working), but every 2PC leg routed to it fails like
+        a crash: DML aborts, prepares presume abort, and phase-2 commits
+        go in doubt until :meth:`heal` + :meth:`resume_decided`.
+        """
+        self.partitioned.add(shard)
+
+    def heal(self, shard: int) -> None:
+        self.partitioned.discard(shard)
+
+    def _check_reachable(self, shard: int) -> None:
+        if shard in self.partitioned:
+            self.partition_rejects += 1
+            raise TransactionAborted(
+                "shard %d unreachable (partitioned)" % shard
+            )
+
+    # ------------------------------------------------------------------
     # Transaction API (engine-shaped)
     # ------------------------------------------------------------------
-    def begin(self) -> DistributedTxn:
-        return DistributedTxn(self)
+    def begin(self, fenced: bool = False) -> DistributedTxn:
+        dtxn = DistributedTxn(self, fenced=fenced)
+        self.active_dtxns[dtxn.dtid] = dtxn
+        return dtxn
+
+    def _retire(self, dtxn: DistributedTxn) -> None:
+        self.active_dtxns.pop(dtxn.dtid, None)
+
+    def _release_fence(self, dtxn: DistributedTxn) -> None:
+        if dtxn.fence_held:
+            dtxn.fence_held = False
+            self.fence.release_write()
+
+    def _fence_for_write(self, dtxn: DistributedTxn, shard: int):
+        """Generator: enter the commit fence before a write that makes
+        (or, with the ``fenced`` hint, starts) a multi-shard write set."""
+        write_set = dtxn.write_set
+        if shard in write_set:
+            return
+        if not dtxn.fence_held and (write_set or dtxn.wants_fence):
+            yield from self.fence.acquire_write(
+                max_wait=self.fence_write_timeout
+            )
+            dtxn.fence_held = True
+        write_set.add(shard)
 
     def _part(self, dtxn: DistributedTxn, shard: int) -> Transaction:
         txn = dtxn.parts.get(shard)
         if txn is None:
+            self._check_reachable(shard)
             try:
                 txn = self.engines[shard].begin()
             except StorageError as exc:
@@ -173,6 +253,7 @@ class Coordinator:
 
     def _run(self, shard: int, gen):
         """Generator: run one engine op, mapping crashes to aborts."""
+        self._check_reachable(shard)
         try:
             result = yield from gen
         except StorageError as exc:
@@ -187,6 +268,7 @@ class Coordinator:
         key = self.engines[0].catalog.table(table).key_of(list(values))
         result = None
         for shard in self.shardmap.write_shards(table, key):
+            yield from self._fence_for_write(dtxn, shard)
             txn = self._part(dtxn, shard)
             result = yield from self._run(
                 shard, self.engines[shard].insert(txn, table, values)
@@ -198,6 +280,7 @@ class Coordinator:
         """Generator: routed update (broadcast for replicated tables)."""
         result = None
         for shard in self.shardmap.write_shards(table, tuple(key)):
+            yield from self._fence_for_write(dtxn, shard)
             txn = self._part(dtxn, shard)
             result = yield from self._run(
                 shard, self.engines[shard].update(txn, table, tuple(key),
@@ -208,6 +291,7 @@ class Coordinator:
     def delete(self, dtxn: DistributedTxn, table: str, key: Sequence[Any]):
         """Generator: routed delete (broadcast for replicated tables)."""
         for shard in self.shardmap.write_shards(table, tuple(key)):
+            yield from self._fence_for_write(dtxn, shard)
             txn = self._part(dtxn, shard)
             yield from self._run(
                 shard, self.engines[shard].delete(txn, table, tuple(key))
@@ -265,8 +349,12 @@ class Coordinator:
             yield from self._abort_parts(dtxn)
             dtxn.status = "aborted"
             self.aborts += 1
+            self._release_fence(dtxn)
+            self._retire(dtxn)
             raise
         dtxn.status = "committed"
+        self._release_fence(dtxn)
+        self._retire(dtxn)
         if writers:
             self.single_shard_commits += 1
         else:
@@ -280,6 +368,14 @@ class Coordinator:
         dtxn.gtid = gtid
         self.two_phase_commits += 1
         try:
+            # The write fence is normally taken at the second writer shard
+            # (see _fence_for_write); this is a belt-and-braces upgrade so
+            # phase 2 can never interleave with a scatter read.
+            if not dtxn.fence_held:
+                yield from self.fence.acquire_write(
+                    max_wait=self.fence_write_timeout
+                )
+                dtxn.fence_held = True
             # Phase 1: durable prepare on every writer, coordinator first.
             self._fire("before_prepare_all", coord)
             for shard in writers:
@@ -306,9 +402,14 @@ class Coordinator:
             self.presumed_aborts += 1
             yield from self._abort_parts(dtxn)
             dtxn.status = "aborted"
+            self._release_fence(dtxn)
+            self._retire(dtxn)
             raise
         self.decided[gtid] = coord
         dtxn.status = "decided"
+        # In-doubt exits below keep the fence held: the decision is
+        # durable but not yet applied everywhere, exactly the window a
+        # scatter read must not observe.  resume_decided() releases it.
         if self._fire("after_decision", coord):
             # Coordinator died before telling anyone: every participant
             # stays in-doubt until recovery / resume_decided.
@@ -319,6 +420,7 @@ class Coordinator:
         # Phase 2.
         incomplete = False
         for shard in writers:
+            self._fire("before_participant_commit", shard)
             committed = yield from self._commit_prepared_part(dtxn, shard)
             incomplete = incomplete or not committed
         if incomplete:
@@ -327,6 +429,8 @@ class Coordinator:
                 "gtid %s decided; some participants in doubt" % gtid
             )
         dtxn.status = "committed"
+        self._release_fence(dtxn)
+        self._retire(dtxn)
 
     def _commit_prepared_part(self, dtxn: DistributedTxn, shard: int):
         """Generator: phase-2 commit of one participant.
@@ -335,6 +439,9 @@ class Coordinator:
         predates a restart); recovery then resolves it from the durable
         decision instead.
         """
+        if shard in self.partitioned:
+            self.partition_rejects += 1
+            return False
         engine = self.engines[shard]
         txn = dtxn.parts[shard]
         if engine.crashed or getattr(txn, "epoch", 0) != engine.epoch:
@@ -380,6 +487,8 @@ class Coordinator:
         yield from self._abort_parts(dtxn)
         dtxn.status = "aborted"
         self.aborts += 1
+        self._release_fence(dtxn)
+        self._retire(dtxn)
 
     # ------------------------------------------------------------------
     # Recovery integration
@@ -461,6 +570,8 @@ class Coordinator:
                     incomplete = True
             if not incomplete:
                 dtxn.status = "committed"
+                self._release_fence(dtxn)
+                self._retire(dtxn)
                 del self.pending_decided[gtid]
 
     def unresolved_in_doubt(self) -> int:
@@ -482,6 +593,7 @@ class Coordinator:
             "resumed_commits": self.resumed_commits,
             "pending_decided": len(self.pending_decided),
             "unresolved_in_doubt": self.unresolved_in_doubt(),
+            "partition_rejects": self.partition_rejects,
         }
 
 
@@ -538,8 +650,8 @@ class CoordinatorSession:
         )
 
     # Transactional API.
-    def begin(self) -> DistributedTxn:
-        return self.coordinator.begin()
+    def begin(self, fenced: bool = False) -> DistributedTxn:
+        return self.coordinator.begin(fenced=fenced)
 
     def commit(self, dtxn: DistributedTxn):
         return self.coordinator.commit(dtxn)

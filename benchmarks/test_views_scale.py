@@ -1,0 +1,149 @@
+"""Incremental views: view-served aggregates vs executor rescans.
+
+A maintained view answers an eligible GROUP BY aggregate in O(result):
+finalize the per-group states and shape the rows.  A fresh rescan pays
+O(table): every page fetched and every row folded, per query.  This
+benchmark shows, in virtual time:
+
+- the per-query cost of the view-served path is >= 10x below the rescan
+  path at a modest table size (the PR's acceptance bar);
+- the gap *grows* with the base table: rescan cost scales with rows
+  while the view-served cost stays flat (same group count).
+
+Emits ``benchmarks/BENCH_views.json`` with the headline numbers.
+"""
+
+import pytest
+from conftest import emit_bench_json, print_table
+
+from repro.engine.codec import INT, Column, Schema
+from repro.harness.deployment import DeploymentSpec
+
+RESULTS = {}
+
+GROUPS = 16
+QUERIES = 20
+VIEW_SQL = (
+    "SELECT grp, COUNT(*) AS n, SUM(val) AS total, AVG(val) AS mean "
+    "FROM facts GROUP BY grp"
+)
+QUERY_SQL = VIEW_SQL + " ORDER BY grp"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_json():
+    yield
+    if RESULTS:
+        emit_bench_json("views", RESULTS)
+
+
+def build(rows, seed=11):
+    dep = (
+        DeploymentSpec.astore_ebp(seed=seed, astore_servers=3)
+        .with_replicas(1)
+        .with_views({"facts_by_grp": VIEW_SQL})
+        .build()
+    )
+    dep.start()
+    dep.engine.create_table(
+        "facts",
+        Schema([
+            Column("k", INT()),
+            Column("grp", INT()),
+            Column("val", INT()),
+        ]),
+        ["k"],
+    )
+    dep.fleet.sync_catalogs()
+
+    def load():
+        engine = dep.engine
+        txn = engine.begin()
+        for k in range(rows):
+            yield from engine.insert(
+                txn, "facts", [k, k % GROUPS, k % 97]
+            )
+        yield from engine.commit(txn)
+
+    proc = dep.env.process(load(), name="views-bench-load")
+    dep.env.run_until_event(proc)
+    deadline = dep.env.now + 5.0
+    while dep.env.now < deadline and not dep.views.caught_up():
+        dep.run_for(0.002)
+    assert dep.views.caught_up()
+    return dep
+
+
+def measure(dep, rows):
+    """Virtual seconds per query: view-served vs fresh primary rescan."""
+    env = dep.env
+    session = dep.frontend_session("views-bench")
+
+    def run(gen):
+        proc = env.process(gen, name="views-bench-query")
+        env.run_until_event(proc)
+        return proc.value
+
+    # Warm both paths once (plan caches, EBP) before timing.
+    served = run(session.execute(QUERY_SQL))
+    direct = run(dep.frontend.primary_session.execute(QUERY_SQL))
+    assert session.last_route == "view:facts_by_grp"
+    assert served.rows == direct.rows and served.columns == direct.columns
+
+    start = env.now
+    for _ in range(QUERIES):
+        run(session.execute(QUERY_SQL))
+    view_cost = (env.now - start) / QUERIES
+    assert session.last_route == "view:facts_by_grp"
+
+    start = env.now
+    for _ in range(QUERIES):
+        run(dep.frontend.primary_session.execute(QUERY_SQL))
+    rescan_cost = (env.now - start) / QUERIES
+
+    return {
+        "rows": rows,
+        "view_us": view_cost * 1e6,
+        "rescan_us": rescan_cost * 1e6,
+        "speedup": rescan_cost / view_cost,
+    }
+
+
+def test_view_serves_aggregates_an_order_of_magnitude_cheaper(benchmark):
+    def sweep():
+        points = []
+        for rows in (2000, 8000):
+            dep = build(rows)
+            points.append(measure(dep, rows))
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Incremental views - per-query cost, %d-group aggregate "
+        "(%d queries each)" % (GROUPS, QUERIES),
+        ["base rows", "view-served (us)", "rescan (us)", "speedup"],
+        [
+            (p["rows"], "%.1f" % p["view_us"], "%.1f" % p["rescan_us"],
+             "%.1fx" % p["speedup"])
+            for p in points
+        ],
+    )
+    RESULTS["per_query"] = {
+        str(p["rows"]): {
+            "view_us": round(p["view_us"], 3),
+            "rescan_us": round(p["rescan_us"], 3),
+            "speedup": round(p["speedup"], 2),
+        }
+        for p in points
+    }
+    benchmark.extra_info["speedup_8k"] = round(points[-1]["speedup"], 1)
+    # The acceptance bar: view-served answers cost >= 10x less than the
+    # per-query rescan they replace.
+    assert all(p["speedup"] >= 10.0 for p in points)
+    # O(result) vs O(table): growing the base table leaves the
+    # view-served cost roughly flat but inflates the rescan cost, so
+    # the gap widens.
+    small, large = points
+    assert large["rescan_us"] > 2.0 * small["rescan_us"]
+    assert large["view_us"] < 2.0 * small["view_us"]
+    assert large["speedup"] > small["speedup"]

@@ -11,6 +11,7 @@ Usage::
     python -m repro chaos --shards 2
     python -m repro serve --seed 7 --replicas 2 --policy least-lag
     python -m repro serve --shards 4
+    python -m repro views --seed 7
     python -m repro perf --quick
     python -m repro all
 
@@ -31,6 +32,14 @@ across a standby-replica fleet with read-your-writes session tokens
 while a chaos schedule kills and restarts a replica.  It prints a
 deterministic routing/lag/shed report and exits non-zero if any session
 observed a read older than its own commit token.
+
+``views`` drives TPC-C writes plus CH-style aggregate reads served from
+incrementally maintained views (:mod:`repro.views`): the proxy answers
+eligible SELECTs from view state in O(result), and the scenario audits
+read-your-writes freshness against the view watermark plus byte-exact
+equivalence with fresh rescans — including after a forced REDO-feed
+overflow and a maintainer crash/rebuild.  It prints a deterministic
+JSON report and exits non-zero on any violation.
 
 ``perf`` runs the wall-clock performance harness
 (:mod:`repro.harness.perfbench`): kernel microbench plus TPC-C/chaos/serve
@@ -246,6 +255,30 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_views(args) -> int:
+    """Run the incremental-views scenario and print its report."""
+    import json
+
+    from .views.scenario import run_views
+
+    report = run_views(
+        seed=args.seed,
+        duration=args.duration,
+        replicas=args.replicas,
+        feed_bound=args.feed_bound,
+        burst_rows=args.burst_rows,
+        crash_phase=not args.no_crash,
+    )
+    print(json.dumps(report, sort_keys=True, indent=2))
+    if not report["ok"]:
+        print(
+            "views FAILED: %d violation(s)" % len(report["violations"]),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_perf(args) -> int:
     """Run the wall-clock perf harness (kernel microbench + macro slices)."""
     from .harness.perfbench import run_perf
@@ -337,6 +370,19 @@ def build_parser() -> argparse.ArgumentParser:
                               help="admission concurrency cap for reads")
     serve_parser.add_argument("--queue-limit", type=int, default=None,
                               help="admission queue bound before shedding")
+    views_parser = sub.add_parser(
+        "views", help="incremental views: view-served aggregates + audits"
+    )
+    views_parser.add_argument("--seed", type=int, default=7)
+    views_parser.add_argument("--replicas", type=int, default=2)
+    views_parser.add_argument("--duration", type=float, default=0.6,
+                              help="virtual seconds of mixed traffic")
+    views_parser.add_argument("--feed-bound", type=int, default=512,
+                              help="REDO feed queue bound per view")
+    views_parser.add_argument("--burst-rows", type=int, default=600,
+                              help="rows in the overflow-forcing burst txn")
+    views_parser.add_argument("--no-crash", action="store_true",
+                              help="skip the maintainer crash/rebuild phase")
     perf_parser = sub.add_parser(
         "perf", help="wall-clock perf harness: events/sec + determinism gate"
     )
@@ -393,12 +439,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("  %-8s %s" % ("trace", "Chrome trace of a short TPC-C run"))
         print("  %-8s %s" % ("chaos", "seeded chaos soak with invariant audit"))
         print("  %-8s %s" % ("serve", "serving layer over a replica fleet"))
+        print("  %-8s %s" % ("views", "incremental views with audits"))
         print("  %-8s %s" % ("perf", "wall-clock perf harness (events/sec)"))
         return 0
     if args.command == "chaos":
         return cmd_chaos(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "views":
+        return cmd_views(args)
     if args.command == "perf":
         return cmd_perf(args)
     if args.command == "trace":

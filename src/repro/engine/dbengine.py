@@ -233,6 +233,22 @@ class DBEngine:
         self._redo_feeds.append(feed)
         return feed
 
+    def redo_feed_stats(self) -> Dict[str, int]:
+        """Aggregate per-subscriber feed pressure (deployment gauges).
+
+        ``depth`` is the total queued-record backlog across subscribers;
+        ``overflows`` counts queue drops, each of which silently cost the
+        subscriber one full rescan.
+        """
+        feeds = self._redo_feeds
+        return {
+            "subscribers": len(feeds),
+            "depth": sum(len(feed) for feed in feeds),
+            "published": sum(feed.published for feed in feeds),
+            "overflows": sum(feed.overflows for feed in feeds),
+            "stale": sum(1 for feed in feeds if feed.stale),
+        }
+
     def _flush_log(self, records: List[RedoRecord], nbytes: int):
         start = self.env.now
         tracer = self.obs.tracer

@@ -50,7 +50,9 @@ from ..query.planner import PlannerConfig
 from ..shard import (
     InDoubtTransaction,
     ShardVectorToken,
+    merge_partial_results,
     merge_select_results,
+    scatter_needs_partials,
 )
 from .admission import AdmissionController
 from .fleet import ReplicaFleet, ReplicaHandle
@@ -135,6 +137,10 @@ class ProxySession:
         statement = proxy.parse_cache.get(sql)
         if type(statement) is Select:
             if proxy.nshards == 1:
+                if proxy.views is not None:
+                    match = proxy.views.match(statement)
+                    if match is not None:
+                        return proxy.view_read(self, sql, statement, match)
                 return proxy.routed_read(
                     self, self._replica_select, self._primary_select, sql
                 )
@@ -340,6 +346,7 @@ class SqlProxy:
         scatter_fence_timeout: float = 0.5,
         write_retry: Optional[RetryPolicy] = None,
         retry_rng=None,
+        views=None,
     ):
         if wait_timeout <= 0:
             raise ValueError("wait_timeout must be positive")
@@ -361,6 +368,11 @@ class SqlProxy:
         self.scatter_fence_timeout = scatter_fence_timeout
         self.write_retry = write_retry
         self.retry_rng = retry_rng
+        #: The deployment's ViewMaintainer (``with_views``), else None.
+        #: Eligible text SELECTs on a single-shard proxy are answered
+        #: from view state; prepared statements keep their per-engine
+        #: plan-template path and skip view routing.
+        self.views = views
         # Shard routing: one (engine, fleet, admission) target per shard.
         # An unsharded proxy is the one-target degenerate case, so every
         # routing path below is uniform over shard indices.
@@ -389,6 +401,8 @@ class SqlProxy:
         self.distributed_writes = 0
         self.write_retries = 0
         self.write_retry_giveups = 0
+        self.views_served = 0
+        self.views_bounced = 0
         self.bounces = {reason: 0 for reason in BOUNCE_REASONS}
         self.per_replica_reads: Dict[str, int] = {}
         for shard, shard_fleet in enumerate(self.fleets):
@@ -416,6 +430,8 @@ class SqlProxy:
             "distributed_writes": self.distributed_writes,
             "write_retries": self.write_retries,
             "write_retry_giveups": self.write_retry_giveups,
+            "views_served": self.views_served,
+            "views_bounced": self.views_bounced,
             "bounces": dict(self.bounces),
             "per_replica_reads": dict(self.per_replica_reads),
         })
@@ -611,6 +627,48 @@ class SqlProxy:
         session.last_route = "primary"
         return (yield from primary_fn(*args))
 
+    def view_read(self, session: ProxySession, sql: str, statement, match):
+        """Generator: serve an eligible SELECT from maintained view state.
+
+        Admitted as a read, like any routed SELECT.  Read-your-writes
+        holds against the *view watermark*: the read waits (bounded by
+        ``wait_timeout``) for the maintainer to fold the session's last
+        commit LSN before serving in O(result).  If the maintainer is
+        down, cannot catch up in time, or crashes mid-serve, the read
+        falls back to the ordinary replica/primary route — the answer is
+        never stale, only the fast path is lost.
+        """
+        views = self.views
+        view, item_map = match
+        admission = self.admission
+        ticket = None
+        if admission is not None:
+            ticket = yield from admission.admit(self.READ_CLASS)
+        start = self.env.now
+        try:
+            token = session.token.lsns[0]
+            result = None
+            fresh = yield from views.wait_for_lsn(
+                view, token, self.wait_timeout
+            )
+            if fresh:
+                result = yield from views.serve(view, statement, item_map)
+            if result is not None:
+                self.views_served += 1
+                session.last_route = "view:%s" % view.definition.name
+            else:
+                self.views_bounced += 1
+                result = yield from self._route(
+                    session, session._replica_select,
+                    session._primary_select, (sql,), 0
+                )
+            session.reads += 1
+            return result
+        finally:
+            self._read_latency.record(self.env.now - start)
+            if ticket is not None:
+                admission.release(self.READ_CLASS, ticket)
+
     # ------------------------------------------------------------------
     # Sharded routing (nshards > 1)
     # ------------------------------------------------------------------
@@ -683,9 +741,22 @@ class SqlProxy:
                 cut = [
                     engine.log.persistent_lsn for engine in self.engines
                 ]
+            partials = scatter_needs_partials(statement)
             results = []
             for shard in shards:
-                if sql is not None:
+                if partials:
+                    # AVG/DISTINCT/composite aggregates: each leg ships
+                    # pre-finalize accumulator states for a global merge.
+                    def replica_leg(handle, arg, shard=shard):
+                        return self.replica_session(
+                            handle, shard).execute_partial_select(arg)
+
+                    def primary_leg(arg, shard=shard):
+                        return self.primary_session_for(
+                            shard).execute_partial_select(arg)
+
+                    arg = statement
+                elif sql is not None:
                     def replica_leg(handle, arg, shard=shard):
                         return self.replica_session(handle, shard).execute(arg)
 
@@ -711,6 +782,8 @@ class SqlProxy:
                 ))
             self.scatter_selects += 1
             session.reads += 1
+            if partials:
+                return merge_partial_results(statement, results)
             return merge_select_results(statement, results)
         finally:
             if fenced:

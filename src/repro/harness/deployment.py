@@ -135,6 +135,17 @@ class DeploymentSpec:
     #: lock timeouts).  None = a default policy on sharded deployments,
     #: no retries on single-shard ones (their historical behaviour).
     proxy_write_retry: Optional[RetryPolicy] = None
+    # Incremental materialized views (repro.views; single-shard only):
+    # ``((name, SELECT sql), ...)`` maintained from the REDO feed.
+    views: Optional[Tuple[Tuple[str, str], ...]] = None
+    #: Per-view REDO feed queue bound (overflow forces a rescan).
+    view_feed_bound: int = 65536
+    #: View maintainer feed-poll cadence.
+    view_poll_interval: float = 2e-3
+    #: Poll used while a view-served read waits for its session LSN.
+    view_wait_poll: float = 0.5e-3
+    #: Cores of the maintainer's CPU pool (fold + serve work).
+    view_cores: int = 2
 
     def __post_init__(self) -> None:
         if self.ebp_policy not in ("flat", "priority"):
@@ -218,6 +229,38 @@ class DeploymentSpec:
                     )
                 if any(i <= 0 for i in self.replica_apply_intervals):
                     raise ValueError("apply intervals must be positive")
+        if self.views is not None:
+            if self.shards != 1:
+                raise ValueError(
+                    "materialized views require shards == 1 (view state "
+                    "would need cross-shard merge)"
+                )
+            if not self.views:
+                raise ValueError("views must register at least one view")
+            for name, value in (
+                ("view_feed_bound", self.view_feed_bound),
+                ("view_poll_interval", self.view_poll_interval),
+                ("view_wait_poll", self.view_wait_poll),
+                ("view_cores", self.view_cores),
+            ):
+                if value <= 0:
+                    raise ValueError(
+                        "%s must be positive, got %r" % (name, value)
+                    )
+            # Parse + validate every definition eagerly so spec errors
+            # surface at construction, like every other spec field.
+            from ..common import QueryError
+            from ..views.definition import ViewDefinition
+
+            seen = set()
+            for view_name, sql in self.views:
+                if view_name in seen:
+                    raise ValueError("duplicate view name %r" % view_name)
+                seen.add(view_name)
+                try:
+                    ViewDefinition(view_name, sql)
+                except QueryError as exc:
+                    raise ValueError(str(exc)) from exc
 
     # ------------------------------------------------------------------
     # Builder methods (each returns a modified copy)
@@ -362,6 +405,40 @@ class DeploymentSpec:
             changes["proxy_write_retry"] = write_retry
         return dataclasses.replace(self, **changes)
 
+    def with_views(
+        self,
+        views,
+        feed_bound: Optional[int] = None,
+        poll_interval: Optional[float] = None,
+        wait_poll: Optional[float] = None,
+        cores: Optional[int] = None,
+    ) -> "DeploymentSpec":
+        """Register incremental materialized views (single-shard only).
+
+        ``views`` maps view names to SELECT definitions (a dict or
+        ``(name, sql)`` pairs); definitions must use only the linear
+        operator subset (filter / project / group-by aggregates — see
+        :mod:`repro.views.definition`).  The deployment runs one
+        ``ViewMaintainer`` daemon folding the primary's REDO feed into
+        each view, and the proxy serves matching SELECTs from view
+        state in O(result), honoring session read-your-writes tokens
+        against the view watermark.
+        """
+        if isinstance(views, dict):
+            pairs = tuple(views.items())
+        else:
+            pairs = tuple((name, sql) for name, sql in views)
+        changes: Dict[str, object] = {"views": pairs}
+        if feed_bound is not None:
+            changes["view_feed_bound"] = feed_bound
+        if poll_interval is not None:
+            changes["view_poll_interval"] = poll_interval
+        if wait_poll is not None:
+            changes["view_wait_poll"] = wait_poll
+        if cores is not None:
+            changes["view_cores"] = cores
+        return dataclasses.replace(self, **changes)
+
     def with_admission(
         self,
         read_limit: Optional[int] = None,
@@ -485,6 +562,21 @@ class Deployment:
         self.coordinator = Coordinator(
             self.env, self.shardmap, [stack.engine for stack in self.shards]
         )
+        #: The view maintainer daemon (``with_views``), else None.
+        self.views = None
+        if self.config.views is not None:
+            from ..views.definition import ViewDefinition
+            from ..views.maintainer import ViewMaintainer
+
+            self.views = ViewMaintainer(
+                self.env,
+                self.engine,
+                [ViewDefinition(name, sql) for name, sql in self.config.views],
+                feed_bound=self.config.view_feed_bound,
+                poll_interval=self.config.view_poll_interval,
+                wait_poll=self.config.view_wait_poll,
+                cores=self.config.view_cores,
+            )
         self.frontend = None
         if self.config.replicas > 0:
             from ..frontend.proxy import SqlProxy
@@ -513,6 +605,7 @@ class Deployment:
                     self.seeds.stream("proxy-write-retry")
                     if write_retry is not None else None
                 ),
+                views=self.views,
             )
         self.detector: Optional[FailureDetector] = None
         self.deadlock_detector = None
@@ -651,6 +744,14 @@ class Deployment:
         for stack in self.shards:
             prefix = "" if self.config.shards == 1 else "shard%d." % stack.index
             self._register_stack_gauges(reg, prefix, stack)
+        if self.views is not None:
+            maintainer = self.views
+            reg.gauge("views.maintainer", lambda: maintainer.counters())
+            for view in maintainer.views.values():
+                reg.gauge(
+                    "views.%s" % view.definition.name,
+                    lambda v=view: v.stats(),
+                )
         if self.config.enable_pushdown:
             # PushdownRuntime increments these; pre-register so the report
             # shows zeros even before the first PQ session runs.
@@ -714,6 +815,10 @@ class Deployment:
                   lambda: engine.flush_retries)
         reg.gauge(prefix + "engine.degraded_episodes",
                   lambda: engine.degraded_episodes)
+        # Per-subscriber REDO feed pressure: queue depth and overflow
+        # counts (an overflow silently costs the subscriber a rescan).
+        reg.gauge(prefix + "engine.redo_feed",
+                  lambda: engine.redo_feed_stats())
         bp = engine.buffer_pool
         reg.gauge(prefix + "buffer_pool.hits", lambda: bp.hits)
         reg.gauge(prefix + "buffer_pool.misses", lambda: bp.misses)
@@ -846,6 +951,8 @@ class Deployment:
                     self_sweep_interval=None if stack.astore is not None
                     else self.config.astore_heartbeat_interval
                 )
+        if self.views is not None:
+            self.views.start()
         if self.astore is not None:
             self.detector = self.astore.detector
         if self.config.shards > 1 and self.config.deadlock_detection:

@@ -295,6 +295,52 @@ class QuerySession:
             return (yield from self._execute_delete(statement))
         raise QueryError("unsupported statement %r" % statement)
 
+    def execute_partial_select(self, statement: Select):
+        """Generator: per-group *partial* aggregate states for one SELECT.
+
+        The scatter-gather merge cannot recombine AVG or DISTINCT from
+        finalized per-shard values; it needs the pre-finalize states
+        (sum+count, distinct value sets).  This runs the plan up to and
+        including the Aggregate node's grouping but skips finalize,
+        returning ``(aggregates, [(key, sample_row, states), ...])`` for
+        the router to merge with :func:`merge_agg_states`.
+        """
+        plan = self.planner.plan_select(statement)
+        node = plan
+        while isinstance(node, (Limit, Sort, Project)):
+            node = node.child
+        if not isinstance(node, Aggregate):
+            raise QueryError("statement has no aggregate to run partially")
+        agg = node
+        child_rows, _ = yield from self._run(agg.child)
+        yield from self.engine.cpu.consume(ROW_CPU * max(len(child_rows), 1))
+        groups: Dict[Tuple, List[AggAccumulator]] = {}
+        samples: Dict[Tuple, Dict[str, Any]] = {}
+        if agg.from_partials and self._are_partials(child_rows):
+            for group_key, states in child_rows:
+                key, sample = group_key
+                if key not in groups:
+                    groups[key] = states
+                    samples[key] = sample
+                else:
+                    merge_agg_states(groups[key], states, agg.aggregates)
+        else:
+            if self._are_partials(child_rows):
+                raise QueryError("unexpected partial aggregates")
+            for row in child_rows:
+                key = tuple(expr.eval(row) for expr in agg.group_exprs)
+                states = groups.get(key)
+                if states is None:
+                    states = new_agg_states(agg.aggregates)
+                    groups[key] = states
+                    samples[key] = row
+                update_agg_states(states, agg.aggregates, row)
+        self.queries_executed += 1
+        return (
+            list(agg.aggregates),
+            [(key, samples[key], groups[key]) for key in groups],
+        )
+
     def plan(self, sql: str) -> PlanNode:
         """Plan without executing (EXPLAIN)."""
         statement, _nparams = self._parse_entry(sql)

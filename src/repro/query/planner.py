@@ -46,7 +46,7 @@ from .plan import (
     Sort,
 )
 
-__all__ = ["Planner", "PlannerConfig"]
+__all__ = ["Planner", "PlannerConfig", "match_view_select"]
 
 
 @dataclass
@@ -79,6 +79,51 @@ def and_together(conjuncts: List[Expr]) -> Optional[Expr]:
     for conjunct in conjuncts[1:]:
         result = BinOp("and", result, conjunct)
     return result
+
+
+def match_view_select(query: Select, view: Select) -> Optional[List[int]]:
+    """View-eligibility match: can ``view`` state answer ``query`` exactly?
+
+    Returns, for each query select item, the index of the view item
+    producing it, or None when the query is not view-eligible.  The AST
+    nodes are frozen dataclasses, so structural equality is exact: the
+    query must read the same table with the *same* WHERE and GROUP BY,
+    and every select item / ORDER BY expression must be one the view
+    already materializes (view items, group columns, or its aggregate
+    calls).  The query's own aliases, ORDER BY, and LIMIT are applied at
+    serve time by the maintainer.
+    """
+    if query.star or view.star:
+        return None
+    if query.joins or view.joins:
+        return None
+    if (
+        query.table.name != view.table.name
+        or query.table.binding != view.table.binding
+    ):
+        return None
+    if query.where != view.where:
+        return None
+    if list(query.group_by) != list(view.group_by):
+        return None
+
+    view_exprs = [item.expr for item in view.items]
+
+    def resolves(expr: Expr) -> bool:
+        if expr in view_exprs:
+            return True
+        return any(expr == group_expr for group_expr in view.group_by)
+
+    mapping: List[int] = []
+    for item in query.items:
+        try:
+            mapping.append(view_exprs.index(item.expr))
+        except ValueError:
+            return None
+    for order_expr, _desc in query.order_by:
+        if not resolves(order_expr):
+            return None
+    return mapping
 
 
 class Planner:

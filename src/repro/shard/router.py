@@ -9,10 +9,14 @@ per-shard :class:`~repro.query.executor.QueryResult`\\ s are merged here:
 - grouped aggregates merge rows sharing the same group key.
 
 AVG and DISTINCT aggregates are not decomposable from finalized
-per-shard values (they need partial states), so cross-shard use raises;
-single-shard statements are never affected.  Joins scatter under the
-co-location assumption the ShardMap sets up: join partners either share
-the shard key (co-partitioned) or are replicated.
+per-shard values, so :func:`scatter_needs_partials` routes them through
+a two-phase plan instead: each shard runs
+``QuerySession.execute_partial_select`` (grouping without finalize) and
+:func:`merge_partial_results` folds the raw accumulator states —
+AVG as sum+count, DISTINCT as value-set union — then finalizes and
+shapes once, globally.  Joins scatter under the co-location assumption
+the ShardMap sets up: join partners either share the shard key
+(co-partitioned) or are replicated.
 """
 
 from __future__ import annotations
@@ -21,16 +25,33 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..common import QueryError
 from ..query import ast
-from ..query.executor import QueryResult
+from ..query.executor import (
+    QueryResult,
+    _Reversible,
+    eval_with_aggs,
+    finalize_agg_states,
+    merge_agg_states,
+    new_agg_states,
+)
 
-__all__ = ["merge_select_results", "scatter_unsupported_reason"]
+__all__ = [
+    "merge_partial_results",
+    "merge_select_results",
+    "scatter_needs_partials",
+    "scatter_unsupported_reason",
+]
 
 #: Aggregate functions whose finalized values merge across shards.
 _MERGEABLE = {"count", "sum", "min", "max"}
 
 
 def scatter_unsupported_reason(stmt: ast.Select) -> Optional[str]:
-    """Why this SELECT cannot scatter-gather, or None if it can."""
+    """Why this SELECT's *finalized* per-shard values cannot merge.
+
+    A non-None reason no longer fails the query: the scatter falls back
+    to the two-phase partial-state plan (:func:`scatter_needs_partials`
+    / :func:`merge_partial_results`).
+    """
     for item in stmt.items:
         expr = item.expr
         if isinstance(expr, ast.AggCall):
@@ -43,6 +64,66 @@ def scatter_unsupported_reason(stmt: ast.Select) -> Optional[str]:
         elif stmt.has_aggregates and not stmt.group_by:
             return "mixing aggregates and columns does not merge across shards"
     return None
+
+
+def scatter_needs_partials(stmt: ast.Select) -> bool:
+    """True when the scatter must ship partial aggregate states."""
+    return stmt.has_aggregates and scatter_unsupported_reason(stmt) is not None
+
+
+def merge_partial_results(stmt: ast.Select, results) -> QueryResult:
+    """Combine per-shard ``execute_partial_select`` outputs globally.
+
+    Each result is ``(aggregates, [(key, sample_row, states), ...])``.
+    States sharing a group key are merged with the executor's own
+    :func:`merge_agg_states` (AVG folds sum+count, DISTINCT unions its
+    value set), finalized once, and shaped through the statement's items
+    — so a scattered AVG/DISTINCT answer is exactly what a single
+    engine holding all the rows would produce.
+    """
+    columns = [item.output_name for item in stmt.items]
+    if not results:
+        return QueryResult(columns, [])
+    aggs = None
+    groups: Dict[Tuple[Any, ...], list] = {}
+    samples: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+    order: List[Tuple[Any, ...]] = []
+    for agg_list, triples in results:
+        if aggs is None:
+            aggs = agg_list
+        for key, sample, states in triples:
+            if key not in groups:
+                groups[key] = states
+                samples[key] = sample
+                order.append(key)
+            else:
+                merge_agg_states(groups[key], states, aggs)
+    if not groups and not stmt.group_by:
+        # Global aggregate over zero rows still yields one identity row.
+        groups[()] = new_agg_states(aggs)
+        samples[()] = {}
+        order.append(())
+    entries = []
+    for key in order:
+        agg_values = finalize_agg_states(groups[key], aggs)
+        row = samples[key]
+        shaped = tuple(
+            eval_with_aggs(item.expr, row, agg_values) for item in stmt.items
+        )
+        entries.append((shaped, row, agg_values))
+    if stmt.order_by:
+        def sort_key(entry):
+            _shaped, row, agg_values = entry
+            return tuple(
+                _Reversible(eval_with_aggs(expr, row, agg_values), desc)
+                for expr, desc in stmt.order_by
+            )
+
+        entries.sort(key=sort_key)
+    rows = [shaped for shaped, _row, _aggs in entries]
+    if stmt.limit is not None:
+        rows = rows[: stmt.limit]
+    return QueryResult(columns, rows)
 
 
 def _merge_cell(func: str, mine: Any, theirs: Any) -> Any:

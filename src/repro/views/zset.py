@@ -1,0 +1,80 @@
+"""Z-sets: the delta algebra under incremental view maintenance.
+
+A Z-set maps rows (hashable tuples) to non-zero integer weights.  An
+insert is ``(row, +1)``, a delete ``(row, -1)``, and an update the pair
+``{(old, -1), (new, +1)}``.  Weights add pointwise and entries
+annihilate when their weight reaches zero, so folding a stream of
+deltas into a Z-set yields exactly the multiset a fresh scan of the
+base data would produce (the gnitz/DBSP formulation).
+
+Only linear operators (filter, project) distribute over this algebra;
+see :mod:`repro.views.definition` for the resulting view restrictions.
+"""
+
+from typing import Callable, Dict, Iterator, Tuple
+
+__all__ = ["ZSet"]
+
+
+class ZSet:
+    """A row -> weight multiset with annihilation at weight zero."""
+
+    __slots__ = ("weights",)
+
+    def __init__(self) -> None:
+        self.weights: Dict[tuple, int] = {}
+
+    def add(self, row: tuple, weight: int = 1) -> None:
+        """Fold one delta in; drop the entry if its weight reaches 0."""
+        if weight == 0:
+            return
+        total = self.weights.get(row, 0) + weight
+        if total:
+            self.weights[row] = total
+        else:
+            del self.weights[row]
+
+    def merge(self, other: "ZSet") -> None:
+        """Pointwise-add ``other`` into this Z-set."""
+        for row, weight in other.weights.items():
+            self.add(row, weight)
+
+    def filter(self, predicate: Callable[[tuple], bool]) -> "ZSet":
+        """Linear restriction: keep entries whose row satisfies the predicate."""
+        out = ZSet()
+        for row, weight in self.weights.items():
+            if predicate(row):
+                out.weights[row] = weight
+        return out
+
+    def map(self, fn: Callable[[tuple], tuple]) -> "ZSet":
+        """Linear projection: re-key every entry through ``fn``."""
+        out = ZSet()
+        for row, weight in self.weights.items():
+            out.add(fn(row), weight)
+        return out
+
+    def rows(self) -> Iterator[tuple]:
+        """Expand to a plain multiset (weights must be non-negative)."""
+        for row, weight in self.weights.items():
+            if weight < 0:
+                raise ValueError("cannot expand negative weight %d for %r" % (weight, row))
+            for _ in range(weight):
+                yield row
+
+    def items(self) -> Iterator[Tuple[tuple, int]]:
+        return iter(self.weights.items())
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+    def __contains__(self, row: tuple) -> bool:
+        return row in self.weights
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ZSet):
+            return NotImplemented
+        return self.weights == other.weights
+
+    def __repr__(self) -> str:
+        return "ZSet(%r)" % (self.weights,)

@@ -157,5 +157,43 @@ class Schema:
             values.append(value)
         return values
 
+    def decode_into(self, data: bytes, arrays: Sequence[List[Any]]) -> None:
+        """Decode one encoded row, appending each value to its column's
+        array (``arrays`` is aligned with the schema).
+
+        This is the column-major twin of :meth:`decode`, used by the
+        batch page decoder to build structure-of-arrays column batches
+        without materializing a per-row value list. The two methods must
+        stay byte-for-byte equivalent (covered by tests).
+        """
+        (null_bits,) = struct.unpack_from("<Q", data, 0)
+        offset = 8
+        for index, column in enumerate(self.columns):
+            if null_bits & (1 << index):
+                arrays[index].append(None)
+                continue
+            ctype = column.ctype
+            if ctype.name == "int":
+                (value,) = struct.unpack_from("<i", data, offset)
+                offset += 4
+            elif ctype.name == "bigint":
+                (value,) = struct.unpack_from("<q", data, offset)
+                offset += 8
+            elif ctype.name == "float":
+                (value,) = struct.unpack_from("<d", data, offset)
+                offset += 8
+            elif ctype.name == "decimal":
+                (scaled,) = struct.unpack_from("<q", data, offset)
+                value = scaled / (10 ** ctype.scale)
+                offset += 8
+            elif ctype.name == "varchar":
+                (length,) = struct.unpack_from("<H", data, offset)
+                offset += 2
+                value = data[offset : offset + length].decode("utf-8")
+                offset += length
+            else:
+                raise QueryError("unsupported type %r" % ctype.name)
+            arrays[index].append(value)
+
     def row_dict(self, values: Sequence[Any]) -> Dict[str, Any]:
         return dict(zip(self.names, values))

@@ -998,8 +998,9 @@ class Deployment:
         self,
         enable_pushdown: Optional[bool] = None,
         force_hash_joins: Optional[bool] = None,
-        pushdown_row_threshold: int = 200,
+        pushdown_row_threshold: Optional[int] = None,
         pushdown_cost_based: bool = False,
+        batch_mode: bool = True,
         shard: int = 0,
     ):
         """A SQL session against one shard's engine (default: shard 0).
@@ -1007,6 +1008,10 @@ class Deployment:
         Push-down defaults to the deployment's ``enable_pushdown`` flag;
         ``force_hash_joins`` defaults to following push-down (the paper's
         observation that PQ steers the optimizer toward hash joins).
+        ``pushdown_row_threshold=None`` selects the planner's cost-based
+        eligibility estimate; pass an explicit row count to restore the
+        flat-threshold behaviour.  ``batch_mode=False`` disables the
+        columnar executor (row-at-a-time Volcano operators only).
         """
         from ..query.executor import QuerySession
         from ..query.planner import PlannerConfig
@@ -1034,4 +1039,5 @@ class Deployment:
                 pushdown_row_threshold=pushdown_row_threshold,
             ),
             pushdown_runtime=runtime,
+            batch_mode=batch_mode,
         )

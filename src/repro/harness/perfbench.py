@@ -47,6 +47,7 @@ __all__ = [
     "bench_chaos_slice",
     "bench_serve_slice",
     "bench_serve_micro",
+    "bench_ch_slice",
     "run_perf",
     "BASELINE_PRE_FASTPATH",
     "BASELINE_PRE_SERVE_FASTPATH",
@@ -287,6 +288,167 @@ def bench_serve_slice() -> Dict[str, Any]:
     }
 
 
+# ---------------------------------------------------------------------------
+# CH analytics slice: columnar batch execution + widened push-down
+# ---------------------------------------------------------------------------
+
+#: Quick-mode CH query subset: Q1 (GROUP-BY partial-agg push), Q6
+#: (filter-only aggregate), Q12 (two-table join -> hash-build push),
+#: Q15 (selective filter push).
+_CH_QUICK_QUERIES = (1, 6, 12, 15)
+
+
+def _ch_results_digest(results: Dict[int, Any]) -> str:
+    payload = {
+        str(qno): {"columns": r.columns, "rows": [list(row) for row in r.rows]}
+        for qno, r in results.items()
+    }
+    return _digest(payload)
+
+
+def _ch_canonical_rows(result) -> List[tuple]:
+    # Pushdown's local-then-tasks merge legitimately permutes ORDER BY
+    # ties and reassociates float sums (last-ulp drift), so the parity
+    # check compares rounded, canonically ordered rows.
+    normal = [
+        tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+        for row in result.rows
+    ]
+    return sorted(normal, key=repr)
+
+
+def bench_ch_slice(quick: bool = False) -> Dict[str, Any]:
+    """CH-benCHmark analytics: columnar batch + widened PQ vs row mode.
+
+    Runs the CH query slice through one deployment — first with the
+    row-at-a-time Volcano executor and push-down disabled (the pre-batch
+    baseline), then with the columnar executor plus cost-based push-down
+    (GROUP-BY partials and hash-build fragments included) — and reports
+    the wall-clock speedup.  A second, freshly built same-seed deployment
+    repeats both passes for the determinism gate: the result digests must
+    match byte-for-byte (reusing one deployment would leave different
+    buffer-pool residency for the rerun and legitimately change the
+    local/pushed page split).  Every query's batch result is checked
+    against the row baseline.
+    """
+    from ..common import KB, MB
+    from ..engine.dbengine import EngineConfig
+    from ..workloads.tpcch import (
+        CH_QUERIES,
+        TpcchConfig,
+        TpcchDatabase,
+        ch_query_sql,
+    )
+    from .deployment import Deployment, DeploymentConfig
+
+    gc.collect()
+    if quick:
+        config = TpcchConfig(
+            warehouses=2, customers_per_district=30, items=300,
+            initial_orders_per_district=30, suppliers=100, string_scale=1.0,
+        )
+        query_nos = _CH_QUICK_QUERIES
+    else:
+        config = TpcchConfig(
+            warehouses=2, customers_per_district=100, items=1500,
+            initial_orders_per_district=100, suppliers=200, string_scale=1.0,
+        )
+        query_nos = tuple(sorted(CH_QUERIES))
+    sqls = {qno: ch_query_sql(qno) for qno in query_nos}
+
+    def build():
+        dep = Deployment(
+            DeploymentConfig.astore_pq(
+                seed=42,
+                engine=EngineConfig(buffer_pool_bytes=16 * 16 * KB),
+                ebp_capacity_bytes=128 * MB,
+            )
+        )
+        dep.start()
+        database = TpcchDatabase(
+            dep.engine, config, dep.seeds.stream("ch-load")
+        )
+
+        def load(env):
+            yield from database.load()
+            yield env.timeout(0.3)  # let eviction populate the EBP
+
+        dep.env.run_until_event(dep.env.process(load(dep.env)))
+        return dep
+
+    def run_pass(dep):
+        def run_mode(session):
+            results: Dict[int, Any] = {}
+            start = time.perf_counter()
+            for qno in query_nos:
+                proc = dep.env.process(session.execute(sqls[qno]))
+                dep.env.run_until_event(proc)
+                results[qno] = proc.value
+            return results, time.perf_counter() - start
+
+        row_session = dep.new_session(enable_pushdown=False, batch_mode=False)
+        batch_session = dep.new_session(
+            enable_pushdown=True, force_hash_joins=True, batch_mode=True
+        )
+        row_results, row_wall = run_mode(row_session)
+        batch_results, batch_wall = run_mode(batch_session)
+        return row_results, row_wall, batch_results, batch_wall, batch_session
+
+    row_results, row_wall, batch_results, batch_wall, batch_session = run_pass(
+        build()
+    )
+    # Fresh same-seed deployment: byte-identical results required.
+    rerun_rows, _w1, rerun_batch, _w2, _s = run_pass(build())
+
+    parity_ok = all(
+        batch_results[qno].columns == row_results[qno].columns
+        and _ch_canonical_rows(batch_results[qno])
+        == _ch_canonical_rows(row_results[qno])
+        for qno in query_nos
+    )
+    digest = _ch_results_digest(batch_results)
+    digest_rerun = _ch_results_digest(rerun_batch)
+    row_digest = _ch_results_digest(row_results)
+    row_digest_rerun = _ch_results_digest(rerun_rows)
+    runtime = batch_session.pushdown_runtime
+    registry = runtime.obs.registry
+    return {
+        "name": "ch_slice",
+        "quick": quick,
+        "queries": list(query_nos),
+        "row_wall_s": round(row_wall, 4),
+        "batch_pq_wall_s": round(batch_wall, 4),
+        "speedup": round(row_wall / batch_wall, 3),
+        "parity_ok": parity_ok,
+        "digest": digest,
+        "digest_rerun": digest_rerun,
+        "deterministic": (
+            digest == digest_rerun and row_digest == row_digest_rerun
+        ),
+        "pushdown_fragments": registry.value("query.pushdown.fragments"),
+        "hash_build_fragments": runtime.hash_build_fragments,
+        "tasks_dispatched": runtime.tasks_dispatched,
+        "pages_via_ebp": runtime.pages_via_ebp,
+        "pages_via_pagestore": runtime.pages_via_pagestore,
+        "pages_local": runtime.pages_local,
+    }
+
+
+def _prior_ch_speedup(out: Optional[str]) -> Optional[float]:
+    """The CH-slice speedup recorded in the committed columnar JSON."""
+    if not out:
+        return None
+    try:
+        with open(out) as fh:
+            prior = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    speedup = prior.get("ch_slice", {}).get("speedup")
+    if isinstance(speedup, (int, float)) and speedup > 0:
+        return float(speedup)
+    return None
+
+
 #: Keys in the microbench read table.
 _MICRO_KEYS = 60
 
@@ -436,21 +598,24 @@ def run_perf(
     quick: bool = False,
     profile: bool = False,
     out: Optional[str] = "benchmarks/BENCH_wallclock.json",
+    columnar_out: Optional[str] = "benchmarks/BENCH_columnar.json",
     echo: Callable[[str], None] = print,
     gate: bool = True,
 ) -> int:
     """Run the full perf harness; returns a process exit code.
 
-    ``quick`` (CI smoke mode) uses fewer kernel reps; the determinism gate
-    — chaos and serve slices each run twice with matching digests — runs
-    in both modes and is what makes the exit code meaningful.  ``gate``
-    additionally compares the serve slice's events/sec against the value
-    recorded in the committed ``out`` JSON and fails on a >20% drop (the
-    CI perf-smoke regression gate); it skips silently when the committed
-    file predates the field.
+    ``quick`` (CI smoke mode) uses fewer kernel reps and the small CH
+    query subset; the determinism gates — chaos, serve, and CH slices
+    each run twice with matching digests — run in both modes and are what
+    makes the exit code meaningful.  ``gate`` additionally compares the
+    serve slice's events/sec and the CH slice's batch-vs-row speedup
+    against the values recorded in the committed JSON files and fails on
+    a >20% regression (the CI perf-smoke gate); each check skips silently
+    when its committed file predates the field.
     """
-    # Read the committed baseline before this run overwrites ``out``.
+    # Read the committed baselines before this run overwrites them.
     prior_serve_rate = _prior_serve_rate(out) if gate else None
+    prior_ch_speedup = _prior_ch_speedup(columnar_out) if gate else None
 
     reps = 3 if quick else 8
     echo("kernel microbench (%d reps)..." % reps)
@@ -472,6 +637,14 @@ def run_perf(
              "{:,}".format(micro["statements_per_sec"]),
              micro["parse_cache_hits"], micro["parse_cache_misses"]))
 
+    echo("ch columnar slice (batch+PQ vs row mode)...")
+    ch = bench_ch_slice(quick=quick)
+    echo("  %d queries: row %.2fs vs batch+PQ %.2fs wall -> %.2fx speedup "
+         "(%d fragments, %d hash builds)" % (
+             len(ch["queries"]), ch["row_wall_s"], ch["batch_pq_wall_s"],
+             ch["speedup"], ch["pushdown_fragments"],
+             ch["hash_build_fragments"]))
+
     echo("chaos slice (x2, determinism gate)...")
     chaos_a = bench_chaos_slice()
     chaos_b = bench_chaos_slice()
@@ -487,6 +660,7 @@ def run_perf(
     deterministic = (
         chaos_a["digest"] == chaos_b["digest"]
         and serve_a["digest"] == serve_b["digest"]
+        and ch["deterministic"]
     )
 
     baseline_rate = BASELINE_PRE_FASTPATH["kernel_microbench"][
@@ -496,6 +670,24 @@ def run_perf(
         BASELINE_PRE_SERVE_FASTPATH["serve_slice"]["wall_s"]
         / serve_a["wall_s"]
     )
+
+    ch_gate: Dict[str, Any] = {"enabled": bool(gate)}
+    if prior_ch_speedup is not None:
+        ch_floor = 0.8 * prior_ch_speedup
+        ch_gate.update({
+            "baseline_speedup": round(prior_ch_speedup, 3),
+            "floor_speedup": round(ch_floor, 3),
+            "current_speedup": ch["speedup"],
+            "ok": ch["speedup"] >= ch_floor,
+        })
+    else:
+        ch_gate["ok"] = True
+        ch_gate["note"] = (
+            "skipped: no committed CH speedup baseline to compare against"
+            if gate else "disabled via --no-gate")
+    if not ch["parity_ok"]:
+        ch_gate["ok"] = False
+        ch_gate["parity_failed"] = True
 
     serve_gate: Dict[str, Any] = {"enabled": bool(gate)}
     if prior_serve_rate is not None:
@@ -539,6 +731,8 @@ def run_perf(
             "chaos_digest_rerun": chaos_b["digest"],
             "serve_digest": serve_a["digest"],
             "serve_digest_rerun": serve_b["digest"],
+            "ch_digest": ch["digest"],
+            "ch_digest_rerun": ch["digest_rerun"],
             "stable": deterministic,
         },
         "peak_rss_kb": _peak_rss_kb(),
@@ -552,6 +746,27 @@ def run_perf(
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         echo("wrote %s" % out)
+
+    if columnar_out:
+        columnar_payload = {
+            "protocol": {
+                "python": platform.python_version(),
+                "platform": sys.platform,
+                "quick": quick,
+                "note": "same deployment, same queries, row mode first; "
+                        "speedup = row wall seconds / batch+PQ wall "
+                        "seconds, so the ratio is machine-independent",
+            },
+            "ch_slice": ch,
+            "ch_regression_gate": ch_gate,
+        }
+        columnar_dir = os.path.dirname(columnar_out)
+        if columnar_dir:
+            os.makedirs(columnar_dir, exist_ok=True)
+        with open(columnar_out, "w") as fh:
+            json.dump(columnar_payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        echo("wrote %s" % columnar_out)
 
     echo("kernel speedup vs pre-fast-path baseline: %.2fx" % speedup)
     echo("serve slice speedup vs pre-serve-fast-path baseline: %.2fx"
@@ -580,4 +795,17 @@ def run_perf(
         echo("serve regression gate: ok (%s ev/s vs floor %s ev/s)" % (
             "{:,}".format(serve_gate["current_events_per_sec"]),
             "{:,}".format(serve_gate["floor_events_per_sec"])))
+    if not ch_gate["ok"]:
+        if ch_gate.get("parity_failed"):
+            echo("CH PARITY GATE FAILED: batch+PQ results diverged from "
+                 "the row-mode baseline")
+        else:
+            echo("CH REGRESSION GATE FAILED: %.2fx speedup is more than "
+                 "20%% below the committed %.2fx" % (
+                     ch_gate["current_speedup"],
+                     ch_gate["baseline_speedup"]))
+        failed = True
+    elif prior_ch_speedup is not None:
+        echo("ch regression gate: ok (%.2fx speedup vs floor %.2fx)" % (
+            ch_gate["current_speedup"], ch_gate["floor_speedup"]))
     return 1 if failed else 0

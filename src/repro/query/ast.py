@@ -34,6 +34,8 @@ __all__ = [
     "Update",
     "Delete",
     "AGGREGATE_FUNCTIONS",
+    "binop_apply",
+    "like_match",
 ]
 
 AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
@@ -113,6 +115,36 @@ _BIN_OPS = {
     ">=": lambda a, b: a >= b,
 }
 
+_CMP_OPS = frozenset(("=", "!=", "<", "<=", ">", ">="))
+
+
+def binop_apply(op: str, left: Any, right: Any) -> Any:
+    """Null-safe binary operator semantics.
+
+    Comparisons against NULL are False; arithmetic with NULL is NULL.
+    This is the single definition shared by :meth:`BinOp.eval` and the
+    compiled-predicate paths (:mod:`repro.query.predicate`), so row mode,
+    the columnar batch executor, and storage-side push-down tasks cannot
+    diverge.
+    """
+    if left is None or right is None:
+        return False if op in _CMP_OPS else None
+    return _BIN_OPS[op](left, right)
+
+
+def like_match(value: Any, pattern: str) -> bool:
+    """LIKE with %-wildcards; the single definition shared by
+    :meth:`Like.eval` and the compiled-predicate paths."""
+    if value is None:
+        return False
+    if pattern.startswith("%") and pattern.endswith("%"):
+        return pattern[1:-1] in value
+    if pattern.endswith("%"):
+        return value.startswith(pattern[:-1])
+    if pattern.startswith("%"):
+        return value.endswith(pattern[1:])
+    return value == pattern
+
 
 @dataclass(frozen=True)
 class BinOp(Expr):
@@ -129,11 +161,7 @@ class BinOp(Expr):
             return bool(self.left.eval(row)) and bool(self.right.eval(row))
         if self.op == "or":
             return bool(self.left.eval(row)) or bool(self.right.eval(row))
-        left = self.left.eval(row)
-        right = self.right.eval(row)
-        if left is None or right is None:
-            return False if self.op in ("=", "!=", "<", "<=", ">", ">=") else None
-        return _BIN_OPS[self.op](left, right)
+        return binop_apply(self.op, self.left.eval(row), self.right.eval(row))
 
     def columns(self) -> List[str]:
         return self.left.columns() + self.right.columns()
@@ -198,17 +226,7 @@ class Like(Expr):
     pattern: str
 
     def eval(self, row: Dict[str, Any]) -> Any:
-        value = self.operand.eval(row)
-        if value is None:
-            return False
-        pattern = self.pattern
-        if pattern.startswith("%") and pattern.endswith("%"):
-            return pattern[1:-1] in value
-        if pattern.endswith("%"):
-            return value.startswith(pattern[:-1])
-        if pattern.startswith("%"):
-            return value.endswith(pattern[1:])
-        return value == pattern
+        return like_match(self.operand.eval(row), self.pattern)
 
     def columns(self) -> List[str]:
         return self.operand.columns()

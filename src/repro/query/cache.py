@@ -277,9 +277,14 @@ def bind_plan(node: PlanNode, params: Sequence[Any]) -> PlanNode:
             bound_aggs = _bind_exprs(aggs, params)
             if bound_groups is not groups or bound_aggs is not aggs:
                 partial = (bound_groups, bound_aggs)
-        if filt is node.filter and partial is node.partial_agg:
+        hash_keys = node.hash_keys
+        if hash_keys is not None:
+            hash_keys = _bind_exprs(hash_keys, params)
+        if (filt is node.filter and partial is node.partial_agg
+                and hash_keys is node.hash_keys):
             return node
-        return replace(node, filter=filt, partial_agg=partial)
+        return replace(node, filter=filt, partial_agg=partial,
+                       hash_keys=hash_keys)
     if isinstance(node, HashJoin):
         left = bind_plan(node.left, params)
         right = bind_plan(node.right, params)

@@ -51,6 +51,12 @@ class SeqScan(PlanNode):
     #: When the scan is the whole query, partial aggregation is pushed too:
     #: (group_exprs, agg_calls) - see Aggregate for semantics.
     partial_agg: Optional[Tuple[List[Expr], List[AggCall]]] = None
+    #: Set on the build (right) side of a hash join: the join-key
+    #: expressions, evaluated against this scan's rows.  When the scan is
+    #: also marked ``pushdown``, the batch executor ships the whole hash
+    #: build storage-side (keys + filtered columns come back; the engine
+    #: only builds the hash table and probes).
+    hash_keys: Optional[List[Expr]] = None
 
 
 @dataclass
@@ -124,6 +130,8 @@ def explain(node: PlanNode, depth: int = 0) -> str:
             marks.append("PUSHDOWN")
         if node.partial_agg:
             marks.append("partial-agg")
+        if node.pushdown and node.hash_keys:
+            marks.append("hash-build")
         if node.filter is not None:
             marks.append("filtered")
         suffix = (" [%s]" % ", ".join(marks)) if marks else ""

@@ -13,9 +13,15 @@ Planning steps (paper Section VI-A):
    (whose bulk inner scans are pushable); it also serves as the Fig. 14
    "plan change only" hint.
 4. Mark scans push-down eligible: single table reference, simple filter,
-   no aggregate in the filter, estimated rows above the threshold, and the
-   session flag on.  A single-table aggregate query additionally pushes
-   partial aggregation.
+   no aggregate in the filter, the session flag on, and the fragment
+   passing the eligibility test - by default a cost estimate comparing
+   the fragment's result wire bytes against the page bytes the engine
+   would otherwise pull (``pushdown_row_threshold`` remains as an
+   explicit row-count override reproducing the paper's production
+   behaviour).  A single-table aggregate query additionally pushes
+   partial aggregation; the build side of a hash join carries its join
+   keys (``SeqScan.hash_keys``) so the batch executor can ship the hash
+   build storage-side.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..common import QueryError
+from ..common import PAGE_SIZE, QueryError
 from ..engine.table import Catalog, Table
 from .ast import (
     AggCall,
@@ -46,7 +52,15 @@ from .plan import (
     Sort,
 )
 
-__all__ = ["Planner", "PlannerConfig", "match_view_select"]
+__all__ = ["Planner", "PlannerConfig", "match_view_select",
+           "ROW_WIRE_BYTES", "GROUP_WIRE_BYTES"]
+
+#: Approximate wire size of one projected row shipped back from storage.
+#: Canonical here (the planner's cost model and the push-down runtime's
+#: dispatch accounting must agree); re-exported by ``pushdown``.
+ROW_WIRE_BYTES = 48
+#: Approximate wire size of one partial-aggregate group.
+GROUP_WIRE_BYTES = 96
 
 
 @dataclass
@@ -54,9 +68,16 @@ class PlannerConfig:
     """Session knobs affecting plan shape and push-down marking."""
 
     enable_pushdown: bool = False
-    #: Minimum estimated scan rows before push-down pays off (the paper
-    #: uses a plain row-count threshold; cost-based PQ is future work).
-    pushdown_row_threshold: int = 200
+    #: Explicit row-count override for push-down eligibility (the paper's
+    #: production behaviour).  ``None`` (default) selects the cost-based
+    #: estimate: push when the fragment's result wire bytes are well
+    #: under the page bytes the engine would otherwise pull.
+    pushdown_row_threshold: Optional[int] = None
+    #: Cost-based eligibility: minimum pages to amortize a dispatch.
+    pushdown_min_pages: int = 4
+    #: Cost-based eligibility: result bytes must be under this fraction
+    #: of the scanned page bytes.
+    pushdown_wire_ratio: float = 0.5
     #: Prefer hash joins (PQ-friendly plans / Fig 14 plan hint).
     force_hash_joins: bool = False
     #: Outer-cardinality bound under which index NL join is chosen.
@@ -241,10 +262,15 @@ class Planner:
         if agg_calls or select.group_by:
             single_scan = isinstance(plan, SeqScan)
             pushable_aggs = single_scan and self._aggs_are_pushable(agg_calls)
+            groups_estimate = max(1, len(select.group_by) * 10)
             if (
                 single_scan
                 and pushable_aggs
-                and self._scan_pushable(plan, binding_tables[plan.binding])
+                and self._scan_pushable(
+                    plan,
+                    binding_tables[plan.binding],
+                    groups_estimate=groups_estimate,
+                )
             ):
                 plan.pushdown = True
                 plan.partial_agg = (list(select.group_by), agg_calls)
@@ -338,12 +364,17 @@ class Planner:
                 index_name=index_name,
             )
         right_scan = scan_of(binding)
+        right_keys = [r for _, r in equi_pairs]
+        # Planner metadata for the widened push-down: the build side of a
+        # hash join knows its join keys, so a marked build scan can be
+        # executed storage-side as a hash-build fragment.
+        right_scan.hash_keys = list(right_keys)
         return HashJoin(
             estimated_rows=max(estimated, right_scan.estimated_rows),
             left=left,
             right=right_scan,
             left_keys=[l for l, _ in equi_pairs],
-            right_keys=[r for _, r in equi_pairs],
+            right_keys=right_keys,
             residual=and_together(residuals),
         )
 
@@ -390,8 +421,10 @@ class Planner:
         return calls
 
     def _aggs_are_pushable(self, aggs: List[AggCall]) -> bool:
-        """DISTINCT aggregates cannot be partially aggregated."""
-        return all(not agg.distinct for agg in aggs)
+        """All supported aggregates partially aggregate now: DISTINCT
+        states ship their value sets (mergeable, like the scatter-gather
+        path), accounted per value in the wire model."""
+        return True
 
     def _estimate_scan(self, table: Table, filters: List[Expr]) -> int:
         rows = max(table.row_count, 1)
@@ -400,15 +433,36 @@ class Planner:
             rows = max(1, rows // 3)
         return rows
 
-    def _scan_pushable(self, scan: SeqScan, table: Table) -> bool:
+    def _scan_pushable(
+        self,
+        scan: SeqScan,
+        table: Table,
+        groups_estimate: Optional[int] = None,
+    ) -> bool:
         if not self.config.enable_pushdown:
             return False
         if scan.filter is not None and scan.filter.contains_aggregate():
             return False
-        # The paper thresholds on rows *scanned* by the fragment (output
-        # selectivity is irrelevant: a selective filter over a big table is
-        # the best push-down case).
-        return table.row_count >= self.config.pushdown_row_threshold
+        threshold = self.config.pushdown_row_threshold
+        if threshold is not None:
+            # The paper thresholds on rows *scanned* by the fragment
+            # (output selectivity is irrelevant: a selective filter over
+            # a big table is the best push-down case).
+            return table.row_count >= threshold
+        # Cost-based eligibility (the paper's first future-work item):
+        # push when the fragment's estimated result wire bytes are well
+        # under the page bytes the engine would otherwise pull through
+        # storage, and the scan spans enough pages to amortize a task
+        # dispatch round trip.  Partial aggregation ships groups, not
+        # rows, so grouped fragments almost always win once big enough.
+        pages = max(1, len(table.page_nos))
+        if pages < self.config.pushdown_min_pages:
+            return False
+        if groups_estimate is not None:
+            out_bytes = GROUP_WIRE_BYTES * max(1, groups_estimate)
+        else:
+            out_bytes = ROW_WIRE_BYTES * max(1, scan.estimated_rows)
+        return out_bytes <= pages * PAGE_SIZE * self.config.pushdown_wire_ratio
 
     def _mark_scans(self, node: PlanNode, binding_tables: Dict[str, Table]):
         if isinstance(node, SeqScan):

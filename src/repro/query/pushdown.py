@@ -12,11 +12,18 @@ required page in the EBP index:
 - all remaining pages form one task per PageStore (primary) server,
   executed against local SSD.
 
-Tasks are dispatched in parallel; each returns either filtered/projected
-rows or partial aggregate states, which the engine merges (secondary
-aggregation).  Pages a server cannot serve (entry cleaned, server crashed)
-are returned as failures and re-processed through the engine's normal read
+Tasks are dispatched in parallel; each returns filtered column batches,
+partial aggregate states (full GROUP-BY partial aggregation, DISTINCT
+included), or the prepared build side of a hash join (join-key tuples +
+filtered columns), which the engine merges (secondary aggregation / hash
+probe).  Pages a server cannot serve (entry cleaned, server crashed) are
+returned as failures and re-processed through the engine's normal read
 path - push-down never affects correctness.
+
+Fragments execute vectorized on the storage side (column-major decode +
+compiled predicates, the same machinery as the engine's batch executor);
+fragments whose expressions cannot compile fall back to the row loop,
+producing identical results.
 """
 
 from __future__ import annotations
@@ -34,46 +41,128 @@ from ..sim.core import AllOf, Environment
 from ..sim.network import RpcNetwork
 from ..storage.pagestore import PageStoreService, PageStoreServer
 from .ast import AggCall, Expr
+from .columnar import (
+    ColumnBatch,
+    compile_batch_expr,
+    compile_batch_predicate,
+    decode_page_into,
+)
 from .executor import (
     PAGE_CPU,
     ROW_CPU,
     AggAccumulator,
     new_agg_states,
     update_agg_states,
+    vector_group_by,
 )
 from .plan import SeqScan
+from .planner import GROUP_WIRE_BYTES, ROW_WIRE_BYTES
+from .predicate import NotCompilable
 
 __all__ = ["PushdownRuntime", "PushdownFragment", "execute_fragment_on_pages"]
 
-#: Approximate wire size of one projected row (dispatch accounting).
-ROW_WIRE_BYTES = 48
-#: Approximate wire size of one partial-aggregate group.
-GROUP_WIRE_BYTES = 96
 #: Serialized plan-fragment size.
 FRAGMENT_WIRE_BYTES = 600
+#: Wire size of one hash-build join-key tuple riding with its row.
+HASH_KEY_WIRE_BYTES = 16
 
 
 @dataclass
 class PushdownFragment:
     """The serialisable unit shipped to storage: scan + filter + projection
-    (+ partial aggregation)."""
+    (+ partial aggregation, or hash-build key extraction)."""
 
     table_name: str
     binding: str
     schema_names: Tuple[str, ...]
     filter: Optional[Expr]
     partial_agg: Optional[Tuple[List[Expr], List[AggCall]]]
+    #: Join-key expressions for a pushed hash build (mutually exclusive
+    #: with ``partial_agg``): the server returns each surviving row's key
+    #: tuple alongside the filtered columns.
+    hash_keys: Optional[List[Expr]] = None
+
+    def batch_keys(self) -> Tuple[str, ...]:
+        return tuple(
+            "%s.%s" % (self.binding, name) for name in self.schema_names
+        )
 
 
 def execute_fragment_on_pages(fragment: PushdownFragment, pages: List[Page]):
     """Run the fragment over page images; pure compute, no timing.
 
-    Returns ``("rows", [...])`` or ``("partials", [(key, sample), states]...)``
+    Returns one of
+    ``("batch", ColumnBatch)`` (plain filtered scan),
+    ``("hash", (key_tuples, ColumnBatch))`` (pushed hash build),
+    ``("partials", [((key, sample), states), ...])`` (partial GROUP BY), or
+    ``("rows", [...])`` (row-loop fallback for non-compilable fragments),
     plus the number of rows scanned (for CPU accounting by the caller).
+
+    The vectorized paths produce exactly what the row loops would: same
+    row order (page order, slot order), same first-seen group order, same
+    float accumulation order.  Whether a fragment compiles depends only
+    on its expressions and schema, so every task of one fragment returns
+    the same result kind.
     """
+    schema = fragment._schema  # type: ignore[attr-defined]
+    keys = fragment.batch_keys()
+    arrays: List[List[Any]] = [[] for _ in keys]
     scanned = 0
-    if fragment.partial_agg is None:
+    for page in pages:
+        scanned += decode_page_into(schema, page, arrays)
+    batch = ColumnBatch(keys, arrays, scanned)
+    try:
+        if fragment.filter is not None:
+            predicate = compile_batch_predicate(fragment.filter, batch)
+            batch = batch.gather(
+                [i for i in range(batch.n) if predicate(i)]
+            )
+        if fragment.hash_keys is not None:
+            key_fns = [
+                compile_batch_expr(expr, batch) for expr in fragment.hash_keys
+            ]
+            if len(key_fns) == 1:
+                fn = key_fns[0]
+                key_tuples = [(fn(i),) for i in range(batch.n)]
+            else:
+                key_tuples = [
+                    tuple(fn(i) for fn in key_fns) for i in range(batch.n)
+                ]
+            return ("hash", (key_tuples, batch)), scanned
+        if fragment.partial_agg is None:
+            return ("batch", batch), scanned
+        group_exprs, aggs = fragment.partial_agg
+        groups, sample_index = vector_group_by(batch, group_exprs, aggs)
+        partials = [
+            ((key, batch.row_dict(sample_index[key])), states)
+            for key, states in groups.items()
+        ]
+        return ("partials", partials), scanned
+    except NotCompilable:
+        return _execute_fragment_rowwise(fragment, pages)
+
+
+def _execute_fragment_rowwise(fragment: PushdownFragment, pages: List[Page]):
+    """Row-loop fallback, semantically identical to the vector paths."""
+    scanned = 0
+    if fragment.hash_keys is not None:
+        keys = fragment.batch_keys()
         rows: List[Dict[str, Any]] = []
+        for page in pages:
+            for _slot, raw in page.slots():
+                scanned += 1
+                row = _bind(fragment, _decode(fragment, raw))
+                if fragment.filter is None or fragment.filter.eval(row):
+                    rows.append(row)
+        key_tuples = [
+            tuple(expr.eval(row) for expr in fragment.hash_keys)
+            for row in rows
+        ]
+        arrays = [[row[k] for row in rows] for k in keys]
+        batch = ColumnBatch(keys, arrays, len(rows))
+        return ("hash", (key_tuples, batch)), scanned
+    if fragment.partial_agg is None:
+        rows = []
         for page in pages:
             for _slot, raw in page.slots():
                 scanned += 1
@@ -166,12 +255,14 @@ class PushdownRuntime:
         self.pages_local = 0
         self.fallback_pages = 0
         self.cost_rejected = 0
+        self.hash_build_fragments = 0
         # Counters accumulate in the environment-wide registry so fragment
         # counts survive across sessions and land in the harness report.
         self.obs = obs_of(env)
         registry = self.obs.registry
         for key in (
             "query.pushdown.fragments",
+            "query.pushdown.hash_fragments",
             "query.pushdown.tasks_dispatched",
             "query.pushdown.pages_via_ebp",
             "query.pushdown.pages_via_pagestore",
@@ -184,20 +275,39 @@ class PushdownRuntime:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def run_scan(self, scan: SeqScan):
+    def run_scan(self, scan: SeqScan, as_batch: bool = False):
         """Generator: execute a marked scan fragment via PQ.
 
-        Returns row dicts, or partial-aggregate pairs when the fragment
-        carries partial aggregation (the Aggregate node above merges them).
+        With ``as_batch`` False (row-mode callers) returns row dicts, or
+        partial-aggregate pairs when the fragment carries partial
+        aggregation.  With ``as_batch`` True (the vectorized executor)
+        returns tagged ``("batch", ColumnBatch)`` / ``("partials", [...])``.
         """
         self.obs.registry.incr("query.pushdown.fragments")
         tracer = self.obs.tracer
         if not tracer.enabled:
-            return (yield from self._run_scan(scan))
+            return (yield from self._run_scan(scan, as_batch))
         with tracer.span("pq.scan", tags={"table": scan.table_name}):
-            return (yield from self._run_scan(scan))
+            return (yield from self._run_scan(scan, as_batch))
 
-    def _run_scan(self, scan: SeqScan):
+    def run_hash_build(self, scan: SeqScan):
+        """Generator: push the build side of a hash join storage-side.
+
+        The fragment filters the scan and extracts join-key tuples on the
+        storage servers; the engine only builds the hash table and probes.
+        Returns ``(key_tuples, ColumnBatch)``.
+        """
+        self.obs.registry.incr("query.pushdown.fragments")
+        self.obs.registry.incr("query.pushdown.hash_fragments")
+        self.hash_build_fragments += 1
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return (yield from self._run_scan(scan, True, hash_build=True))
+        with tracer.span("pq.hash_build", tags={"table": scan.table_name}):
+            return (yield from self._run_scan(scan, True, hash_build=True))
+
+    def _run_scan(self, scan: SeqScan, as_batch: bool = False,
+                  hash_build: bool = False):
         table = self.engine.catalog.table(scan.table_name)
         fragment = PushdownFragment(
             table_name=scan.table_name,
@@ -205,6 +315,7 @@ class PushdownRuntime:
             schema_names=tuple(table.schema.names),
             filter=scan.filter,
             partial_agg=scan.partial_agg,
+            hash_keys=list(scan.hash_keys) if hash_build else None,
         )
         fragment._schema = table.schema  # type: ignore[attr-defined]
         local_pages: List[PageId] = []
@@ -257,7 +368,7 @@ class PushdownRuntime:
             self.obs.registry.incr(
                 "query.pushdown.pages_local", len(everything)
             )
-            return merged.finish()
+            return merged.finish(as_batch)
         procs = [
             self.env.process(self._dispatch(fragment, task)) for task in all_tasks
         ]
@@ -291,7 +402,7 @@ class PushdownRuntime:
         self.obs.registry.incr(
             "query.pushdown.tasks_dispatched", len(all_tasks)
         )
-        return merged.finish()
+        return merged.finish(as_batch)
 
     def _push_wins(self, local_pages, astore_tasks, pagestore_tasks) -> bool:
         """Estimate: is storage-side execution cheaper than the engine path?
@@ -364,7 +475,19 @@ class PushdownRuntime:
         kind, payload = result
         if kind == "rows":
             return 64 + ROW_WIRE_BYTES * len(payload)
-        return 64 + GROUP_WIRE_BYTES * len(payload)
+        if kind == "batch":
+            return 64 + ROW_WIRE_BYTES * payload.n
+        if kind == "hash":
+            _keys, batch = payload
+            return 64 + (ROW_WIRE_BYTES + HASH_KEY_WIRE_BYTES) * batch.n
+        # partials: per-group state plus the shipped DISTINCT value sets.
+        distinct_values = sum(
+            len(state.distinct)
+            for _group, states in payload
+            for state in states
+            if state.distinct is not None
+        )
+        return 64 + GROUP_WIRE_BYTES * len(payload) + 8 * distinct_values
 
     def _run_on_astore(self, fragment: PushdownFragment, task: _Task):
         """Generator: PQ process on an AStore server, reading local PMem."""
@@ -460,21 +583,60 @@ class PushdownRuntime:
 
 
 class _Merge:
-    """Accumulates task results into the fragment's output shape."""
+    """Accumulates task results into the fragment's output shape.
+
+    Merge order is deterministic: local pages first, then dispatched
+    tasks in dispatch order, then fallback pages — identical whichever
+    result kind the fragment produces, so row-mode and batch-mode callers
+    see the same rows in the same order.
+    """
 
     def __init__(self, fragment: PushdownFragment):
         self.fragment = fragment
         self.rows: List[Dict[str, Any]] = []
         self.partials: List = []
+        self.batch: Optional[ColumnBatch] = None
+        self.hash_keys: List[Tuple] = []
 
     def add(self, result) -> None:
         kind, payload = result
         if kind == "rows":
             self.rows.extend(payload)
-        else:
+        elif kind == "partials":
             self.partials.extend(payload)
+        elif kind == "batch":
+            self._add_batch(payload)
+        else:  # hash
+            key_tuples, batch = payload
+            self.hash_keys.extend(key_tuples)
+            self._add_batch(batch)
 
-    def finish(self):
-        if self.fragment.partial_agg is None:
-            return self.rows
-        return self.partials
+    def _add_batch(self, batch: ColumnBatch) -> None:
+        if self.batch is None:
+            self.batch = batch
+        else:
+            self.batch.extend(batch)
+
+    def finish(self, as_batch: bool = False):
+        fragment = self.fragment
+        if fragment.hash_keys is not None:
+            batch = self.batch
+            if batch is None:
+                batch = ColumnBatch.empty(fragment.batch_keys())
+            return self.hash_keys, batch
+        if fragment.partial_agg is not None:
+            return ("partials", self.partials) if as_batch else self.partials
+        if as_batch:
+            batch = self.batch
+            if batch is None:
+                # Row-loop fallback produced dict rows; columnarize them.
+                keys = fragment.batch_keys()
+                batch = ColumnBatch(
+                    keys,
+                    [[row[k] for row in self.rows] for k in keys],
+                    len(self.rows),
+                )
+            return ("batch", batch)
+        if self.batch is not None:
+            return self.batch.to_rows()
+        return self.rows

@@ -47,20 +47,21 @@ ROWS = [(i, i % 3, float(i)) for i in range(20)]
 
 
 def test_plain_scan_returns_all_rows():
-    (kind, rows), scanned = execute_fragment_on_pages(fragment(), make_pages(ROWS))
-    assert kind == "rows"
+    (kind, batch), scanned = execute_fragment_on_pages(fragment(), make_pages(ROWS))
+    assert kind == "batch"
     assert scanned == 20
+    rows = batch.to_rows()
     assert len(rows) == 20
     assert rows[0]["t.id"] == 0
 
 
 def test_filter_applies():
     filt = BinOp(">=", ColumnRef("amount", "t"), Literal(15.0))
-    (kind, rows), scanned = execute_fragment_on_pages(
+    (kind, batch), scanned = execute_fragment_on_pages(
         fragment(filt), make_pages(ROWS)
     )
     assert scanned == 20  # the fragment scans everything...
-    assert len(rows) == 5  # ...but returns only matches
+    assert batch.n == 5  # ...but returns only matches
 
 
 def test_partial_aggregation_groups():
@@ -112,6 +113,21 @@ def test_partials_merge_across_tasks():
 
 
 def test_empty_pages():
-    (kind, rows), scanned = execute_fragment_on_pages(fragment(), [])
-    assert rows == []
+    (kind, batch), scanned = execute_fragment_on_pages(fragment(), [])
+    assert kind == "batch"
+    assert batch.n == 0
+    assert batch.to_rows() == []
     assert scanned == 0
+
+
+def test_hash_build_fragment_returns_keys_and_batch():
+    filt = BinOp(">=", ColumnRef("amount", "t"), Literal(10.0))
+    frag = fragment(filt)
+    frag.hash_keys = [ColumnRef("grp", "t")]
+    (kind, payload), scanned = execute_fragment_on_pages(frag, make_pages(ROWS))
+    assert kind == "hash"
+    key_tuples, batch = payload
+    assert scanned == 20
+    assert batch.n == 10
+    assert len(key_tuples) == batch.n
+    assert key_tuples == [(r[1],) for r in ROWS if r[2] >= 10.0]

@@ -1,0 +1,359 @@
+"""Compiled predicates vs interpreted ``Expr.eval``, column-major decode,
+and (when hypothesis is installed) property tests over random queries.
+
+CI installs only pytest; the property tests skip cleanly there and run in
+dev environments that have hypothesis.
+"""
+
+import pytest
+
+from repro.common import KB, QueryError
+from repro.engine.codec import (
+    BIGINT,
+    DECIMAL,
+    FLOAT,
+    INT,
+    VARCHAR,
+    Column,
+    Schema,
+)
+from repro.query.ast import (
+    AggCall,
+    Between,
+    BinOp,
+    ColumnRef,
+    InList,
+    Like,
+    Literal,
+    Param,
+    UnaryOp,
+)
+from repro.query.columnar import (
+    ColumnBatch,
+    compile_batch_expr,
+    compile_batch_predicate,
+)
+from repro.query.predicate import (
+    NotCompilable,
+    compile_expr,
+    compile_row_expr,
+    compile_row_predicate,
+)
+
+
+# ---------------------------------------------------------------------------
+# Compiled-vs-interpreted matrix (NULL semantics, LIKE, BETWEEN, IN)
+# ---------------------------------------------------------------------------
+
+ROWS = [
+    {"t.a": 1, "t.b": 10, "t.s": "alpha"},
+    {"t.a": 5, "t.b": None, "t.s": "beta"},
+    {"t.a": None, "t.b": 3, "t.s": None},
+    {"t.a": -2, "t.b": 0, "t.s": "a"},
+    {"t.a": 5, "t.b": 5, "t.s": "gamma"},
+]
+
+A = ColumnRef("a", "t")
+B = ColumnRef("b", "t")
+S = ColumnRef("s", "t")
+
+EXPRS = [
+    BinOp("=", A, Literal(5)),
+    BinOp("!=", A, Literal(5)),
+    BinOp("<", A, B),
+    BinOp("<=", A, Literal(1)),
+    BinOp(">", B, Literal(2)),
+    BinOp(">=", A, B),
+    BinOp("+", A, B),
+    BinOp("-", A, Literal(1)),
+    BinOp("*", A, B),
+    BinOp("and", BinOp(">", A, Literal(0)), BinOp("<", B, Literal(9))),
+    BinOp("or", BinOp("=", A, Literal(-2)), BinOp("=", B, Literal(5))),
+    UnaryOp("not", BinOp(">", A, Literal(0))),
+    UnaryOp("-", A),
+    Between(A, Literal(0), Literal(5)),
+    Between(B, Literal(3), Literal(10)),
+    InList(A, (1, 5, 7)),
+    InList(S, ("alpha", "a")),
+    Like(S, "a%"),
+    Like(S, "%a"),
+    Like(S, "%et%"),
+    Like(S, "alpha"),
+]
+
+
+def batch_of(rows):
+    keys = tuple(rows[0].keys())
+    return ColumnBatch(keys, [[row[k] for row in rows] for k in keys])
+
+
+@pytest.mark.parametrize("expr", EXPRS, ids=repr)
+def test_compiled_row_expr_matches_eval(expr):
+    compiled = compile_row_expr(expr)
+    for row in ROWS:
+        try:
+            want = expr.eval(row)
+        except TypeError:
+            with pytest.raises(TypeError):
+                compiled(row)
+            continue
+        assert compiled(row) == want, row
+
+
+@pytest.mark.parametrize("expr", EXPRS, ids=repr)
+def test_compiled_batch_expr_matches_eval(expr):
+    batch = batch_of(ROWS)
+    compiled = compile_batch_expr(expr, batch)
+    for i, row in enumerate(ROWS):
+        try:
+            want = expr.eval(row)
+        except TypeError:
+            with pytest.raises(TypeError):
+                compiled(i)
+            continue
+        assert compiled(i) == want, row
+
+
+def test_param_and_aggcall_compile_to_lazy_raisers():
+    for expr in (Param(0), AggCall("count", None)):
+        compiled = compile_row_expr(expr)  # compiling must not raise
+        with pytest.raises(QueryError):
+            compiled(ROWS[0])
+
+
+def test_unresolved_batch_column_is_not_compilable():
+    batch = batch_of(ROWS)
+    with pytest.raises(NotCompilable):
+        compile_batch_expr(ColumnRef("missing"), batch)
+
+
+def test_compile_expr_rejects_unknown_nodes():
+    class Exotic:
+        pass
+
+    with pytest.raises(NotCompilable):
+        compile_expr(Exotic(), lambda ref: None)
+
+
+def test_compiled_predicate_coerces_truthiness():
+    predicate = compile_row_predicate(BinOp("+", A, B))
+    assert predicate({"t.a": 1, "t.b": 1}) is True
+    assert predicate({"t.a": 1, "t.b": -1}) is False
+    assert predicate({"t.a": None, "t.b": 4}) is False  # NULL arithmetic
+
+
+# ---------------------------------------------------------------------------
+# Column-major decode equivalence
+# ---------------------------------------------------------------------------
+
+
+def test_decode_into_matches_decode_for_all_types():
+    schema = Schema(
+        [
+            Column("i", INT(), nullable=True),
+            Column("big", BIGINT(), nullable=True),
+            Column("f", FLOAT(), nullable=True),
+            Column("d", DECIMAL(2), nullable=True),
+            Column("s", VARCHAR(20), nullable=True),
+        ]
+    )
+    rows = [
+        [1, 2**40, 1.5, 12.34, "hello"],
+        [-7, -(2**33), -0.25, -99.99, ""],
+        [None, None, None, None, None],
+        [0, 0, 0.0, 0.0, "unicodeé"],
+    ]
+    arrays = [[] for _ in schema.names]
+    for row in rows:
+        data = schema.encode(list(row))
+        assert schema.decode(data) == row
+        schema.decode_into(data, arrays)
+    for position, _name in enumerate(schema.names):
+        assert arrays[position] == [row[position] for row in rows]
+
+
+# ---------------------------------------------------------------------------
+# Property tests (optional dependency)
+# ---------------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+
+_num = st.sampled_from([A, B]) | st.integers(-10, 10).map(Literal)
+_cmp = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+
+_base_predicate = st.one_of(
+    st.tuples(_cmp, _num, _num).map(lambda t: BinOp(t[0], t[1], t[2])),
+    st.tuples(_num, st.integers(-10, 0), st.integers(1, 10)).map(
+        lambda t: Between(t[0], Literal(t[1]), Literal(t[2]))
+    ),
+    st.tuples(_num, st.lists(st.integers(-10, 10), min_size=1, max_size=4)).map(
+        lambda t: InList(t[0], tuple(t[1]))
+    ),
+    st.tuples(
+        st.just(S), st.sampled_from(["a%", "%a", "%lp%", "beta", "%"])
+    ).map(lambda t: Like(t[0], t[1])),
+)
+
+_predicate = st.recursive(
+    _base_predicate,
+    lambda children: st.one_of(
+        st.tuples(st.sampled_from(["and", "or"]), children, children).map(
+            lambda t: BinOp(t[0], t[1], t[2])
+        ),
+        children.map(lambda c: UnaryOp("not", c)),
+    ),
+    max_leaves=6,
+)
+
+_value = st.one_of(st.none(), st.integers(-10, 10))
+_text = st.one_of(st.none(), st.sampled_from(["alpha", "beta", "a", "help", ""]))
+_row = st.fixed_dictionaries({"t.a": _value, "t.b": _value, "t.s": _text})
+
+
+@settings(max_examples=200, deadline=None)
+@given(expr=_predicate, rows=st.lists(_row, min_size=1, max_size=6))
+def test_property_compiled_predicates_match_eval(expr, rows):
+    compiled = compile_row_predicate(expr)
+    batch = batch_of(rows)
+    batch_compiled = compile_batch_predicate(expr, batch)
+    for i, row in enumerate(rows):
+        want = bool(expr.eval(row))
+        assert compiled(row) == want
+        assert batch_compiled(i) == want
+
+
+# Query-level: random filters/projections/group-bys through the full SQL
+# engine, row mode vs batch mode (and both again under push-down).
+
+_dep_cache = {}
+
+
+def _query_dep():
+    if "dep" not in _dep_cache:
+        from repro.common import MB
+        from repro.engine.dbengine import EngineConfig
+        from repro.harness.deployment import Deployment, DeploymentConfig
+
+        dep = Deployment(
+            DeploymentConfig.astore_pq(
+                seed=3,
+                engine=EngineConfig(buffer_pool_bytes=4 * 16 * KB),
+                ebp_capacity_bytes=16 * MB,
+            )
+        )
+        dep.start()
+        engine = dep.engine
+        engine.create_table(
+            "facts",
+            Schema(
+                [
+                    Column("f_id", INT()),
+                    Column("grp", INT()),
+                    Column("label", VARCHAR(16)),
+                    Column("amount", DECIMAL(2)),
+                    Column("pad", VARCHAR(600)),
+                ]
+            ),
+            ["f_id"],
+        )
+
+        def load(env):
+            txn = engine.begin()
+            for i in range(400):
+                yield from engine.insert(
+                    txn,
+                    "facts",
+                    [i, i % 7, "L%d" % (i % 5), float(i % 90) + 0.25, "p" * 500],
+                )
+            yield from engine.commit(txn)
+            yield env.timeout(0.3)
+
+        dep.env.run_until_event(dep.env.process(load(dep.env)))
+        _dep_cache["dep"] = dep
+        _dep_cache["sessions"] = {
+            "row": dep.new_session(enable_pushdown=False, batch_mode=False),
+            "batch": dep.new_session(enable_pushdown=False, batch_mode=True),
+            "row-pq": dep.new_session(
+                enable_pushdown=True, pushdown_row_threshold=10, batch_mode=False
+            ),
+            "batch-pq": dep.new_session(
+                enable_pushdown=True, pushdown_row_threshold=10, batch_mode=True
+            ),
+        }
+    return _dep_cache["dep"], _dep_cache["sessions"]
+
+
+_sql_filter = st.one_of(
+    st.just(""),
+    st.sampled_from(
+        [
+            "WHERE amount >= 45.25",
+            "WHERE grp = 3",
+            "WHERE grp IN (1, 2, 5)",
+            "WHERE f_id BETWEEN 50 AND 250",
+            "WHERE label LIKE 'L1%'",
+            "WHERE NOT grp = 0 AND amount < 80.0",
+            "WHERE grp = 2 OR grp = 6",
+        ]
+    ),
+)
+
+_sql_projection = st.lists(
+    st.sampled_from(["f_id", "grp", "label", "amount"]),
+    min_size=1,
+    max_size=4,
+    unique=True,
+)
+
+_sql_aggs = st.lists(
+    st.sampled_from(
+        [
+            "count(*) AS n",
+            "sum(amount) AS s",
+            "avg(amount) AS av",
+            "min(f_id) AS mn",
+            "max(f_id) AS mx",
+            "count(DISTINCT grp) AS dg",
+        ]
+    ),
+    min_size=1,
+    max_size=3,
+    unique=True,
+)
+
+_sql_query = st.one_of(
+    st.tuples(_sql_projection, _sql_filter).map(
+        lambda t: "SELECT %s FROM facts %s" % (", ".join(t[0]), t[1])
+    ),
+    st.tuples(_sql_aggs, _sql_filter, st.booleans()).map(
+        lambda t: "SELECT %s FROM facts %s %s"
+        % (
+            ("grp, " if t[2] else "") + ", ".join(t[0]),
+            t[1],
+            "GROUP BY grp" if t[2] else "",
+        )
+    ),
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(sql=_sql_query)
+def test_property_random_queries_match_across_modes(sql):
+    dep, sessions = _query_dep()
+
+    def run(session):
+        proc = dep.env.process(session.execute(sql))
+        dep.env.run_until_event(proc)
+        return proc.value
+
+    results = {label: run(s) for label, s in sessions.items()}
+    assert results["batch"].columns == results["row"].columns, sql
+    assert results["batch"].rows == results["row"].rows, sql
+    assert results["batch-pq"].columns == results["row-pq"].columns, sql
+    assert results["batch-pq"].rows == results["row-pq"].rows, sql

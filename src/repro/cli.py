@@ -231,14 +231,41 @@ def cmd_serve(args) -> int:
     """Run the serving-layer scenario and print its deterministic report."""
     import json
 
-    from .frontend.serve import run_serving
+    from .frontend.serve import run_serving, run_serving_mux
 
+    if args.mux:
+        report = run_serving_mux(
+            seed=args.seed,
+            sessions=args.sessions if args.sessions is not None else 10000,
+            lanes=args.lanes,
+            replicas=args.replicas,
+            policy=args.policy,
+            duration=args.duration if args.duration is not None else 1.0,
+            chaos=not args.no_chaos,
+            queue_limit=args.queue_limit,
+        )
+        print(json.dumps(report, sort_keys=True, indent=2))
+        if not report["ok"]:
+            print(
+                "serve --mux FAILED: %d stale read(s), %d missing row(s), "
+                "%d/%d sessions executed, fairness %s"
+                % (report["consistency"]["stale_reads"],
+                   report["consistency"]["missing_rows"],
+                   report["mux"]["sessions_executed"],
+                   report["sessions"],
+                   "ok" if report["fairness"]["ok"] else "VIOLATED"),
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     report = run_serving(
         seed=args.seed,
         replicas=args.replicas,
         policy=args.policy,
-        duration=args.duration,
+        duration=args.duration if args.duration is not None else 1.5,
         shards=args.shards,
+        sessions=args.sessions,
+        tenants=args.tenants,
         chaos=not args.no_chaos,
         read_limit=args.read_limit,
         queue_limit=args.queue_limit,
@@ -359,11 +386,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", default="least-lag",
         choices=("round-robin", "least-lag", "p2c"),
     )
-    serve_parser.add_argument("--duration", type=float, default=1.5,
-                              help="virtual seconds of mixed traffic")
+    serve_parser.add_argument("--duration", type=float, default=None,
+                              help="virtual seconds of mixed traffic "
+                                   "(default 1.5, or 1.0 with --mux)")
     serve_parser.add_argument("--shards", type=int, default=1,
                               help="hash-shard the keyspace across N "
                                    "primaries (cross-shard writes use 2PC)")
+    serve_parser.add_argument("--mux", action="store_true",
+                              help="session multiplexing: run --sessions "
+                                   "parked sessions over --lanes execution "
+                                   "lanes with weighted-fair tenant QoS")
+    serve_parser.add_argument("--sessions", type=int, default=None,
+                              help="client session count (read sessions "
+                                   "without --mux; default 10000 parked "
+                                   "descriptors with --mux)")
+    serve_parser.add_argument("--tenants", type=int, default=1,
+                              help="tag sessions round-robin across N "
+                                   "tenants (non-mux; report breakdown)")
+    serve_parser.add_argument("--lanes", type=int, default=8,
+                              help="execution lanes for --mux")
     serve_parser.add_argument("--no-chaos", action="store_true",
                               help="skip the replica crash/restart schedule")
     serve_parser.add_argument("--read-limit", type=int, default=None,

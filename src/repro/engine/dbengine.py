@@ -383,6 +383,20 @@ class DBEngine:
         self.buffer_pool.put(page)
         return page
 
+    def peek_page(self, page_id: PageId):
+        """Synchronous buffer-pool probe: ``(page, extra_cpu)`` or None.
+
+        Mirrors :meth:`fetch_page`'s BP-hit leg (which charges no CPU of
+        its own, hence ``extra_cpu == 0.0``) without touching the event
+        loop.  Point-read paths use it to fold the page access into
+        their one statement CPU charge.
+        """
+        page = self.buffer_pool.get(page_id)
+        if page is not None:
+            self.obs.registry.incr("engine.page_fetch.bp_hit")
+            return page, 0.0
+        return None
+
     def _read_from_pagestore(self, page_id: PageId, required_lsn: int):
         """Generator: PageStore read with force-ship retry.
 

@@ -310,16 +310,44 @@ class StandbyReplica:
         self.buffer_pool.put(page)
         return page
 
+    def peek_page(self, page_id: PageId):
+        """Synchronous probe of the local image / buffer pool.
+
+        Returns ``(page, extra_cpu)`` when the page is resident -
+        ``extra_cpu`` is the CPU charge :meth:`fetch_page` would have
+        made for that tier - else None.  Point-read paths use this to
+        coalesce the page charge into their statement charge (one
+        ``consume`` per statement instead of two); callers must charge
+        ``extra_cpu`` themselves.
+        """
+        local = self.pages.get(page_id)
+        if local is not None:
+            return local, 1 * US
+        page = self.buffer_pool.get(page_id)
+        if page is not None:
+            return page, 0.0
+        return None
+
     def read_row(self, table_name: str, key: Tuple[Any, ...]):
         """Generator: snapshot point read at the standby's applied LSN."""
         self.sync_catalog()
         table = self.catalog.table(table_name)
-        yield from self.cpu.consume(self.primary.config.stmt_cpu)
         locator = table.lookup(key)
         if locator is None:
+            yield from self.cpu.consume(self.primary.config.stmt_cpu)
             return None
         page_no, slot = locator
-        page = yield from self.fetch_page(PageId(table.space_no, page_no))
+        page_id = PageId(table.space_no, page_no)
+        # Probe before charging so a resident page's fetch cost folds
+        # into the statement's single CPU charge (same total virtual
+        # time, half the event-loop trips on the hot path).
+        hit = self.peek_page(page_id)
+        if hit is not None:
+            page, extra = hit
+            yield from self.cpu.consume(self.primary.config.stmt_cpu + extra)
+        else:
+            yield from self.cpu.consume(self.primary.config.stmt_cpu)
+            page = yield from self.fetch_page(page_id)
         try:
             return table.schema.decode(page.get(slot))
         except KeyError:

@@ -66,9 +66,23 @@ BOUNCE_REASONS = ("no_replica", "lag_timeout", "rerouted")
 class ProxySession:
     """One client's session: its consistency token and route history."""
 
-    def __init__(self, proxy: "SqlProxy", name: str):
+    def __init__(self, proxy: "SqlProxy", name: str,
+                 tenant: str = "default"):
         self.proxy = proxy
         self.name = name
+        #: Admission/QoS class this session's statements bill against.
+        self.tenant = tenant
+        #: Mux lanes pin their replica choice: the handle picked for the
+        #: lane's first read is reused until it stops being routable,
+        #: replacing a fleet.choose policy call per statement with one
+        #: attribute check.  Correctness is unchanged - the LSN gate and
+        #: epoch check still run against the pinned replica every read.
+        self.pin_route = False
+        self._pinned_handle: Optional[ReplicaHandle] = None
+        #: True when an execution lane owns this session: lane checkout
+        #: already passed weighted-fair admission, so the per-statement
+        #: read-class admit is skipped (lanes never exceed the read cap).
+        self.lane_managed = False
         #: Wait-for-LSN token: one durable commit LSN per shard.  A read
         #: routed to shard k must not observe anything older than
         #: component k; single-shard proxies carry a one-entry vector,
@@ -445,7 +459,8 @@ class SqlProxy:
     # ------------------------------------------------------------------
     # Sessions
     # ------------------------------------------------------------------
-    def session(self, name: Optional[str] = None) -> ProxySession:
+    def session(self, name: Optional[str] = None,
+                tenant: str = "default") -> ProxySession:
         if name is None:
             # Default names must not collide with earlier explicit names
             # (an explicit "session-1" used to shadow the next default).
@@ -454,7 +469,7 @@ class SqlProxy:
             while name in self._session_names:
                 index += 1
                 name = "session-%d" % index
-        session = ProxySession(self, name)
+        session = ProxySession(self, name, tenant)
         self._session_names.add(name)
         self.sessions.append(session)
         return session
@@ -540,7 +555,7 @@ class SqlProxy:
                      args, shard: int):
         admission = self.admissions[shard]
         ticket = None
-        if admission is not None:
+        if admission is not None and not session.lane_managed:
             ticket = yield from admission.admit(self.READ_CLASS)
         start = self.env.now
         try:
@@ -566,7 +581,15 @@ class SqlProxy:
         if cut_forced:
             token = min_lsn
         for _attempt in range(2):
-            handle = fleet.choose(session) if fleet else None
+            if fleet is None:
+                handle = None
+            elif session.pin_route:
+                handle = session._pinned_handle
+                if handle is None or not handle.routable:
+                    handle = fleet.choose(session)
+                    session._pinned_handle = handle
+            else:
+                handle = fleet.choose(session)
             if handle is None:
                 return (
                     yield from self._primary_read(
@@ -583,6 +606,9 @@ class SqlProxy:
                     handle, token, self.wait_timeout
                 )
                 if not caught_up:
+                    if session.pin_route:
+                        # Do not stay pinned to a chronic laggard.
+                        session._pinned_handle = None
                     return (
                         yield from self._primary_read(
                             session, primary_fn, "lag_timeout", args
@@ -605,6 +631,8 @@ class SqlProxy:
                 # non-exceptional one) may predate the crash or come from
                 # half-rebuilt state - discard and try the next route.
                 self.reroutes += 1
+                if session.pin_route:
+                    session._pinned_handle = None
                 continue
             handle.reads_served += 1
             self.reads_replica += 1

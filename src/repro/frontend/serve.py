@@ -28,7 +28,7 @@ from ..harness.stats import collect_stats
 from ..sim.core import AllOf
 from ..workloads.tpcc import TpccClient, TpccConfig, TpccDatabase
 
-__all__ = ["run_serving"]
+__all__ = ["run_serving", "run_serving_mux", "MUX_TENANTS"]
 
 #: Keys in the sysbench-style read table.
 SERVE_KEYS = 120
@@ -175,6 +175,8 @@ def run_serving(
     write_terminals: int = 2,
     mixed_sessions: int = 3,
     read_sessions: int = 4,
+    sessions: Optional[int] = None,
+    tenants: int = 1,
     chaos: bool = True,
     apply_intervals: Optional[Sequence[float]] = None,
     staleness_bound: Optional[int] = None,
@@ -200,7 +202,23 @@ def run_serving(
     scatter-gather.  Session tokens become per-shard vectors, so the
     read-your-writes audit checks the vector-token path end to end.
     ``shards == 1`` is byte-identical to the pre-sharding scenario.
+
+    ``sessions`` overrides ``read_sessions`` (the ``--sessions`` CLI
+    flag); ``tenants > 1`` tags the read/mixed sessions round-robin
+    with tenant names and adds a per-tenant breakdown to the report
+    (labels only on the non-mux path - weighted fair lane scheduling
+    is the ``--mux`` scenario's job).
     """
+    if sessions is not None:
+        if sessions < 1:
+            raise ValueError("sessions must be >= 1, got %r" % sessions)
+        read_sessions = sessions
+    if tenants < 1:
+        raise ValueError("tenants must be >= 1, got %r" % tenants)
+
+    def tenant_of(index: int) -> str:
+        return "tenant-%d" % (index % tenants) if tenants > 1 else "default"
+
     spec = DeploymentSpec.astore_ebp(
         seed=seed, astore_servers=4
     ).with_shards(shards).with_engine(
@@ -297,7 +315,7 @@ def run_serving(
             name="serve-tpcc-%d" % index,
         ))
     for index, stats in enumerate(mixed_stats):
-        session = proxy.session("mixed-%d" % index)
+        session = proxy.session("mixed-%d" % index, tenant=tenant_of(index))
         session.note_commit_map(preload_lsns)
         procs.append(env.process(
             _mixed_driver(env, session, proxy.write_engine,
@@ -306,7 +324,7 @@ def run_serving(
             name="serve-mixed-%d" % index,
         ))
     for index, stats in enumerate(read_stats):
-        session = proxy.session("read-%d" % index)
+        session = proxy.session("read-%d" % index, tenant=tenant_of(index))
         session.note_commit_map(preload_lsns)
         procs.append(env.process(
             _read_driver(env, session,
@@ -413,6 +431,22 @@ def run_serving(
         "violations": violations,
         "ok": stale_reads == 0 and missing_rows == 0,
     }
+    if tenants > 1:
+        breakdown: Dict[str, Dict[str, int]] = {}
+        for index, stats in enumerate(mixed_stats):
+            entry = breakdown.setdefault(
+                tenant_of(index), {"sessions": 0, "reads": 0, "writes": 0})
+            entry["sessions"] += 1
+            entry["reads"] += stats["checks"]
+            entry["writes"] += stats["writes"]
+        for index, stats in enumerate(read_stats):
+            entry = breakdown.setdefault(
+                tenant_of(index), {"sessions": 0, "reads": 0, "writes": 0})
+            entry["sessions"] += 1
+            entry["reads"] += stats["reads"]
+        report["tenants"] = {
+            name: breakdown[name] for name in sorted(breakdown)
+        }
     if shards > 1:
         report["sharding"] = {
             "shards": shards,
@@ -429,6 +463,308 @@ def run_serving(
         _bench["statements"] = (
             total_reads + proxy.writes + report["tpcc"]["committed"]
         )
+        _bench["parse_cache_hits"] = proxy.parse_cache.hits
+        _bench["parse_cache_misses"] = proxy.parse_cache.misses
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Multiplexed serving (``python -m repro serve --mux``)
+# ---------------------------------------------------------------------------
+
+#: Default skewed tenant classes: weights 4/2/1, session share inverted
+#: (the heaviest session population has the *smallest* lane weight, so
+#: weighted fairness is actually exercised).
+MUX_TENANTS = (
+    ("gold", 4, 0.10),
+    ("silver", 2, 0.20),
+    ("bronze", 1, 0.70),
+)
+
+_MUX_POINT_SQL = "SELECT k, version FROM sbserve WHERE k = ?"
+
+
+def _mux_worker(env, mux, engine, pool, rng, deadline, stats, audits,
+                touched):
+    """One tenant worker: sweep its session slice, then loop skewed load.
+
+    The sweep phase runs exactly one prepared point SELECT on every
+    session in ``pool`` (so each of the 10k+ descriptors demonstrably
+    executes through the lane pool); the steady phase then picks
+    sessions from the slice and issues bursts of 1-4 statements - point
+    SELECTs, routed ``read_row`` lookups, and occasional version-bump
+    writes whose versions feed the per-session read-your-writes audit.
+    Statements shed by weighted-fair admission back off briefly and
+    retry; a swept session retries until its statement lands.
+    """
+
+    def audit_read(ms, key, version_seen):
+        expect = audits[ms.name].get(key)
+        if version_seen is None:
+            stats["missing_rows"] += 1
+        elif expect is not None and version_seen < expect:
+            stats["stale_reads"] += 1
+            stats["violations"].append(
+                "t=%.4f %s: key %d version %d < committed %d"
+                % (env.now, ms.name, key, version_seen, expect)
+            )
+
+    def one_statement(ms, draw):
+        key = rng.randint(1, SERVE_KEYS)
+        if draw < 0.08:
+            def bump(txn, key=key):
+                row = yield from engine.read_row(
+                    txn, "sbserve", (key,), for_update=True
+                )
+                next_version = row[1] + 1
+                yield from engine.update(
+                    txn, "sbserve", (key,), {"version": next_version}
+                )
+                return next_version
+
+            version = yield from mux.write(ms, bump)
+            audits[ms.name][key] = version
+            stats["writes"] += 1
+        elif draw < 0.70:
+            prepared = mux.prepare(ms, _MUX_POINT_SQL)
+            result = yield from prepared.execute(key)
+            stats["reads"] += 1
+            audit_read(
+                ms, key, result.rows[0][1] if result.rows else None
+            )
+        else:
+            row = yield from mux.read_row(ms, "sbserve", (key,))
+            stats["reads"] += 1
+            audit_read(ms, key, None if row is None else row[1])
+
+    # Phase 1: coverage sweep - every parked session serves a statement.
+    for ms in pool:
+        while True:
+            try:
+                yield from one_statement(ms, 0.5)
+            except OverloadError:
+                stats["shed"] += 1
+                yield env.timeout(0.5 * MS)
+                continue
+            except (TransactionAborted, QueryError):
+                stats["aborted"] += 1
+            touched.add(ms.name)
+            break
+    # Phase 2: steady skewed load until the deadline.
+    while env.now < deadline:
+        ms = pool[rng.randint(0, len(pool) - 1)]
+        for _ in range(rng.randint(1, 4)):
+            try:
+                yield from one_statement(ms, rng.random())
+                touched.add(ms.name)
+            except OverloadError:
+                stats["shed"] += 1
+                yield env.timeout(0.5 * MS)
+            except (TransactionAborted, QueryError):
+                stats["aborted"] += 1
+
+
+def run_serving_mux(
+    seed: int = 7,
+    sessions: int = 10000,
+    lanes: int = 8,
+    replicas: int = 2,
+    policy: str = "least-lag",
+    duration: float = 1.0,
+    workers_per_tenant: int = 8,
+    tenants: Optional[Sequence] = None,
+    chaos: bool = True,
+    queue_limit: Optional[int] = None,
+    queue_timeout: Optional[float] = None,
+    _bench: Optional[Dict] = None,
+) -> Dict:
+    """Million-session-shaped serving: ``sessions`` parked descriptors
+    multiplexed over ``lanes`` execution lanes with weighted-fair
+    multi-tenant QoS; returns a deterministic report.
+
+    ``tenants`` is ``(name, weight, session_share)`` triples (default
+    :data:`MUX_TENANTS`: gold/silver/bronze with weights 4/2/1 and the
+    session population skewed *against* the weights).  Every session
+    executes at least one statement through the lane pool (a coverage
+    sweep), then per-tenant workers drive a skewed read/write mix with
+    a read-your-writes audit per session.  ``report["ok"]`` is True iff
+    zero stale/missing reads were observed and every session executed.
+    Lane cost stays O(active): the deployment holds ``lanes`` live
+    proxy sessions regardless of ``sessions``.
+    """
+    if sessions < 1:
+        raise ValueError("sessions must be >= 1, got %r" % sessions)
+    tenant_rows = list(tenants) if tenants is not None else list(MUX_TENANTS)
+    weights = {name: weight for name, weight, _share in tenant_rows}
+    spec = DeploymentSpec.astore_ebp(
+        seed=seed, astore_servers=4
+    ).with_engine(
+        buffer_pool_bytes=48 * 16 * KB
+    ).with_replicas(
+        replicas, policy=policy
+    ).with_multiplexing(
+        lanes,
+        weights,
+        queue_limit=queue_limit,
+        queue_timeout=queue_timeout,
+    ).with_fault_tolerance(
+        heartbeat_interval=0.05, failure_timeout=0.15, lease_duration=2.0
+    )
+    dep = spec.build()
+    dep.start()
+    env = dep.env
+    mux = dep.mux
+    _load_serve_table(dep)
+    dep.fleet.sync_catalogs()
+    preload_lsn = dep.engine.log.persistent_lsn
+
+    # Open the full parked-session population: descriptors only, no live
+    # engine sessions - this is the O(active) claim under test.
+    pools: Dict[str, List] = {name: [] for name in weights}
+    allocated = 0
+    for index, (name, _weight, share) in enumerate(tenant_rows):
+        count = (
+            sessions - allocated
+            if index == len(tenant_rows) - 1
+            else int(sessions * share)
+        )
+        allocated += count
+        for j in range(count):
+            ms = mux.open("%s-%d" % (name, j), name)
+            ms.lsns[0] = preload_lsn
+            pools[name].append(ms)
+
+    injector = None
+    victim = "replica-%d" % (replicas - 1)
+    if chaos:
+        schedule = ChaosSchedule()
+        schedule.add(duration * 0.30, "replica_crash", victim)
+        schedule.add(duration * 0.55, "replica_restart", victim)
+        injector = ChaosInjector(dep, schedule)
+        injector.start()
+
+    audits: Dict[str, Dict[int, int]] = {
+        ms.name: {} for pool in pools.values() for ms in pool
+    }
+    touched: set = set()
+    tenant_stats = {
+        name: {"reads": 0, "writes": 0, "aborted": 0, "shed": 0,
+               "stale_reads": 0, "missing_rows": 0, "violations": []}
+        for name in weights
+    }
+    deadline = env.now + duration
+    procs = []
+    for name, _weight, share in tenant_rows:
+        pool = pools[name]
+        # Offered load follows the session population, not the weight:
+        # the big low-weight tenant floods the lane queue and weighted
+        # fairness has to protect the small high-weight one.
+        workers = max(
+            1, round(workers_per_tenant * len(tenant_rows) * share)
+        )
+        for w in range(workers):
+            slice_ = pool[w::workers]
+            if not slice_:
+                continue
+            procs.append(env.process(
+                _mux_worker(
+                    env, mux, dep.engine, slice_,
+                    dep.seeds.stream("serve-mux-%s-%d" % (name, w)),
+                    deadline, tenant_stats[name], audits, touched,
+                ),
+                name="serve-mux-%s-%d" % (name, w),
+            ))
+    env.run_until_event(AllOf(env, procs))
+    env.run(until=env.now + 0.5)
+
+    registry = dep.registry
+    violations: List[str] = []
+    for stats in tenant_stats.values():
+        violations.extend(stats.pop("violations"))
+    stale_reads = sum(s["stale_reads"] for s in tenant_stats.values())
+    missing_rows = sum(s["missing_rows"] for s in tenant_stats.values())
+    total_statements = sum(
+        s["reads"] + s["writes"] for s in tenant_stats.values()
+    )
+
+    def p99_ms(name: str, kind: str) -> float:
+        recorder = registry.latency("frontend.tenant.%s.%s" % (name, kind))
+        return round(recorder.percentile(99) * 1000, 4)
+
+    tenant_report = {}
+    for name, weight, _share in tenant_rows:
+        stats = tenant_stats[name]
+        tenant_report[name] = {
+            "weight": weight,
+            "sessions": len(pools[name]),
+            "statements": stats["reads"] + stats["writes"],
+            "writes": stats["writes"],
+            "aborted": stats["aborted"],
+            "shed": stats["shed"],
+            "admitted": mux.wfq.admitted[name],
+            "wait_p99_ms": p99_ms(name, "wait"),
+            "statement_p99_ms": p99_ms(name, "statement"),
+        }
+    # Weighted-fairness check: a tenant with the larger lane weight must
+    # not wait (P99) more than 2x any smaller-weight tenant - the DRR
+    # guarantee, with slack for statement-granularity quantisation.  A
+    # floor keeps uncontended runs (every wait ~0) trivially fair.
+    floor_ms = 0.05
+    fair = True
+    for hi_name, hi_weight, _s in tenant_rows:
+        for lo_name, lo_weight, _s2 in tenant_rows:
+            if hi_weight <= lo_weight:
+                continue
+            hi_wait = tenant_report[hi_name]["wait_p99_ms"]
+            lo_wait = tenant_report[lo_name]["wait_p99_ms"]
+            if hi_wait > 2.0 * max(lo_wait, floor_ms):
+                fair = False
+    proxy = dep.frontend
+    all_executed = len(touched) == sessions
+    report = {
+        "seed": seed,
+        "mode": "mux",
+        "sessions": sessions,
+        "lanes": lanes,
+        "replicas": replicas,
+        "duration": duration,
+        "chaos": bool(chaos),
+        "chaos_log": list(injector.log) if injector is not None else [],
+        "virtual_end": round(env.now, 6),
+        "mux": {
+            "sessions_open": len(mux.sessions),
+            "sessions_executed": len(touched),
+            "live_lane_sessions": len(mux.lanes),
+            "binds": mux.binds,
+            "statements": mux.statements,
+            "lane_queue_depth_end": mux.wfq.queue_depth,
+            "shed_queue_full": mux.wfq.shed_queue_full,
+            "shed_deadline": mux.wfq.shed_deadline,
+        },
+        "tenants": tenant_report,
+        "fairness": {
+            "rule": "wait_p99(higher weight) <= 2x wait_p99(lower weight)",
+            "ok": fair,
+        },
+        "reads": {
+            "total": proxy.reads_replica + proxy.reads_primary,
+            "replica": proxy.reads_replica,
+            "primary": proxy.reads_primary,
+            "bounces": dict(proxy.bounces),
+            "reroutes": proxy.reroutes,
+        },
+        "consistency": {
+            "statements": total_statements,
+            "stale_reads": stale_reads,
+            "missing_rows": missing_rows,
+        },
+        "violations": violations,
+        "ok": (stale_reads == 0 and missing_rows == 0
+               and all_executed and fair),
+    }
+    if _bench is not None:
+        _bench["events"] = env._seq
+        _bench["statements"] = total_statements
         _bench["parse_cache_hits"] = proxy.parse_cache.hits
         _bench["parse_cache_misses"] = proxy.parse_cache.misses
     return report

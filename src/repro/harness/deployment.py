@@ -123,6 +123,16 @@ class DeploymentSpec:
     admission_write_limit: int = 32
     admission_queue_limit: int = 64
     admission_queue_timeout: float = 0.02
+    # Session multiplexing (repro.frontend.mux): dormant sessions are
+    # parked descriptors; statements run over this many execution lanes
+    # shared by weighted-fair queueing (0 = no mux).
+    mux_lanes: int = 0
+    #: ``((tenant, weight), ...)`` admission classes; None = one
+    #: "default" tenant with weight 1.
+    mux_tenants: Optional[Tuple[Tuple[str, int], ...]] = None
+    #: Per-tenant lane-wait queue bound and deadline.
+    mux_queue_limit: int = 512
+    mux_queue_timeout: float = 0.05
     # Distributed robustness (active whenever shards > 1).
     #: Run the global deadlock detector daemon (cross-shard lock cycles
     #: abort a victim in one sweep instead of the 2 s wait timeout).
@@ -229,6 +239,33 @@ class DeploymentSpec:
                     )
                 if any(i <= 0 for i in self.replica_apply_intervals):
                     raise ValueError("apply intervals must be positive")
+        if self.mux_lanes:
+            if self.mux_lanes < 0:
+                raise ValueError(
+                    "mux_lanes must be >= 0, got %r" % self.mux_lanes
+                )
+            if self.replicas <= 0:
+                raise ValueError(
+                    "session multiplexing needs a serving frontend; build "
+                    "the spec with .with_replicas(n) as well"
+                )
+            if self.mux_queue_limit < 0:
+                raise ValueError("mux_queue_limit must be >= 0")
+            if self.mux_queue_timeout <= 0:
+                raise ValueError("mux_queue_timeout must be positive")
+            if self.mux_tenants is not None:
+                if not self.mux_tenants:
+                    raise ValueError("mux_tenants must name at least one")
+                seen = set()
+                for tenant, weight in self.mux_tenants:
+                    if tenant in seen:
+                        raise ValueError("duplicate tenant %r" % tenant)
+                    seen.add(tenant)
+                    if weight < 1:
+                        raise ValueError(
+                            "tenant weight for %r must be >= 1, got %r"
+                            % (tenant, weight)
+                        )
         if self.views is not None:
             if self.shards != 1:
                 raise ValueError(
@@ -439,6 +476,37 @@ class DeploymentSpec:
             changes["view_cores"] = cores
         return dataclasses.replace(self, **changes)
 
+    def with_multiplexing(
+        self,
+        lanes: int,
+        tenants=None,
+        queue_limit: Optional[int] = None,
+        queue_timeout: Optional[float] = None,
+    ) -> "DeploymentSpec":
+        """Multiplex parked sessions over ``lanes`` execution lanes.
+
+        Dormant sessions cost a descriptor (token vector + prepared SQL
+        texts), not a live engine session, so session count scales far
+        past the lane pool; lanes are granted per statement by
+        weighted-fair queueing over ``tenants`` (a ``{name: weight}``
+        dict or ``(name, weight)`` pairs; omitted = one "default"
+        tenant).  Requires ``with_replicas`` (the mux rides the proxy).
+        """
+        if isinstance(tenants, dict):
+            pairs = tuple(tenants.items())
+        elif tenants is not None:
+            pairs = tuple((name, weight) for name, weight in tenants)
+        else:
+            pairs = None
+        changes: Dict[str, object] = {"mux_lanes": lanes}
+        if pairs is not None:
+            changes["mux_tenants"] = pairs
+        if queue_limit is not None:
+            changes["mux_queue_limit"] = queue_limit
+        if queue_timeout is not None:
+            changes["mux_queue_timeout"] = queue_timeout
+        return dataclasses.replace(self, **changes)
+
     def with_admission(
         self,
         read_limit: Optional[int] = None,
@@ -606,6 +674,23 @@ class Deployment:
                     if write_retry is not None else None
                 ),
                 views=self.views,
+            )
+        #: The session mux (``with_multiplexing``), else None.
+        self.mux = None
+        if self.config.mux_lanes > 0:
+            from ..frontend.mux import SessionMux
+
+            tenants = (
+                dict(self.config.mux_tenants)
+                if self.config.mux_tenants is not None else None
+            )
+            self.mux = SessionMux(
+                self.env,
+                self.frontend,
+                lanes=self.config.mux_lanes,
+                tenants=tenants,
+                queue_limit=self.config.mux_queue_limit,
+                queue_timeout=self.config.mux_queue_timeout,
             )
         self.detector: Optional[FailureDetector] = None
         self.deadlock_detector = None
@@ -982,6 +1067,16 @@ class Deployment:
                 "with .with_replicas(n)"
             )
         return self.frontend.session(name)
+
+    def mux_session(self, name: Optional[str] = None,
+                    tenant: str = "default"):
+        """A parked multiplexed session (requires ``with_multiplexing``)."""
+        if self.mux is None:
+            raise ValueError(
+                "this deployment has no session mux; build the spec with "
+                ".with_multiplexing(lanes, tenants)"
+            )
+        return self.mux.open(name, tenant)
 
     def shard_session(self, home: int = 0):
         """An engine-shaped session routing DML through the coordinator.

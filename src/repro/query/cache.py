@@ -47,6 +47,7 @@ from .parser import Parser
 from .plan import (
     Aggregate,
     HashJoin,
+    IndexLookup,
     IndexNLJoin,
     Limit,
     PlanNode,
@@ -285,6 +286,12 @@ def bind_plan(node: PlanNode, params: Sequence[Any]) -> PlanNode:
             return node
         return replace(node, filter=filt, partial_agg=partial,
                        hash_keys=hash_keys)
+    if isinstance(node, IndexLookup):
+        key_exprs = _bind_exprs(node.key_exprs, params)
+        residual = bind_expr(node.residual, params)
+        if key_exprs is node.key_exprs and residual is node.residual:
+            return node
+        return replace(node, key_exprs=key_exprs, residual=residual)
     if isinstance(node, HashJoin):
         left = bind_plan(node.left, params)
         right = bind_plan(node.right, params)

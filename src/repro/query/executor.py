@@ -64,6 +64,7 @@ from .predicate import NotCompilable, compile_row_predicate
 from .plan import (
     Aggregate,
     HashJoin,
+    IndexLookup,
     IndexNLJoin,
     Limit,
     PlanNode,
@@ -297,6 +298,7 @@ class QuerySession:
         self.batch_mode = batch_mode
         self.queries_executed = 0
         self.pages_scanned = 0
+        self.index_lookups = 0
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self._plan_cache_size = plan_cache_size
@@ -436,6 +438,49 @@ class QuerySession:
             [(key, samples[key], groups[key]) for key in groups],
         )
 
+    def execute_point(self, point: "PointReadPlan", params: Sequence[Any]):
+        """Generator: run a compiled prepared point read.
+
+        Charges the same simulated CPU as the generic Project(IndexLookup)
+        operator pair (``ROW_CPU * 2`` for the probe plus ``ROW_CPU`` for
+        the single-row projection) and returns the byte-identical
+        QueryResult, without plan binding or row-dict materialisation.
+        """
+        engine = self.engine
+        table = engine.catalog.table(point.table_name)
+        key = tuple(
+            params[source] if is_param else source
+            for is_param, source in point.key_source
+        )
+        self.index_lookups += 1
+        self.queries_executed += 1
+        rows: List[Tuple[Any, ...]] = []
+        try:
+            locator = table.lookup(key)
+        except TypeError:
+            locator = None
+        if locator is None:
+            yield from engine.cpu.consume(ROW_CPU * 3)
+            return QueryResult(list(point.columns), rows)
+        page_id = table.page_id(locator[0])
+        # Resident pages fold their fetch charge into the statement
+        # charge (one consume, not two); misses pay the full fetch.
+        hit = engine.peek_page(page_id)
+        if hit is not None:
+            page, extra = hit
+            yield from engine.cpu.consume(ROW_CPU * 3 + extra)
+        else:
+            yield from engine.cpu.consume(ROW_CPU * 3)
+            page = yield from engine.fetch_page(page_id)
+        try:
+            raw = page.get(locator[1])
+        except KeyError:
+            raw = None
+        if raw is not None:
+            values = table.schema.decode(raw)
+            rows.append(tuple(values[p] for p in point.positions))
+        return QueryResult(list(point.columns), rows)
+
     def plan(self, sql: str) -> PlanNode:
         """Plan without executing (EXPLAIN)."""
         statement, _nparams = self._parse_entry(sql)
@@ -469,6 +514,9 @@ class QuerySession:
             if kind == "batch":
                 return payload.to_rows(), None
             return payload, None  # aggregate output rows, or partials
+        if isinstance(node, IndexLookup):
+            rows = yield from self._run_index_lookup(node)
+            return rows, None
         if isinstance(node, SeqScan):
             rows = yield from self._run_scan(node)
             return rows, None
@@ -509,6 +557,39 @@ class QuerySession:
                 row = self._bind_row(scan.binding, table, values)
                 if predicate is None or predicate(row):
                     rows.append(row)
+        return rows
+
+    def _run_index_lookup(self, node: IndexLookup):
+        """Generator: fetch at most one row through the PK B-tree.
+
+        Produces the exact row dict the filtered SeqScan would (same
+        binding-qualified keys, same residual semantics) without paying
+        the full-table page decode.
+        """
+        table = self.engine.catalog.table(node.table_name)
+        key = tuple(expr.eval({}) for expr in node.key_exprs)
+        yield from self.engine.cpu.consume(ROW_CPU * 2)
+        self.index_lookups += 1
+        rows: List[Dict[str, Any]] = []
+        try:
+            locator = table.lookup(key)
+        except TypeError:
+            # Key incomparable with stored keys (e.g. NULL or a type
+            # mismatch): the scan's equality predicate would match
+            # nothing, so the lookup matches nothing.
+            locator = None
+        if locator is None:
+            return rows
+        page_no, slot = locator
+        page = yield from self.engine.fetch_page(table.page_id(page_no))
+        try:
+            raw = page.get(slot)
+        except KeyError:
+            return rows
+        values = table.schema.decode(raw)
+        row = self._bind_row(node.binding, table, values)
+        if node.residual is None or node.residual.eval(row):
+            rows.append(row)
         return rows
 
     @staticmethod
@@ -995,17 +1076,85 @@ class QuerySession:
         return QueryResult(["deleted"], [(len(keys),)])
 
 
+@dataclass
+class PointReadPlan:
+    """Compiled recipe for a prepared primary-key point read.
+
+    A prepared ``Project(IndexLookup)`` template with no residual filter
+    and pure column-reference select items reduces to: build the key
+    tuple from the parameter vector, probe the PK B-tree, decode one
+    row, and gather the projected schema positions.  Executing the
+    recipe (``QuerySession.execute_point``) skips per-execution plan
+    binding and row-dict materialisation while charging the same
+    simulated CPU and producing the byte-identical ``QueryResult`` the
+    generic operator path would.
+    """
+
+    table_name: str = ""
+    #: Per key column: (True, param_index) or (False, literal_value).
+    key_source: Tuple[Tuple[bool, Any], ...] = ()
+    #: Schema positions of the projected output columns, in item order.
+    positions: Tuple[int, ...] = ()
+    columns: List[str] = field(default_factory=list)
+
+
+def compile_point_plan(template: PlanNode, engine: DBEngine):
+    """A :class:`PointReadPlan` for ``template``, or None if ineligible."""
+    if not isinstance(template, Project) or template.star:
+        return None
+    lookup = template.child
+    if not isinstance(lookup, IndexLookup) or lookup.residual is not None:
+        return None
+    try:
+        table = engine.catalog.table(lookup.table_name)
+    except QueryError:
+        return None
+    key_source: List[Tuple[bool, Any]] = []
+    for expr in lookup.key_exprs:
+        if isinstance(expr, Param):
+            key_source.append((True, expr.index))
+        elif isinstance(expr, Literal):
+            key_source.append((False, expr.value))
+        else:
+            return None
+    schema = table.schema
+    positions: List[int] = []
+    columns: List[str] = []
+    for item in template.items:
+        expr = item.expr
+        if not isinstance(expr, ColumnRef):
+            return None
+        if expr.table is not None and expr.table != lookup.binding:
+            return None
+        if not schema.has_column(expr.name):
+            return None
+        positions.append(schema.position(expr.name))
+        columns.append(item.output_name)
+    if len(set(columns)) != len(columns):
+        # Duplicate output names shape through the row dict in the
+        # generic path (last writer wins); keep that path authoritative.
+        return None
+    return PointReadPlan(
+        table_name=lookup.table_name,
+        key_source=tuple(key_source),
+        positions=tuple(positions),
+        columns=columns,
+    )
+
+
 class PreparedStatement:
     """A parsed statement plus its reusable, parameter-bindable plan.
 
     SELECTs are planned once as a *template* (Param placeholders stay in
     the plan) and re-validated against the session's stats token; each
-    ``execute(*params)`` binds a cheap structural-sharing copy.  DML
-    binds at the AST level and runs the normal DML path.
+    ``execute(*params)`` binds a cheap structural-sharing copy.  A
+    template that compiles to a :class:`PointReadPlan` executes through
+    the point-read fast path instead.  DML binds at the AST level and
+    runs the normal DML path.
     """
 
     __slots__ = ("session", "sql", "statement", "param_count",
-                 "is_select", "_template", "_template_token")
+                 "is_select", "_template", "_template_token", "_point")
 
     def __init__(self, session: QuerySession, sql: str, statement: Any,
                  nparams: int):
@@ -1016,15 +1165,24 @@ class PreparedStatement:
         self.is_select = isinstance(statement, Select)
         self._template: Optional[PlanNode] = None
         self._template_token: Optional[tuple] = None
+        self._point: Optional[PointReadPlan] = None
+
+    def _refresh_template(self, token: Optional[tuple]) -> PlanNode:
+        template = self.session.planner.plan_select(self.statement)
+        self._template = template
+        self._template_token = token
+        self._point = (
+            compile_point_plan(template, self.session.engine)
+            if token is not None else None
+        )
+        return template
 
     def _select_plan(self, params: Tuple[Any, ...]) -> PlanNode:
         session = self.session
         token = session._stats_token(self.statement)
         template = self._template
         if template is None or token is None or token != self._template_token:
-            template = session.planner.plan_select(self.statement)
-            self._template = template
-            self._template_token = token
+            template = self._refresh_template(token)
         if not params:
             return template
         return bind_plan(template, params)
@@ -1038,7 +1196,14 @@ class PreparedStatement:
             )
         session = self.session
         if self.is_select:
-            plan = self._select_plan(params)
+            token = session._stats_token(self.statement)
+            if (self._template is None or token is None
+                    or token != self._template_token):
+                self._refresh_template(token)
+            if self._point is not None:
+                return (yield from session.execute_point(self._point, params))
+            template = self._template
+            plan = bind_plan(template, params) if params else template
             return (yield from session.execute_plan(plan))
         statement = (
             bind_statement(self.statement, params) if params

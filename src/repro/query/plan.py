@@ -22,6 +22,7 @@ from .ast import AggCall, Expr, SelectItem
 __all__ = [
     "PlanNode",
     "SeqScan",
+    "IndexLookup",
     "HashJoin",
     "IndexNLJoin",
     "Aggregate",
@@ -57,6 +58,27 @@ class SeqScan(PlanNode):
     #: build storage-side (keys + filtered columns come back; the engine
     #: only builds the hash table and probes).
     hash_keys: Optional[List[Expr]] = None
+
+
+@dataclass
+class IndexLookup(PlanNode):
+    """Unique point lookup through the primary-key B-tree.
+
+    Chosen for single-table queries whose filter pins every primary-key
+    column with an equality against a constant (literal or parameter):
+    the key resolves to at most one row via ``Table.lookup``, so one
+    locator probe plus one page fetch replaces the full sequential scan.
+    Returns the identical row (same binding, same column keys) the
+    filtered SeqScan would, which keeps results byte-identical.
+    """
+
+    table_name: str = ""
+    binding: str = ""
+    #: Constant expressions (no column references) producing the full
+    #: primary-key tuple, in key-column order.
+    key_exprs: List[Expr] = field(default_factory=list)
+    #: Leftover filter conjuncts, evaluated on the fetched row.
+    residual: Optional[Expr] = None
 
 
 @dataclass
@@ -136,6 +158,11 @@ def explain(node: PlanNode, depth: int = 0) -> str:
             marks.append("filtered")
         suffix = (" [%s]" % ", ".join(marks)) if marks else ""
         return "%sSeqScan(%s as %s)%s ~%d rows" % (
+            pad, node.table_name, node.binding, suffix, node.estimated_rows,
+        )
+    if isinstance(node, IndexLookup):
+        suffix = " [filtered]" if node.residual is not None else ""
+        return "%sIndexLookup(%s as %s)%s ~%d rows" % (
             pad, node.table_name, node.binding, suffix, node.estimated_rows,
         )
     if isinstance(node, HashJoin):

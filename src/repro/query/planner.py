@@ -44,6 +44,7 @@ from .ast import (
 from .plan import (
     Aggregate,
     HashJoin,
+    IndexLookup,
     IndexNLJoin,
     Limit,
     PlanNode,
@@ -82,6 +83,9 @@ class PlannerConfig:
     force_hash_joins: bool = False
     #: Outer-cardinality bound under which index NL join is chosen.
     nl_join_outer_limit: int = 2000
+    #: Plan single-table full-PK-equality filters as unique B-tree point
+    #: lookups instead of sequential scans.
+    enable_index_lookup: bool = True
 
 
 def split_conjuncts(expr: Optional[Expr]) -> List[Expr]:
@@ -241,9 +245,17 @@ class Planner:
                 projection=projection,
             )
 
-        # Build the join tree left-deep in FROM order.
+        # Build the join tree left-deep in FROM order.  A single-table
+        # query whose filter pins the whole primary key with constant
+        # equalities becomes a unique point lookup instead of a scan.
         self._inner_filters = scan_filters
-        plan: PlanNode = scan_of(order[0])
+        plan: PlanNode = None
+        if len(order) == 1 and self.config.enable_index_lookup:
+            plan = self._point_lookup(
+                order[0], binding_tables[order[0]], scan_filters[order[0]]
+            )
+        if plan is None:
+            plan = scan_of(order[0])
         joined = {order[0]}
         for binding in order[1:]:
             plan = self._plan_join(
@@ -389,6 +401,48 @@ class Planner:
         if left_b == {inner_binding} and inner_binding not in right_b:
             return (conjunct.right, conjunct.left)
         return None
+
+    def _point_lookup(
+        self, binding: str, table: Table, filters: List[Expr]
+    ) -> Optional[IndexLookup]:
+        """An IndexLookup leaf when ``filters`` pin the full primary key.
+
+        Eligible conjuncts are ``column = constant`` (either side) where
+        the constant side references no columns and no aggregates — a
+        literal, a parameter, or arithmetic over them.  One equality per
+        key column feeds the lookup key; everything else (extra
+        equalities on the same column included) stays as a residual
+        filter on the fetched row, so results match the scan exactly.
+        """
+        key_exprs: Dict[str, Expr] = {}
+        residual: List[Expr] = []
+        for conjunct in filters:
+            column = None
+            if isinstance(conjunct, BinOp) and conjunct.op == "=":
+                left, right = conjunct.left, conjunct.right
+                if isinstance(left, ColumnRef) and self._is_constant(right):
+                    column, const = left, right
+                elif isinstance(right, ColumnRef) and self._is_constant(left):
+                    column, const = right, left
+            if column is not None:
+                name = column.name.split(".")[-1]
+                if name in table.key_columns and name not in key_exprs:
+                    key_exprs[name] = const
+                    continue
+            residual.append(conjunct)
+        if len(key_exprs) != len(table.key_columns):
+            return None
+        return IndexLookup(
+            estimated_rows=1,
+            table_name=table.name,
+            binding=binding,
+            key_exprs=[key_exprs[name] for name in table.key_columns],
+            residual=and_together(residual),
+        )
+
+    @staticmethod
+    def _is_constant(expr: Expr) -> bool:
+        return not expr.columns() and not expr.contains_aggregate()
 
     def _matching_index(self, table: Table, columns: List[str]) -> Optional[str]:
         """'' for the PK, an index name, or None if nothing matches."""

@@ -118,6 +118,30 @@ class Resource:
             self._waiting.append(req)
         return req
 
+    def try_acquire(self, _new=object.__new__, _len=len):
+        """Uncontended grant without scheduling any event, else None.
+
+        The token is a granted :class:`_Request` (pass it to
+        :meth:`release` as usual) that was never yielded on, so the
+        acquisition costs zero trips through the event loop.  Callers
+        that can be granted synchronously (e.g. ``CpuPool.consume`` on
+        an idle core) use this to halve their event footprint; when the
+        resource is busy they fall back to :meth:`request` + yield.
+        """
+        if _len(self._users) >= self.capacity:
+            return None
+        env = self.env
+        req = _new(_Request)
+        req.env = env
+        req.callbacks = []
+        req._value = req
+        req._ok = True
+        req._defused = False
+        req.resource = self
+        req.cancelled = False
+        self._users.append(req)
+        return req
+
     def release(self, request: _Request, _len=len) -> None:
         try:
             self._users.remove(request)
@@ -401,13 +425,18 @@ class CpuPool:
         """Generator: hold one core for ``seconds`` of virtual time."""
         if seconds < 0:
             raise ValueError("negative CPU time")
-        req = self._resource.request()
-        yield req
+        resource = self._resource
+        # Idle-core fast path: grab the core synchronously so the only
+        # event this consume schedules is the timeout itself.
+        req = resource.try_acquire()
+        if req is None:
+            req = resource.request()
+            yield req
         try:
             yield self.env.timeout(seconds)
             self.busy_time += seconds
         finally:
-            self._resource.release(req)
+            resource.release(req)
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of total core-seconds consumed over ``elapsed`` seconds."""

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common import OverloadError
-from repro.frontend.admission import AdmissionController
+from repro.frontend.admission import AdmissionController, TenantAdmission
 from repro.sim.core import Environment
 
 
@@ -152,3 +152,223 @@ def test_shedding_gauge_snapshot():
     admission = snap["frontend"]["admission"]
     assert admission["read"]["limit"] == 2
     assert admission["write"]["in_flight"] == 0
+
+
+def test_grant_racing_deadline_is_shed_not_executed():
+    """A slot granted on the deadline tick must be shed, not run.
+
+    Queue wait is measured from enqueue.  The holder releases its slot
+    at exactly the waiter's deadline instant; the waiter's grant and
+    deadline land on the same tick.  The expired waiter must raise
+    OverloadError (never execute) and the slot must flow back to the
+    pool so the next request is admitted instantly.
+    """
+    env, controller = make_controller(
+        limits={"read": 1}, queue_limit=4, queue_timeout=0.005
+    )
+    outcomes = []
+
+    def holder():
+        ticket = yield from controller.admit("read")
+        # Release exactly when the waiter (enqueued at t=0) expires.
+        yield env.timeout(0.005)
+        controller.release("read", ticket)
+
+    def waiter():
+        try:
+            yield from controller.admit("read")
+            outcomes.append("executed")
+        except OverloadError:
+            outcomes.append("shed")
+
+    def latecomer():
+        yield env.timeout(0.006)
+        ticket = yield from controller.admit("read")
+        outcomes.append(("latecomer-admitted", env.now))
+        controller.release("read", ticket)
+
+    # Same-tick start: the holder grabs the slot at t=0, the waiter
+    # enqueues at t=0, so grant and deadline collide at exactly t=0.005.
+    env.process(holder())
+    env.process(waiter())
+    env.process(latecomer())
+    env.run(until=0.05)
+    assert "executed" not in outcomes
+    assert "shed" in outcomes
+    assert controller.shed_deadline == 1
+    # The raced slot was handed back: the latecomer is admitted with no
+    # queue wait at all.
+    assert ("latecomer-admitted", 0.006) in outcomes
+
+
+# ----------------------------------------------------------------------
+# TenantAdmission (weighted fair lane hand-out for the session mux)
+# ----------------------------------------------------------------------
+
+def make_wfq(tenants=None, slots=4, **kwargs):
+    env = Environment()
+    if tenants is None:
+        tenants = {"gold": 4, "bronze": 1}
+    wfq = TenantAdmission(env, tenants, list(range(slots)), **kwargs)
+    return env, wfq
+
+
+def test_wfq_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        TenantAdmission(env, {}, [0])
+    with pytest.raises(ValueError):
+        TenantAdmission(env, {"a": 0}, [0])
+    with pytest.raises(ValueError):
+        TenantAdmission(env, {"a": 1}, [])
+    with pytest.raises(ValueError):
+        TenantAdmission(env, {"a": 1}, [0], queue_limit=-1)
+    with pytest.raises(ValueError):
+        TenantAdmission(env, {"a": 1}, [0], queue_timeout=0)
+
+
+def test_wfq_unknown_tenant():
+    env, wfq = make_wfq()
+
+    def work():
+        yield from wfq.acquire("platinum")
+
+    proc = env.process(work())
+    with pytest.raises(ValueError):
+        env.run_until_event(proc)
+
+
+def test_wfq_fast_path_never_queues_idle_pool():
+    env, wfq = make_wfq(slots=2)
+
+    def work():
+        a = yield from wfq.acquire("bronze")
+        b = yield from wfq.acquire("bronze")
+        return a, b
+
+    a, b = run(env, work())
+    assert {a, b} == {0, 1}
+    assert wfq.admitted["bronze"] == 2
+    assert wfq.queue_depth == 0
+
+
+def test_wfq_weights_drive_grant_shares_under_contention():
+    """Backlogged tenants receive slots in weight proportion (DRR).
+
+    Eight workers per tenant keep both queues backlogged while the
+    single slot frees up one statement at a time - the cursor must park
+    on a tenant until its weight's worth of grants is spent, or DRR
+    degenerates to 1:1 round robin.
+    """
+    env, wfq = make_wfq(tenants={"gold": 3, "bronze": 1}, slots=1,
+                        queue_timeout=10.0, queue_limit=1000)
+    grants = []
+
+    def worker(tenant):
+        while env.now < 0.08:
+            slot = yield from wfq.acquire(tenant)
+            grants.append(tenant)
+            yield env.timeout(0.001)
+            wfq.release(slot)
+
+    for _ in range(8):
+        env.process(worker("gold"))
+        env.process(worker("bronze"))
+    env.run(until=0.1)
+    # A steady-state contended window past the startup transient.
+    window = grants[8:48]
+    gold = window.count("gold")
+    bronze = window.count("bronze")
+    assert gold + bronze == 40
+    # Weight 3:1 => expect ~30:10; allow slack for lap boundaries.
+    assert 27 <= gold <= 33, (gold, bronze)
+
+
+def test_wfq_queue_full_sheds():
+    env, wfq = make_wfq(tenants={"a": 1}, slots=1, queue_limit=1,
+                        queue_timeout=1.0)
+    outcomes = []
+
+    def holder():
+        slot = yield from wfq.acquire("a")
+        yield env.timeout(10.0)
+        wfq.release(slot)
+
+    def contender(tag):
+        try:
+            yield from wfq.acquire("a")
+            outcomes.append((tag, "admitted"))
+        except OverloadError:
+            outcomes.append((tag, "shed"))
+
+    env.process(holder())
+    env.run(until=0.001)
+    env.process(contender("first"))
+    env.process(contender("second"))
+    env.run(until=0.01)
+    assert ("second", "shed") in outcomes
+    assert wfq.shed_queue_full == 1
+    assert wfq.shed["a"] == 1
+
+
+def test_wfq_expired_waiter_shed_at_dispatch_never_granted():
+    """Deadline is enqueue-measured and enforced at grant time.
+
+    The holder keeps the only slot past the waiter's deadline; when the
+    slot finally frees, the dispatcher must shed the expired waiter
+    (OverloadError) instead of granting it, and the slot must go to the
+    fresh waiter instead.
+    """
+    env, wfq = make_wfq(tenants={"a": 1}, slots=1, queue_timeout=0.005)
+    outcomes = []
+
+    def holder():
+        slot = yield from wfq.acquire("a")
+        yield env.timeout(0.02)  # well past the waiter's deadline
+        wfq.release(slot)
+
+    def stale_waiter():
+        try:
+            yield from wfq.acquire("a")
+            outcomes.append("stale-granted")
+        except OverloadError:
+            outcomes.append("stale-shed")
+
+    def fresh_waiter():
+        yield env.timeout(0.019)  # enqueues just before the release
+        slot = yield from wfq.acquire("a")
+        outcomes.append("fresh-granted")
+        wfq.release(slot)
+
+    env.process(holder())
+    env.run(until=0.001)
+    env.process(stale_waiter())
+    env.process(fresh_waiter())
+    env.run(until=0.1)
+    assert outcomes.count("stale-shed") == 1
+    assert "stale-granted" not in outcomes
+    assert "fresh-granted" in outcomes
+    assert wfq.shed_deadline == 1
+    assert wfq.admitted["a"] == 2  # holder + fresh waiter
+
+
+def test_wfq_release_regrants_fifo_within_tenant():
+    env, wfq = make_wfq(tenants={"a": 1}, slots=1, queue_timeout=5.0)
+    order = []
+
+    def holder():
+        slot = yield from wfq.acquire("a")
+        yield env.timeout(0.001)
+        wfq.release(slot)
+
+    def waiter(tag, delay):
+        yield env.timeout(delay)
+        slot = yield from wfq.acquire("a")
+        order.append(tag)
+        wfq.release(slot)
+
+    env.process(holder())
+    env.process(waiter("first", 0.0001))
+    env.process(waiter("second", 0.0002))
+    env.run(until=0.1)
+    assert order == ["first", "second"]
